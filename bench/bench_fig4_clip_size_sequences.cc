@@ -1,0 +1,66 @@
+// Figure 4: number of result sequences found by SVAQ/SVAQD as the clip
+// size varies.
+//
+// Paper shape: smaller clips fragment results into more (shorter)
+// sequences; larger clips merge them; the total frame mass stays stable
+// (Figure 5 checks the latter).
+#include <initializer_list>
+
+#include "bench/bench_util.h"
+#include "detect/models.h"
+#include "online/svaq.h"
+#include "online/svaqd.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace {
+
+void RunQuery(const char* label, const synth::Scenario& base,
+              const std::string& action,
+              const std::vector<std::string>& objects) {
+  bench::TablePrinter table(
+      std::string("Figure 4") + label +
+          " — number of result sequences vs clip size",
+      {"clip_frames", "SVAQ_seqs", "SVAQD_seqs", "SVAQ_frames",
+       "SVAQD_frames"});
+  for (int64_t clip_frames : {50, 100, 200, 400, 800}) {
+    const synth::Scenario resized = base.WithClipFrames(clip_frames);
+    auto scenario_or = resized.WithQuery(action, objects);
+    const synth::Scenario& scenario = scenario_or.value();
+    detect::ModelBundle m1 =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7);
+    online::SvaqOptions svaq_options;
+    svaq_options.p0_object = 1e-2;
+    svaq_options.p0_action = 1e-2;
+    const online::OnlineResult svaq =
+        online::Svaq(scenario.query(), scenario.layout(), svaq_options)
+            .Run(m1.detector.get(), m1.recognizer.get());
+    detect::ModelBundle m2 =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7);
+    const online::OnlineResult svaqd =
+        online::Svaqd(scenario.query(), scenario.layout(),
+                      online::SvaqdOptions{})
+            .Run(m2.detector.get(), m2.recognizer.get());
+    table.AddRow(
+        {bench::Fmt(clip_frames),
+         bench::Fmt(static_cast<int64_t>(svaq.sequences.size())),
+         bench::Fmt(static_cast<int64_t>(svaqd.sequences.size())),
+         bench::Fmt(scenario.layout()
+                        .ClipsToFrames(svaq.sequences)
+                        .TotalLength()),
+         bench::Fmt(scenario.layout()
+                        .ClipsToFrames(svaqd.sequences)
+                        .TotalLength())});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace vaq
+
+int main() {
+  using namespace vaq;
+  RunQuery("a", synth::Scenario::YouTube(2), "blowing leaves", {"car"});
+  RunQuery("b", synth::Scenario::YouTube(1), "washing dishes", {"faucet"});
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5: frame-level F1 of SVAQ/SVAQD as the clip size varies.
+//
+// Paper shape: essentially flat — the clip size changes how results are
+// segmented into sequences (Figure 4), not which frames are reported.
+#include <initializer_list>
+
+#include "bench/bench_util.h"
+#include "detect/models.h"
+#include "eval/metrics.h"
+#include "online/svaq.h"
+#include "online/svaqd.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace {
+
+void RunQuery(const char* label, const synth::Scenario& base,
+              const std::string& action,
+              const std::vector<std::string>& objects) {
+  bench::TablePrinter table(
+      std::string("Figure 5") + label + " — frame-level F1 vs clip size",
+      {"clip_frames", "SVAQ_frame_F1", "SVAQD_frame_F1"});
+  for (int64_t clip_frames : {50, 100, 200, 400, 800}) {
+    auto scenario_or = base.WithClipFrames(clip_frames).WithQuery(action,
+                                                                  objects);
+    const synth::Scenario& scenario = scenario_or.value();
+    const IntervalSet truth_frames =
+        scenario.truth().QueryTruthFrames(scenario.query());
+    detect::ModelBundle m1 =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7);
+    online::SvaqOptions svaq_options;
+    svaq_options.p0_object = 1e-2;
+    svaq_options.p0_action = 1e-2;
+    const double svaq_f1 =
+        eval::FrameLevelF1Frames(
+            online::Svaq(scenario.query(), scenario.layout(), svaq_options)
+                .Run(m1.detector.get(), m1.recognizer.get())
+                .sequences,
+            truth_frames, scenario.layout())
+            .f1;
+    detect::ModelBundle m2 =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7);
+    const double svaqd_f1 =
+        eval::FrameLevelF1Frames(
+            online::Svaqd(scenario.query(), scenario.layout(),
+                          online::SvaqdOptions{})
+                .Run(m2.detector.get(), m2.recognizer.get())
+                .sequences,
+            truth_frames, scenario.layout())
+            .f1;
+    table.AddRow({bench::Fmt(clip_frames), bench::Fmt("%.3f", svaq_f1),
+                  bench::Fmt("%.3f", svaqd_f1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace vaq
+
+int main() {
+  using namespace vaq;
+  RunQuery("a", synth::Scenario::YouTube(2), "blowing leaves", {"car"});
+  RunQuery("b", synth::Scenario::YouTube(1), "washing dishes", {"faucet"});
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) of the library's hot kernels:
+// scan-statistic evaluation, critical-value search, interval algebra,
+// score-table access paths and the simulated detector.
+#include <benchmark/benchmark.h>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "detect/models.h"
+#include "scanstat/critical_value.h"
+#include "scanstat/naus.h"
+#include "storage/paged_table.h"
+#include "storage/score_table.h"
+#include "synth/generator.h"
+
+namespace vaq {
+namespace {
+
+void BM_ScanTailProbability(benchmark::State& state) {
+  const int64_t w = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scanstat::ScanStatisticTailProbability(w / 5, 0.02, w, 1000.0));
+  }
+}
+BENCHMARK(BM_ScanTailProbability)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_CriticalValue(benchmark::State& state) {
+  scanstat::ScanConfig config;
+  config.window = state.range(0);
+  config.horizon = 100000;
+  config.alpha = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanstat::CriticalValue(0.02, config));
+  }
+}
+BENCHMARK(BM_CriticalValue)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Interval> a;
+  std::vector<Interval> b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const int64_t lo = i * 20 + static_cast<int64_t>(rng.UniformInt(8ul));
+    a.push_back(Interval(lo, lo + 6));
+    const int64_t lo2 = i * 20 + static_cast<int64_t>(rng.UniformInt(8ul));
+    b.push_back(Interval(lo2, lo2 + 9));
+  }
+  const IntervalSet sa = IntervalSet::FromIntervals(a);
+  const IntervalSet sb = IntervalSet::FromIntervals(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.Intersect(sb));
+  }
+}
+BENCHMARK(BM_IntervalSetIntersect)->Arg(100)->Arg(10000);
+
+void BM_ScoreTableAccess(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<storage::ScoreTable::Row> rows;
+  const int64_t n = 100000;
+  for (int64_t c = 0; c < n; ++c) {
+    rows.push_back({c, rng.UniformDouble(0, 100)});
+  }
+  const storage::ScoreTable table =
+      std::move(storage::ScoreTable::Build(std::move(rows))).value();
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.RandomScore(i % n));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScoreTableAccess);
+
+void BM_DetectorMaxScore(benchmark::State& state) {
+  synth::ScenarioSpec spec;
+  spec.minutes = 10;
+  spec.seed = 3;
+  synth::ActionTrackSpec action;
+  action.name = "a";
+  spec.actions.push_back(action);
+  synth::ObjectTrackSpec obj;
+  obj.name = "o";
+  obj.background_duty = 0.2;
+  spec.objects.push_back(obj);
+  static Vocabulary vocab;
+  static const synth::GroundTruth truth = synth::Generate(spec, vocab);
+  const detect::ObjectDetector detector(&truth,
+                                        detect::ModelProfile::MaskRcnn(), 7);
+  FrameIndex f = 0;
+  const int64_t frames = truth.layout().num_frames();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.MaxScore(0, f));
+    f = (f + 1) % frames;
+  }
+}
+BENCHMARK(BM_DetectorMaxScore);
+
+void BM_PagedRandomScore(benchmark::State& state) {
+  static const std::string path = [] {
+    Rng rng(4);
+    std::vector<storage::ScoreTable::Row> rows;
+    for (int64_t c = 0; c < 50000; ++c) {
+      rows.push_back({c, rng.UniformDouble(0, 100)});
+    }
+    const storage::ScoreTable table =
+        std::move(storage::ScoreTable::Build(std::move(rows))).value();
+    const std::string p = "/tmp/vaq_bench_paged.pgd";
+    VAQ_CHECK_OK(storage::WritePagedTable(table, p));
+    return p;
+  }();
+  storage::PageCache cache(state.range(0), 4096);
+  auto paged = std::move(storage::PagedScoreTable::Open(path, &cache)).value();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paged->RandomScore(
+        static_cast<ClipIndex>(rng.UniformInt(uint64_t{50000}))));
+  }
+  state.counters["fetch_rate"] =
+      static_cast<double>(cache.fetches()) /
+      static_cast<double>(std::max<int64_t>(cache.fetches() + cache.hits(),
+                                            1));
+}
+BENCHMARK(BM_PagedRandomScore)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_PagedRangeScan(benchmark::State& state) {
+  static const std::string path = "/tmp/vaq_bench_paged.pgd";
+  storage::PageCache cache(64, 4096);
+  auto paged = std::move(storage::PagedScoreTable::Open(path, &cache)).value();
+  std::vector<double> out;
+  int64_t lo = 0;
+  for (auto _ : state) {
+    out.clear();
+    paged->RangeScores(lo, lo + 499, &out);
+    benchmark::DoNotOptimize(out.data());
+    lo = (lo + 500) % 49000;
+  }
+}
+BENCHMARK(BM_PagedRangeScan);
+
+}  // namespace
+}  // namespace vaq
+
+BENCHMARK_MAIN();

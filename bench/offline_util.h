@@ -1,0 +1,50 @@
+// Shared setup for the offline benches (Tables 6-8): ingest a scenario and
+// bind its query.
+#ifndef VAQ_BENCH_OFFLINE_UTIL_H_
+#define VAQ_BENCH_OFFLINE_UTIL_H_
+
+#include <memory>
+
+#include "detect/models.h"
+#include "offline/baselines.h"
+#include "offline/ingest.h"
+#include "offline/rvaq.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace bench {
+
+// Holds everything an offline experiment needs, with stable addresses.
+struct OfflineFixture {
+  synth::Scenario scenario;
+  offline::PaperScoring scoring;
+  storage::VideoIndex index;
+  offline::QueryTables tables;
+  IntervalSet pq;
+
+  explicit OfflineFixture(synth::Scenario sc, uint64_t model_seed = 7)
+      : scenario(std::move(sc)) {
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), model_seed);
+    offline::Ingestor ingestor(&scenario.vocab(), &scoring,
+                               offline::IngestOptions{});
+    index = ingestor.Ingest(scenario.truth(), models);
+    auto tables_or = offline::QueryTables::Bind(index, scenario.query(),
+                                                scenario.vocab());
+    VAQ_CHECK(tables_or.ok()) << tables_or.status().ToString();
+    tables = std::move(tables_or).value();
+    pq = tables.ComputePq();
+  }
+
+  offline::TopKResult RunRvaq(int64_t k, bool use_skip = true) const {
+    offline::RvaqOptions options;
+    options.k = k;
+    options.use_skip = use_skip;
+    return offline::Rvaq(&tables, &scoring, options).Run();
+  }
+};
+
+}  // namespace bench
+}  // namespace vaq
+
+#endif  // VAQ_BENCH_OFFLINE_UTIL_H_

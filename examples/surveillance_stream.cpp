@@ -1,0 +1,99 @@
+// Surveillance stream with concept drift: the paper's §3.3 motivating
+// example. A crossroad camera sees car traffic whose background rate
+// changes sharply during rush hour; a fixed background probability (SVAQ)
+// mis-calibrates in one of the regimes, while SVAQD's kernel estimator
+// follows the rate and keeps the critical values honest.
+//
+//   $ ./surveillance_stream
+#include <cstdio>
+
+#include "vaq/vaq.h"
+
+int main() {
+  using namespace vaq;
+
+  // An 8-hour stream at 10 fps: quiet night, rush hour, quiet evening.
+  // The queried event is a person loitering while a truck is present.
+  synth::ScenarioSpec spec;
+  spec.name = "crossroad-cam";
+  spec.minutes = 8 * 60;
+  spec.fps = 10;
+  spec.seed = 2024;
+
+  synth::ActionTrackSpec loitering;
+  loitering.name = "loitering";
+  loitering.duty = 0.06;
+  loitering.mean_len_frames = 1200;  // ~2 minute episodes.
+  spec.actions.push_back(loitering);
+
+  synth::ObjectTrackSpec truck;
+  truck.name = "truck";
+  truck.background_duty = 0.05;
+  truck.mean_len_frames = 900;
+  truck.coupled_action = "loitering";
+  truck.cover_action_prob = 0.9;
+  // Rush hour: trucks appear 6x more often in the middle half of the
+  // stream — the sudden background change SVAQD must absorb.
+  truck.drift.multipliers = {1.0, 6.0, 6.0, 1.0};
+  spec.objects.push_back(truck);
+
+  const synth::Scenario scenario =
+      synth::Scenario::FromSpec(spec, "loitering", {"truck"});
+  std::printf("stream: %lld frames (%.0f hours at %.0f fps), drift: truck "
+              "rate x6 during rush hour\n",
+              static_cast<long long>(scenario.layout().num_frames()),
+              spec.minutes / 60.0, spec.fps);
+  std::printf("query: %s\n\n",
+              scenario.query().ToString(scenario.vocab()).c_str());
+
+  const IntervalSet truth = scenario.TruthClips();
+
+  // SVAQ with a background probability calibrated for the quiet regime.
+  {
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 11);
+    online::SvaqOptions options;
+    options.p0_object = 1e-2;
+    options.p0_action = 1e-2;
+    online::Svaq engine(scenario.query(), scenario.layout(), options);
+    const online::OnlineResult result =
+        engine.Run(models.detector.get(), models.recognizer.get());
+    const eval::F1Result f1 = eval::SequenceF1(result.sequences, truth);
+    std::printf("SVAQ  (fixed p0=1e-2):  %3zu sequences, F1 %.3f "
+                "(k_crit stays at obj=%lld act=%lld)\n",
+                result.sequences.size(), f1.f1,
+                static_cast<long long>(result.kcrit_objects[0]),
+                static_cast<long long>(result.kcrit_action));
+  }
+
+  // SVAQD adapts its estimates as the stream evolves.
+  {
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 11);
+    online::Svaqd engine(scenario.query(), scenario.layout(),
+                         online::SvaqdOptions{});
+    const online::OnlineResult result =
+        engine.Run(models.detector.get(), models.recognizer.get());
+    const eval::F1Result f1 = eval::SequenceF1(result.sequences, truth);
+    std::printf("SVAQD (adaptive):       %3zu sequences, F1 %.3f "
+                "(final k_crit obj=%lld act=%lld)\n",
+                result.sequences.size(), f1.f1,
+                static_cast<long long>(result.kcrit_objects[0]),
+                static_cast<long long>(result.kcrit_action));
+
+    std::printf("\nalerts (clip ranges):\n");
+    int shown = 0;
+    for (const Interval& seq : result.sequences.intervals()) {
+      if (++shown > 8) {
+        std::printf("  ... and %zu more\n", result.sequences.size() - 8);
+        break;
+      }
+      const double t0 = static_cast<double>(seq.lo) *
+                        scenario.layout().frames_per_clip() / spec.fps / 60.0;
+      std::printf("  alert at %6.1f min, clips [%lld, %lld]\n", t0,
+                  static_cast<long long>(seq.lo),
+                  static_cast<long long>(seq.hi));
+    }
+  }
+  return 0;
+}

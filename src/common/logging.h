@@ -1,0 +1,98 @@
+// Minimal logging and invariant-checking macros.
+//
+// `VAQ_CHECK*` macros abort the process with a diagnostic when an invariant
+// is violated; they are enabled in all build types (defensive checks in
+// library internals use them only for programmer errors, never for
+// data-dependent failures, which go through `Status`).
+#ifndef VAQ_COMMON_LOGGING_H_
+#define VAQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vaq {
+namespace internal_logging {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+// Stream-style log sink; writes a single line to stderr on destruction and
+// aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vaq
+
+#define VAQ_LOG(level)                                            \
+  ::vaq::internal_logging::LogMessage(                            \
+      ::vaq::internal_logging::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+// Aborts with a message when `cond` is false. Use for programmer errors.
+#define VAQ_CHECK(cond)                                      \
+  if (cond) {                                                \
+  } else                                                     \
+    VAQ_LOG(Fatal) << "Check failed: " #cond " "
+
+#define VAQ_CHECK_OP_(a, b, op) \
+  VAQ_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define VAQ_CHECK_EQ(a, b) VAQ_CHECK_OP_(a, b, ==)
+#define VAQ_CHECK_NE(a, b) VAQ_CHECK_OP_(a, b, !=)
+#define VAQ_CHECK_LT(a, b) VAQ_CHECK_OP_(a, b, <)
+#define VAQ_CHECK_LE(a, b) VAQ_CHECK_OP_(a, b, <=)
+#define VAQ_CHECK_GT(a, b) VAQ_CHECK_OP_(a, b, >)
+#define VAQ_CHECK_GE(a, b) VAQ_CHECK_OP_(a, b, >=)
+
+// Aborts if a Status-returning expression fails. For examples/tools/tests.
+#define VAQ_CHECK_OK(expr)                              \
+  do {                                                  \
+    ::vaq::Status _vaq_check_status = (expr);           \
+    VAQ_CHECK(_vaq_check_status.ok())                   \
+        << _vaq_check_status.ToString();                \
+  } while (false)
+
+#endif  // VAQ_COMMON_LOGGING_H_

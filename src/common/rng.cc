@@ -1,0 +1,55 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace vaq {
+
+double Rng::Gamma(double shape, double scale) {
+  VAQ_CHECK_GT(shape, 0.0);
+  VAQ_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost shape by 1 and apply the Johnk-style correction.
+    double u = UniformDouble();
+    while (u <= 0.0) u = UniformDouble();
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000) squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = UniformDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::Beta(double alpha, double beta) {
+  VAQ_CHECK_GT(alpha, 0.0);
+  VAQ_CHECK_GT(beta, 0.0);
+  const double x = Gamma(alpha, 1.0);
+  const double y = Gamma(beta, 1.0);
+  const double sum = x + y;
+  if (sum <= 0.0) return 0.5;  // Degenerate underflow; split the difference.
+  return x / sum;
+}
+
+int64_t Rng::Geometric(double p) {
+  VAQ_CHECK_GT(p, 0.0);
+  VAQ_CHECK_LE(p, 1.0);
+  if (p >= 1.0) return 0;
+  double u = UniformDouble();
+  while (u <= 0.0) u = UniformDouble();
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace vaq

@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in VAQ (synthetic videos, simulated detectors)
+// takes an explicit 64-bit seed and derives its randomness from `Rng`, a
+// xoshiro256** engine seeded via SplitMix64. Results are reproducible
+// bit-for-bit across platforms; the C++ standard library distributions are
+// deliberately avoided because their outputs are implementation-defined.
+#ifndef VAQ_COMMON_RNG_H_
+#define VAQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vaq {
+
+// SplitMix64 step: advances `state` and returns the next 64-bit output.
+// Used for seeding and for cheap stateless hashing of stream offsets.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Mixes two 64-bit values into one; used to derive independent sub-seeds
+// (e.g. one per object type) from a master seed.
+inline uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+// xoshiro256** generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  // Re-initializes the state from `seed` via SplitMix64.
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Next raw 64-bit output.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  // to avoid modulo bias.
+  uint64_t UniformInt(uint64_t bound) {
+    VAQ_CHECK_GT(bound, 0u);
+    const uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    VAQ_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal and
+  // reproducible regardless of call interleaving).
+  double Normal() {
+    double u1 = UniformDouble();
+    while (u1 <= 0.0) u1 = UniformDouble();
+    const double u2 = UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586476925286766559 * u2);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Exponential with rate `lambda` (> 0).
+  double Exponential(double lambda) {
+    VAQ_CHECK_GT(lambda, 0.0);
+    double u = UniformDouble();
+    while (u <= 0.0) u = UniformDouble();
+    return -std::log(u) / lambda;
+  }
+
+  // Gamma(shape, scale) via Marsaglia-Tsang; shape > 0, scale > 0.
+  double Gamma(double shape, double scale);
+
+  // Beta(alpha, beta) via two Gamma draws; alpha, beta > 0.
+  double Beta(double alpha, double beta);
+
+  // Geometric: number of failures before the first success, p in (0, 1].
+  int64_t Geometric(double p);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+#include "detect/model_profile.h"
+
+namespace vaq {
+namespace detect {
+
+ModelProfile ModelProfile::MaskRcnn() {
+  ModelProfile p;
+  p.name = "MaskRCNN";
+  p.tpr = 0.88;
+  p.fpr = 0.015;
+  p.threshold = 0.5;
+  p.fp_block = 2;
+  p.fn_block = 2;
+  p.pos_alpha = 6.0;
+  p.pos_beta = 2.0;
+  p.fp_alpha = 1.2;
+  p.fp_beta = 5.0;
+  p.inference_ms = 90.0;  // Two-stage detector, per frame.
+  return p;
+}
+
+ModelProfile ModelProfile::YoloV3() {
+  ModelProfile p;
+  p.name = "YOLOv3";
+  p.tpr = 0.76;
+  p.fpr = 0.045;
+  p.threshold = 0.5;
+  p.fp_block = 3;
+  p.fn_block = 3;
+  p.pos_alpha = 4.0;
+  p.pos_beta = 2.2;
+  p.fp_alpha = 1.3;
+  p.fp_beta = 4.0;
+  p.inference_ms = 22.0;  // One-stage detector, per frame.
+  return p;
+}
+
+ModelProfile ModelProfile::IdealObject() {
+  ModelProfile p;
+  p.name = "IdealObject";
+  p.tpr = 1.0;
+  p.fpr = 0.0;
+  p.threshold = 0.5;
+  p.inference_ms = 0.0;
+  return p;
+}
+
+ModelProfile ModelProfile::I3d() {
+  ModelProfile p;
+  p.name = "I3D";
+  p.tpr = 0.82;
+  p.fpr = 0.0015;
+  p.threshold = 0.5;
+  p.fp_block = 1;  // Shot-level errors are effectively iid.
+  p.fn_block = 1;
+  p.pos_alpha = 5.0;
+  p.pos_beta = 2.0;
+  p.fp_alpha = 1.2;
+  p.fp_beta = 4.5;
+  p.inference_ms = 160.0;  // 3D ConvNet, per shot.
+  return p;
+}
+
+ModelProfile ModelProfile::IdealAction() {
+  ModelProfile p;
+  p.name = "IdealAction";
+  p.tpr = 1.0;
+  p.fpr = 0.0;
+  p.threshold = 0.5;
+  p.inference_ms = 0.0;
+  return p;
+}
+
+ModelProfile ModelProfile::CenterTrack() {
+  ModelProfile p;
+  p.name = "CenterTrack";
+  p.tpr = 0.85;
+  p.fpr = 0.020;
+  p.threshold = 0.5;
+  p.fp_block = 2;
+  p.fn_block = 2;
+  p.pos_alpha = 5.5;
+  p.pos_beta = 2.0;
+  p.fp_alpha = 1.2;
+  p.fp_beta = 5.0;
+  p.inference_ms = 45.0;
+  p.id_switch_prob = 0.03;
+  return p;
+}
+
+ModelProfile ModelProfile::IdealTracker() {
+  ModelProfile p;
+  p.name = "IdealTracker";
+  p.tpr = 1.0;
+  p.fpr = 0.0;
+  p.threshold = 0.5;
+  p.inference_ms = 0.0;
+  return p;
+}
+
+}  // namespace detect
+}  // namespace vaq

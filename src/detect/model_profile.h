@@ -1,0 +1,75 @@
+// Noise profiles of the simulated perception models.
+//
+// The paper plugs black-box object detectors (Mask R-CNN, YOLOv3), an
+// action recognizer (I3D) and an object tracker (CenterTrack) into its
+// algorithms, plus "ideal models" that match ground truth exactly (§5.1).
+// This module describes each model as a stochastic confusion process
+// against ground truth (see DESIGN.md §1 for why this substitution
+// preserves the algorithms' behaviour):
+//
+//  * `tpr` / `fpr`: per-occurrence-unit probability of a positive
+//    prediction when the type is truly present / absent. Noise is
+//    *bursty*: errors are drawn per block of `fp_block` / `fn_block`
+//    consecutive OUs (real detector errors flicker in runs, which is the
+//    Markov-dependence caveat of §3.2); block length 1 gives iid noise.
+//  * score distributions: positive predictions carry a confidence score
+//    above `threshold` drawn from a rescaled Beta — true positives from
+//    (pos_alpha, pos_beta), false positives from the lower-skewed
+//    (fp_alpha, fp_beta); negative predictions score below the threshold.
+//  * `inference_ms`: simulated GPU inference cost per occurrence unit,
+//    used to reproduce the paper's "runtime is >98% model inference"
+//    analysis (§5.2).
+#ifndef VAQ_DETECT_MODEL_PROFILE_H_
+#define VAQ_DETECT_MODEL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vaq {
+namespace detect {
+
+struct ModelProfile {
+  std::string name;
+  // Recognition characteristics per occurrence unit (frame for object
+  // models, shot for action models).
+  double tpr = 0.85;
+  double fpr = 0.04;
+  // Score threshold T_obj / T_act (§2).
+  double threshold = 0.5;
+  // Mean error-burst lengths, in occurrence units.
+  int32_t fp_block = 1;
+  int32_t fn_block = 1;
+  // Above-threshold score shapes (Beta parameters; see file comment).
+  double pos_alpha = 5.0;
+  double pos_beta = 2.0;
+  double fp_alpha = 1.2;
+  double fp_beta = 4.0;
+  // Simulated inference latency per occurrence unit.
+  double inference_ms = 0.0;
+  // Tracker-only: probability per error block that a track id switches.
+  double id_switch_prob = 0.0;
+
+  // --- Object detector presets -------------------------------------------
+  // Two-stage detector: high accuracy, moderate cost.
+  static ModelProfile MaskRcnn();
+  // One-stage detector: faster, noisier (the paper's lower-accuracy
+  // alternative in Table 4).
+  static ModelProfile YoloV3();
+  // Ground-truth oracle (Table 4's "Ideal Models" row).
+  static ModelProfile IdealObject();
+
+  // --- Action recognizer presets ------------------------------------------
+  // I3D two-stream 3D ConvNet on shots.
+  static ModelProfile I3d();
+  static ModelProfile IdealAction();
+
+  // --- Tracker presets ------------------------------------------------------
+  // CenterTrack real-time tracker.
+  static ModelProfile CenterTrack();
+  static ModelProfile IdealTracker();
+};
+
+}  // namespace detect
+}  // namespace vaq
+
+#endif  // VAQ_DETECT_MODEL_PROFILE_H_

@@ -1,0 +1,117 @@
+#include "detect/relationship.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vaq {
+namespace detect {
+namespace {
+
+constexpr uint64_t kRelFalseNegativeSalt = 0x6e1a77;
+constexpr uint64_t kRelFalsePositiveSalt = 0x7f2b88;
+
+// Key mixing the relationship's identity into the noise stream.
+int64_t SpecKey(const RelationshipSpec& spec) {
+  return (static_cast<int64_t>(spec.kind) * 1000003 + spec.subject) *
+             1000003 +
+         spec.object;
+}
+
+bool PairSatisfies(RelationshipKind kind, double xa, double xb,
+                   double margin) {
+  switch (kind) {
+    case RelationshipKind::kLeftOf:
+      return xa + margin <= xb;
+    case RelationshipKind::kRightOf:
+      return xb + margin <= xa;
+    case RelationshipKind::kNear:
+      return std::fabs(xa - xb) <= margin;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* RelationshipKindName(RelationshipKind kind) {
+  switch (kind) {
+    case RelationshipKind::kLeftOf:
+      return "left_of";
+    case RelationshipKind::kRightOf:
+      return "right_of";
+    case RelationshipKind::kNear:
+      return "near";
+  }
+  return "?";
+}
+
+std::string RelationshipSpec::ToString(const Vocabulary& vocab) const {
+  return vocab.ObjectTypeName(subject) + " " + RelationshipKindName(kind) +
+         " " + vocab.ObjectTypeName(object);
+}
+
+RelationshipDetector::RelationshipDetector(const synth::GroundTruth* truth,
+                                           ModelProfile profile,
+                                           uint64_t seed)
+    : truth_(truth), profile_(std::move(profile)), seed_(MixSeed(seed, 0xc)) {
+  VAQ_CHECK(truth != nullptr);
+}
+
+bool RelationshipDetector::TruthHolds(const RelationshipSpec& spec,
+                                      FrameIndex frame) const {
+  const std::vector<synth::TruthInstance> subjects =
+      truth_->InstancesAt(spec.subject, frame);
+  if (subjects.empty()) return false;
+  const std::vector<synth::TruthInstance> objects =
+      truth_->InstancesAt(spec.object, frame);
+  if (objects.empty()) return false;
+  for (const synth::TruthInstance& a : subjects) {
+    for (const synth::TruthInstance& b : objects) {
+      if (spec.subject == spec.object &&
+          a.instance_id == b.instance_id) {
+        continue;  // A thing is not left of itself.
+      }
+      if (PairSatisfies(spec.kind, a.XAt(frame), b.XAt(frame),
+                        spec.margin)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool RelationshipDetector::IsPositive(const RelationshipSpec& spec,
+                                      FrameIndex frame) const {
+  const bool present = TruthHolds(spec, frame);
+  const int64_t key = SpecKey(spec);
+  // A relationship decision needs both detections right: compose the
+  // profile's TPR twice; a false relationship needs either a hallucinated
+  // detection or a large localization error, so the FPR stays the
+  // profile's.
+  const double tpr = profile_.tpr * profile_.tpr;
+  const double probability = present ? tpr : profile_.fpr;
+  const int32_t block = present ? profile_.fn_block : profile_.fp_block;
+  const int64_t block_index =
+      frame / std::max<int32_t>(block, 1);
+  Rng rng(MixSeed(
+      MixSeed(seed_, (present ? kRelFalseNegativeSalt : kRelFalsePositiveSalt) ^
+                         static_cast<uint64_t>(key)),
+      static_cast<uint64_t>(block_index)));
+  return rng.Bernoulli(probability);
+}
+
+std::vector<int64_t> RelationshipDetector::ClipCounts(
+    const RelationshipSpec& spec, const VideoLayout& layout) const {
+  std::vector<int64_t> counts(static_cast<size_t>(layout.NumClips()), 0);
+  for (ClipIndex c = 0; c < layout.NumClips(); ++c) {
+    const Interval frames = layout.ClipFrameRange(c);
+    for (FrameIndex v = frames.lo; v <= frames.hi; ++v) {
+      if (IsPositive(spec, v)) ++counts[static_cast<size_t>(c)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace detect
+}  // namespace vaq

@@ -1,0 +1,80 @@
+// Spatial relationship predicates (§2, footnote 2).
+//
+// The paper supports predicates like "human left of the car" by deriving,
+// per frame, a *binary output* for each relationship from the object
+// detection outcomes — technology orthogonal to the query machinery,
+// which then treats the relationship exactly like an object-presence
+// event stream (frame-granularity Bernoulli events fed to the scan
+// statistics). This module supplies that derivation over the simulated
+// substrate: relationship ground truth from the instances' position
+// tracks, and a noisy detector whose error profile mirrors the object
+// detector's (a relationship decision composes two detections, so its
+// effective TPR is roughly the square of the detector's).
+#ifndef VAQ_DETECT_RELATIONSHIP_H_
+#define VAQ_DETECT_RELATIONSHIP_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/model_profile.h"
+#include "synth/ground_truth.h"
+#include "video/layout.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+namespace detect {
+
+enum class RelationshipKind {
+  kLeftOf,   // Some subject instance strictly left of some object instance.
+  kRightOf,  // Mirror image.
+  kNear,     // Some subject/object pair within `margin` of each other.
+};
+
+const char* RelationshipKindName(RelationshipKind kind);
+
+// One relationship predicate between two object types.
+struct RelationshipSpec {
+  RelationshipKind kind = RelationshipKind::kLeftOf;
+  ObjectTypeId subject = kInvalidTypeId;
+  ObjectTypeId object = kInvalidTypeId;
+  // Minimal horizontal separation (kLeftOf/kRightOf) or maximal distance
+  // (kNear), in normalized screen units.
+  double margin = 0.05;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+// Derives per-frame relationship indicators.
+class RelationshipDetector {
+ public:
+  // `truth` must outlive the detector; `profile` supplies the composed
+  // detection noise (use the object detector's profile).
+  RelationshipDetector(const synth::GroundTruth* truth, ModelProfile profile,
+                       uint64_t seed);
+
+  // Whether the relationship geometrically holds at `frame` in the ground
+  // truth (both types visible and the position constraint satisfied by
+  // some instance pair).
+  bool TruthHolds(const RelationshipSpec& spec, FrameIndex frame) const;
+
+  // The noisy per-frame binary output the query machinery consumes.
+  bool IsPositive(const RelationshipSpec& spec, FrameIndex frame) const;
+
+  // Convenience: per-clip positive-frame counts over the whole video —
+  // the occurrence-unit streams Eq. 1 counts for a relationship
+  // predicate.
+  std::vector<int64_t> ClipCounts(const RelationshipSpec& spec,
+                                  const VideoLayout& layout) const;
+
+  const ModelProfile& profile() const { return profile_; }
+
+ private:
+  const synth::GroundTruth* truth_;
+  ModelProfile profile_;
+  uint64_t seed_;
+};
+
+}  // namespace detect
+}  // namespace vaq
+
+#endif  // VAQ_DETECT_RELATIONSHIP_H_

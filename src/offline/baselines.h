@@ -1,0 +1,33 @@
+// Offline baselines of §5.1 ("Algorithms Compared: Offline Case").
+//
+//  * FA — Fagin's Algorithm adapted to sequences: parallel sorted access
+//    over all tables; clips outside P_q are disregarded as produced; the
+//    run stops only once the score of every clip in every candidate
+//    sequence is known (each sequence's total score must be produced), and
+//    the K best sequences are returned.
+//  * Pq-Traverse — accesses exactly the clips inside P_q's sequences by
+//    random access, computes every sequence score, and sorts. Cost is
+//    constant in K.
+//
+// RVAQ-noSkip is RVAQ with RvaqOptions::use_skip = false.
+#ifndef VAQ_OFFLINE_BASELINES_H_
+#define VAQ_OFFLINE_BASELINES_H_
+
+#include "offline/query_view.h"
+#include "offline/rvaq.h"
+
+namespace vaq {
+namespace offline {
+
+// Fagin's Algorithm baseline.
+TopKResult FaTopK(const QueryTables& tables, const ScoringModel& scoring,
+                  int64_t k);
+
+// Full-traversal baseline.
+TopKResult PqTraverse(const QueryTables& tables, const ScoringModel& scoring,
+                      int64_t k);
+
+}  // namespace offline
+}  // namespace vaq
+
+#endif  // VAQ_OFFLINE_BASELINES_H_

@@ -1,0 +1,97 @@
+#include "offline/ingest.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace offline {
+
+Ingestor::Ingestor(const Vocabulary* vocab, const ScoringModel* scoring,
+                   IngestOptions options)
+    : vocab_(vocab), scoring_(scoring), options_(std::move(options)) {
+  VAQ_CHECK(vocab != nullptr);
+  VAQ_CHECK(scoring != nullptr);
+}
+
+storage::VideoIndex Ingestor::Ingest(const synth::GroundTruth& truth,
+                                     const detect::ModelBundle& models) const {
+  const VideoLayout& layout = truth.layout();
+  const int64_t num_clips = layout.NumClips();
+  storage::VideoIndex index;
+  index.video_id = truth.video_id();
+  index.num_clips = num_clips;
+
+  // --- Object types: tracker-scored tables + SVAQD individual sequences.
+  for (ObjectTypeId type = 0; type < vocab_->num_object_types(); ++type) {
+    storage::TypeIndex entry;
+    entry.type_id = type;
+    entry.type_name = vocab_->ObjectTypeName(type);
+
+    std::vector<storage::ScoreTable::Row> rows(
+        static_cast<size_t>(num_clips));
+    std::vector<std::pair<FrameIndex, detect::TrackDetection>> detections;
+    std::vector<double> scores;
+    const double threshold = models.tracker->profile().threshold;
+    for (ClipIndex c = 0; c < num_clips; ++c) {
+      detections.clear();
+      models.tracker->DetectRange(type, layout.ClipFrameRange(c),
+                                  &detections);
+      scores.clear();
+      for (const auto& [frame, det] : detections) {
+        if (!options_.threshold_object_scores || det.score >= threshold) {
+          scores.push_back(det.score);
+        }
+      }
+      rows[static_cast<size_t>(c)] = {c,
+                                      scoring_->AggregateTypeScores(scores)};
+    }
+    auto table = storage::ScoreTable::Build(std::move(rows));
+    VAQ_CHECK(table.ok()) << table.status().ToString();
+    entry.table = std::move(table).value();
+
+    // Individual sequences via a single-predicate SVAQD run (§4.2).
+    QuerySpec single;
+    single.objects = {type};
+    online::Svaqd svaqd(single, layout, options_.indicator_options);
+    entry.sequences =
+        svaqd.Run(models.detector.get(), /*recognizer=*/nullptr).sequences;
+    index.objects.push_back(std::move(entry));
+  }
+
+  // --- Action types: recognizer-scored tables + SVAQD individual
+  // sequences.
+  for (ActionTypeId type = 0; type < vocab_->num_action_types(); ++type) {
+    storage::TypeIndex entry;
+    entry.type_id = type;
+    entry.type_name = vocab_->ActionTypeName(type);
+
+    std::vector<storage::ScoreTable::Row> rows(
+        static_cast<size_t>(num_clips));
+    std::vector<double> scores;
+    for (ClipIndex c = 0; c < num_clips; ++c) {
+      const Interval shots = layout.ClipShotRange(c);
+      scores.clear();
+      for (ShotIndex s = shots.lo; s <= shots.hi; ++s) {
+        scores.push_back(models.recognizer->Score(type, s));
+      }
+      rows[static_cast<size_t>(c)] = {c,
+                                      scoring_->AggregateTypeScores(scores)};
+    }
+    auto table = storage::ScoreTable::Build(std::move(rows));
+    VAQ_CHECK(table.ok()) << table.status().ToString();
+    entry.table = std::move(table).value();
+
+    QuerySpec single;
+    single.action = type;
+    online::Svaqd svaqd(single, layout, options_.indicator_options);
+    entry.sequences =
+        svaqd.Run(/*detector=*/nullptr, models.recognizer.get()).sequences;
+    index.actions.push_back(std::move(entry));
+  }
+  return index;
+}
+
+}  // namespace offline
+}  // namespace vaq

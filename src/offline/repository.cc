@@ -1,0 +1,118 @@
+#include "offline/repository.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace offline {
+
+StatusOr<QueryTables> BindByName(const storage::VideoIndex& index,
+                                 const std::string& action,
+                                 const std::vector<std::string>& objects) {
+  QueryTables out;
+  out.num_clips = index.num_clips;
+  for (const std::string& name : objects) {
+    const storage::TypeIndex* entry = index.FindObjectByName(name);
+    if (entry == nullptr) {
+      return Status::NotFound("object type not ingested: " + name);
+    }
+    out.schema.clauses.push_back({static_cast<int>(out.tables.size())});
+    out.tables.push_back(&entry->table);
+    out.sequences.push_back(&entry->sequences);
+  }
+  out.schema.num_objects = static_cast<int>(out.tables.size());
+  if (!action.empty()) {
+    const storage::TypeIndex* entry = index.FindActionByName(action);
+    if (entry == nullptr) {
+      return Status::NotFound("action type not ingested: " + action);
+    }
+    out.schema.has_action = true;
+    out.schema.clauses.push_back({static_cast<int>(out.tables.size())});
+    out.tables.push_back(&entry->table);
+    out.sequences.push_back(&entry->sequences);
+  }
+  if (out.num_tables() == 0) {
+    return Status::InvalidArgument("query touches no tables");
+  }
+  return out;
+}
+
+void Repository::Add(const std::string& name, storage::VideoIndex index) {
+  videos_.insert_or_assign(name, std::move(index));
+}
+
+Status Repository::AddFromCatalog(const storage::Catalog& catalog) {
+  for (const std::string& name : catalog.ListVideos()) {
+    VAQ_ASSIGN_OR_RETURN(storage::VideoIndex index, catalog.Load(name));
+    Add(name, std::move(index));
+  }
+  return Status::OK();
+}
+
+bool Repository::Remove(const std::string& name) {
+  return videos_.erase(name) > 0;
+}
+
+std::vector<std::string> Repository::VideoNames() const {
+  std::vector<std::string> names;
+  names.reserve(videos_.size());
+  for (const auto& [name, index] : videos_) names.push_back(name);
+  return names;
+}
+
+const storage::VideoIndex* Repository::Find(const std::string& name) const {
+  auto it = videos_.find(name);
+  return it == videos_.end() ? nullptr : &it->second;
+}
+
+StatusOr<RepositoryTopKResult> Repository::TopK(
+    const std::string& action, const std::vector<std::string>& objects,
+    const ScoringModel& scoring, RvaqOptions options) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (videos_.empty()) {
+    return Status::FailedPrecondition("repository holds no videos");
+  }
+  RepositoryTopKResult result;
+  for (const auto& [name, index] : videos_) {
+    auto tables_or = BindByName(index, action, objects);
+    if (!tables_or.ok()) {
+      if (tables_or.status().code() == StatusCode::kNotFound) {
+        ++result.videos_skipped;  // This video cannot match the query.
+        continue;
+      }
+      return tables_or.status();
+    }
+    ++result.videos_queried;
+    const TopKResult video_top =
+        Rvaq(&tables_or.value(), &scoring, options).Run();
+    result.accesses += video_top.accesses;
+    result.candidate_sequences +=
+        static_cast<int64_t>(video_top.pq.size());
+    for (const RankedSequence& seq : video_top.top) {
+      result.top.push_back(RepositoryRankedSequence{name, seq});
+    }
+  }
+  // Merge: sort by exact score when available, lower bound otherwise.
+  std::stable_sort(
+      result.top.begin(), result.top.end(),
+      [](const RepositoryRankedSequence& a,
+         const RepositoryRankedSequence& b) {
+        const double sa = a.sequence.has_exact ? a.sequence.exact_score
+                                               : a.sequence.lower_bound;
+        const double sb = b.sequence.has_exact ? b.sequence.exact_score
+                                               : b.sequence.lower_bound;
+        return sa > sb;
+      });
+  if (static_cast<int64_t>(result.top.size()) > options.k) {
+    result.top.resize(static_cast<size_t>(options.k));
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace offline
+}  // namespace vaq

@@ -1,0 +1,78 @@
+// Repository-wide ranked retrieval.
+//
+// §4.2 notes that multiple videos are handled "by associating a video
+// identifier to each clip identifier"; this module supplies that layer: a
+// `Repository` of ingested videos answers one top-K query *globally*, by
+// running RVAQ per video with the same K and merging the per-video
+// winners (the global top-K is necessarily contained in the union of the
+// per-video top-Ks, since scores do not interact across videos). Binding
+// is by type *name*, so videos ingested with different vocabularies can
+// coexist.
+#ifndef VAQ_OFFLINE_REPOSITORY_H_
+#define VAQ_OFFLINE_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "offline/rvaq.h"
+#include "storage/catalog.h"
+
+namespace vaq {
+namespace offline {
+
+// Binds a conjunctive query to one ingested video by type names (the
+// lookup used by the repository and the SQL session).
+StatusOr<QueryTables> BindByName(const storage::VideoIndex& index,
+                                 const std::string& action,
+                                 const std::vector<std::string>& objects);
+
+// One globally-ranked result.
+struct RepositoryRankedSequence {
+  std::string video;  // Repository name of the source video.
+  RankedSequence sequence;
+};
+
+struct RepositoryTopKResult {
+  std::vector<RepositoryRankedSequence> top;  // Best first.
+  storage::AccessCounter accesses;            // Summed across videos.
+  int64_t videos_queried = 0;
+  int64_t videos_skipped = 0;   // Videos missing a queried type.
+  int64_t candidate_sequences = 0;
+  double wall_ms = 0.0;
+};
+
+// A named collection of ingested videos.
+class Repository {
+ public:
+  Repository() = default;
+
+  // Registers (or replaces) a video. The repository stores the index.
+  void Add(const std::string& name, storage::VideoIndex index);
+
+  // Loads every video of a catalog.
+  Status AddFromCatalog(const storage::Catalog& catalog);
+
+  // Drops a video from the repository; false when absent.
+  bool Remove(const std::string& name);
+
+  size_t num_videos() const { return videos_.size(); }
+  std::vector<std::string> VideoNames() const;
+  const storage::VideoIndex* Find(const std::string& name) const;
+
+  // Global top-K for a conjunctive query given by names. Videos that did
+  // not ingest one of the queried types contribute no candidates (they
+  // are counted in videos_skipped). `options.k` is the global K.
+  StatusOr<RepositoryTopKResult> TopK(const std::string& action,
+                                      const std::vector<std::string>& objects,
+                                      const ScoringModel& scoring,
+                                      RvaqOptions options) const;
+
+ private:
+  std::map<std::string, storage::VideoIndex> videos_;
+};
+
+}  // namespace offline
+}  // namespace vaq
+
+#endif  // VAQ_OFFLINE_REPOSITORY_H_

@@ -1,0 +1,85 @@
+// Algorithm RVAQ (§4.3): progressive top-K over result sequences.
+//
+// RVAQ computes P_q from the materialized individual sequences (Eq. 12),
+// then repeatedly draws the highest- and lowest-scoring unprocessed clips
+// from the TBClip iterator, refining an upper bound (Eq. 13) and a lower
+// bound (Eq. 14) for every candidate sequence. Two bound summaries — the
+// K-th highest lower bound B_lo^K and the highest upper bound among the
+// other sequences B_up^¬K — drive early termination (Eq. 15) and the
+// dynamic skip set: a sequence whose upper bound sinks below B_lo^K can
+// never enter the top-K, and one whose lower bound exceeds B_up^¬K is
+// certainly in it; either way its remaining clips stop being accessed.
+#ifndef VAQ_OFFLINE_RVAQ_H_
+#define VAQ_OFFLINE_RVAQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "offline/query_view.h"
+#include "storage/access_counter.h"
+
+namespace vaq {
+namespace offline {
+
+struct RvaqOptions {
+  int64_t k = 5;
+  // The dynamic skip mechanism of §4.3; disabling it yields the paper's
+  // RVAQ-noSkip baseline (only non-P_q clips are skipped).
+  bool use_skip = true;
+  // Finalize exact scores (and exact ordering) of the K winners by direct
+  // random accesses after the bound loop terminates. When false, winners
+  // are ordered by their lower bounds (the paper's cheapest mode, which
+  // also skips clips of confirmed winners).
+  bool exact_scores = true;
+  // When true (default), bound refinement uses exact scores from *both*
+  // cursors for both bounds: a clip processed as top also tightens its
+  // sequence's lower bound and vice versa. This is required for the §4.3
+  // claim that the bounds "converge to the exact values" as the iterator
+  // drains — with strictly one-sided accounting a clip drained from the
+  // top never leaves the other bound's unprocessed mass and ties can be
+  // mis-ranked at exhaustion. The literal one-sided bookkeeping of the
+  // paper's notation is kept as an ablation (set to false).
+  bool two_sided_bounds = true;
+};
+
+// One ranked result sequence.
+struct RankedSequence {
+  Interval clips;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  // Exact score when RvaqOptions::exact_scores (or the baseline computed
+  // it); otherwise NaN.
+  double exact_score = 0.0;
+  bool has_exact = false;
+};
+
+// Outcome of a top-K run (RVAQ or a baseline).
+struct TopKResult {
+  std::vector<RankedSequence> top;  // Best first.
+  IntervalSet pq;                   // All candidate sequences.
+  storage::AccessCounter accesses;  // Table accesses charged to the run.
+  int64_t iterations = 0;           // TBClip invocations (RVAQ only).
+  double wall_ms = 0.0;
+};
+
+class Rvaq {
+ public:
+  // `tables` and `scoring` must outlive the object.
+  Rvaq(const QueryTables* tables, const ScoringModel* scoring,
+       RvaqOptions options);
+
+  // Runs the full algorithm. Resets the bound tables' access counters at
+  // entry so `accesses` reflects this run only.
+  TopKResult Run() const;
+
+ private:
+  const QueryTables* tables_;
+  const ScoringModel* scoring_;
+  RvaqOptions options_;
+};
+
+}  // namespace offline
+}  // namespace vaq
+
+#endif  // VAQ_OFFLINE_RVAQ_H_

@@ -1,0 +1,42 @@
+#include "offline/scoring.h"
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace offline {
+
+double ScoringModel::AggregateTypeScores(
+    const std::vector<double>& scores) const {
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum;
+}
+
+double PaperScoring::ClipScore(const std::vector<double>& table_scores,
+                               const TableSchema& schema) const {
+  VAQ_CHECK_EQ(static_cast<int>(table_scores.size()),
+               schema.num_objects + (schema.has_action ? 1 : 0));
+  double object_sum = 0.0;
+  for (int i = 0; i < schema.num_objects; ++i) object_sum += table_scores[i];
+  if (!schema.has_action) return object_sum;
+  const double action_score = table_scores[schema.num_objects];
+  if (schema.num_objects == 0) return action_score;
+  return action_score * object_sum;
+}
+
+double CnfScoring::ClipScore(const std::vector<double>& table_scores,
+                             const TableSchema& schema) const {
+  VAQ_CHECK(!schema.clauses.empty());
+  double product = 1.0;
+  for (const std::vector<int>& clause : schema.clauses) {
+    double clause_sum = 0.0;
+    for (int table : clause) {
+      clause_sum += table_scores[static_cast<size_t>(table)];
+    }
+    product *= clause_sum;
+  }
+  return product;
+}
+
+}  // namespace offline
+}  // namespace vaq

@@ -1,0 +1,99 @@
+// Scoring-function framework of §4.1.
+//
+// A scoring model supplies the three levels of aggregation the paper
+// defines, under the constraints that make top-k pruning sound:
+//
+//   h — combines the raw model scores of one type within one clip into the
+//       type's clip score S_{o_i}^(c) / S_{a_j}^(c) (Eqs. 7-8; no
+//       constraints);
+//   g — combines the per-predicate clip scores into the clip score
+//       S_q^(c) (Eq. 9; must be monotone in every argument);
+//   f — combines clip scores into a sequence score S_q^(z) (Eq. 10; must
+//       be monotone, sub-sequence-dominated, and decomposable through an
+//       associative/commutative aggregation operator ⊙, Eq. 11). The
+//       decomposition is exposed as a monoid: Identity(), Combine(a, b)
+//       and Repeat(x, n) = f(x, ..., x) n times, which RVAQ uses to bound
+//       partially-observed sequences (Eqs. 13-14).
+//
+// g receives the per-table clip scores together with a `TableSchema`
+// describing how the tables relate to the query: the conjunctive layout
+// (objects then action; the paper's §5 instantiation `PaperScoring` uses
+// g = S_a * Σ S_{o_i}) or the general CNF layout of clauses over distinct
+// literals (`CnfScoring` uses g = Π_clauses Σ_literals, monotone in every
+// table).
+#ifndef VAQ_OFFLINE_SCORING_H_
+#define VAQ_OFFLINE_SCORING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vaq {
+namespace offline {
+
+// How a query's bound tables map onto its predicates. Tables are indexed
+// in QueryTables order.
+struct TableSchema {
+  // Conjunctive layout: tables [0, num_objects) are object predicates in
+  // query order; table num_objects (when has_action) is the action.
+  int num_objects = 0;
+  bool has_action = false;
+  // CNF layout: table indices per clause (every conjunctive query also
+  // fills this with singleton clauses, so P_q computation is uniform).
+  std::vector<std::vector<int>> clauses;
+};
+
+class ScoringModel {
+ public:
+  virtual ~ScoringModel() = default;
+
+  // h: aggregates the raw detection scores of one type within one clip.
+  // The default sums them.
+  virtual double AggregateTypeScores(const std::vector<double>& scores) const;
+
+  // g: the clip score from the per-table clip scores (§4.1 Eq. 9). Must
+  // be monotone non-decreasing in every entry of `table_scores`.
+  virtual double ClipScore(const std::vector<double>& table_scores,
+                           const TableSchema& schema) const = 0;
+
+  // The ⊙ monoid through which f decomposes.
+  virtual double Identity() const = 0;
+  virtual double Combine(double a, double b) const = 0;
+  // f applied to n copies of x (n >= 0).
+  virtual double Repeat(double x, int64_t n) const = 0;
+};
+
+// The paper's experimental scoring functions (§5): additive h and f,
+// multiplicative-bridge g = S_a * (Σ_i S_{o_i}). For action-free queries
+// g degrades to Σ_i S_{o_i}; for object-free queries to S_a. Requires a
+// conjunctive schema.
+class PaperScoring : public ScoringModel {
+ public:
+  double ClipScore(const std::vector<double>& table_scores,
+                   const TableSchema& schema) const override;
+  double Identity() const override { return 0.0; }
+  double Combine(double a, double b) const override { return a + b; }
+  double Repeat(double x, int64_t n) const override {
+    return x * static_cast<double>(n);
+  }
+};
+
+// CNF generalization: g = Π_clauses (Σ_{literals in clause} score) — each
+// clause contributes its best evidence additively, clauses combine
+// multiplicatively (all must hold). Monotone in every table. For a
+// conjunctive query lifted to singleton clauses this is Π of the
+// predicate scores.
+class CnfScoring : public ScoringModel {
+ public:
+  double ClipScore(const std::vector<double>& table_scores,
+                   const TableSchema& schema) const override;
+  double Identity() const override { return 0.0; }
+  double Combine(double a, double b) const override { return a + b; }
+  double Repeat(double x, int64_t n) const override {
+    return x * static_cast<double>(n);
+  }
+};
+
+}  // namespace offline
+}  // namespace vaq
+
+#endif  // VAQ_OFFLINE_SCORING_H_

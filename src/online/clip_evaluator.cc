@@ -1,0 +1,65 @@
+#include "online/clip_evaluator.h"
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace online {
+
+ClipEvaluator::ClipEvaluator(const QuerySpec& query, const VideoLayout& layout,
+                             detect::ObjectDetector* detector,
+                             detect::ActionRecognizer* recognizer)
+    : query_(query),
+      layout_(layout),
+      detector_(detector),
+      recognizer_(recognizer) {
+  if (!query_.objects.empty()) {
+    VAQ_CHECK(detector_ != nullptr);
+  }
+  if (query_.has_action()) {
+    VAQ_CHECK(recognizer_ != nullptr);
+  }
+}
+
+ClipEvaluation ClipEvaluator::Evaluate(
+    ClipIndex clip, const std::vector<int64_t>& kcrit_objects,
+    int64_t kcrit_action, bool short_circuit) const {
+  VAQ_CHECK_EQ(kcrit_objects.size(), query_.objects.size());
+  ClipEvaluation eval;
+  eval.object_counts.assign(query_.objects.size(), -1);
+  const Interval frames = layout_.ClipFrameRange(clip);
+  const Interval shots = layout_.ClipShotRange(clip);
+  eval.frames_in_clip = frames.length();
+  eval.shots_in_clip = shots.length();
+
+  bool all_positive = true;
+  // Object predicates first, in query order (Algorithm 2, lines 1-8).
+  for (size_t i = 0; i < query_.objects.size(); ++i) {
+    const ObjectTypeId type = query_.objects[i];
+    int64_t count = 0;
+    for (FrameIndex v = frames.lo; v <= frames.hi; ++v) {
+      if (detector_->IsPositive(type, v)) ++count;
+    }
+    eval.object_counts[i] = count;
+    if (count < kcrit_objects[i]) {
+      all_positive = false;
+      if (short_circuit) {
+        eval.positive = false;
+        return eval;
+      }
+    }
+  }
+  // Action predicate (Algorithm 2, lines 9-12).
+  if (query_.has_action()) {
+    int64_t count = 0;
+    for (ShotIndex s = shots.lo; s <= shots.hi; ++s) {
+      if (recognizer_->IsPositive(query_.action, s)) ++count;
+    }
+    eval.action_count = count;
+    if (count < kcrit_action) all_positive = false;
+  }
+  eval.positive = all_positive;
+  return eval;
+}
+
+}  // namespace online
+}  // namespace vaq

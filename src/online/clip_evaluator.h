@@ -1,0 +1,70 @@
+// Algorithm 2 of the paper: the per-clip query indicator.
+//
+// For each object predicate o_i the evaluator counts positive frame
+// predictions within the clip and fires the predicate's indicator when the
+// count reaches k_crit_{o_i} (Eq. 1). The action predicate is the same at
+// shot granularity (Eq. 2). The clip satisfies the query when every
+// predicate indicator fires (Eq. 3). Predicates are evaluated in query
+// order and evaluation short-circuits on the first negative predicate
+// (saving model invocations), exactly as in Algorithm 2.
+#ifndef VAQ_ONLINE_CLIP_EVALUATOR_H_
+#define VAQ_ONLINE_CLIP_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/models.h"
+#include "video/layout.h"
+#include "video/query_spec.h"
+
+namespace vaq {
+namespace online {
+
+// Outcome of evaluating one clip. Counts are -1 for predicates that were
+// skipped by short-circuiting.
+struct ClipEvaluation {
+  bool positive = false;
+  // Per object predicate (query order): positive-frame count, or -1.
+  std::vector<int64_t> object_counts;
+  // Positive-shot count of the action predicate, or -1 when skipped.
+  int64_t action_count = -1;
+  // Number of frames / shots in this clip (trailing clips may be short).
+  int64_t frames_in_clip = 0;
+  int64_t shots_in_clip = 0;
+
+  bool ObjectEvaluated(size_t i) const { return object_counts[i] >= 0; }
+  bool ActionEvaluated() const { return action_count >= 0; }
+};
+
+// Stateless evaluator bound to a query, a layout and the deployed models.
+class ClipEvaluator {
+ public:
+  // `detector` is required when the query has object predicates,
+  // `recognizer` when it has an action predicate; they must outlive the
+  // evaluator.
+  ClipEvaluator(const QuerySpec& query, const VideoLayout& layout,
+                detect::ObjectDetector* detector,
+                detect::ActionRecognizer* recognizer);
+
+  // Evaluates `clip` against critical values `kcrit_objects` (one per
+  // object predicate, in query order) and `kcrit_action`. When
+  // `short_circuit` is true, later predicates are skipped as soon as one
+  // fails.
+  ClipEvaluation Evaluate(ClipIndex clip,
+                          const std::vector<int64_t>& kcrit_objects,
+                          int64_t kcrit_action, bool short_circuit) const;
+
+  const QuerySpec& query() const { return query_; }
+  const VideoLayout& layout() const { return layout_; }
+
+ private:
+  QuerySpec query_;
+  VideoLayout layout_;
+  detect::ObjectDetector* detector_;
+  detect::ActionRecognizer* recognizer_;
+};
+
+}  // namespace online
+}  // namespace vaq
+
+#endif  // VAQ_ONLINE_CLIP_EVALUATOR_H_

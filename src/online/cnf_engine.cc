@@ -1,0 +1,170 @@
+#include "online/cnf_engine.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "scanstat/critical_value.h"
+#include "scanstat/kernel_estimator.h"
+
+namespace vaq {
+namespace online {
+namespace {
+
+// Background estimation and critical-value state of one distinct literal.
+struct LiteralState {
+  Literal literal;
+  scanstat::KernelRateEstimator estimator;
+  scanstat::ScanConfig config;
+  double p_at_last_compute = -1.0;
+  int64_t kcrit = 0;
+
+  LiteralState(Literal lit, double bandwidth, double prior_p,
+               double prior_weight, scanstat::ScanConfig cfg)
+      : literal(lit), estimator(bandwidth, prior_p, prior_weight),
+        config(cfg) {
+    Recompute();
+  }
+
+  void Recompute() {
+    p_at_last_compute = estimator.rate();
+    kcrit = scanstat::CriticalValue(p_at_last_compute, config);
+  }
+
+  void MaybeRecompute(double rel_tol) {
+    const double p = estimator.rate();
+    const double ref = std::max(p_at_last_compute, 1e-12);
+    if (rel_tol <= 0.0 || std::fabs(p - p_at_last_compute) / ref > rel_tol) {
+      Recompute();
+    }
+  }
+};
+
+}  // namespace
+
+CnfEngine::CnfEngine(CnfQuery query, VideoLayout layout,
+                     CnfEngineOptions options)
+    : query_(std::move(query)),
+      layout_(layout),
+      options_(std::move(options)) {
+  VAQ_CHECK(!query_.empty());
+}
+
+CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
+                         detect::ActionRecognizer* recognizer) const {
+  const auto start = std::chrono::steady_clock::now();
+  const SvaqOptions& base = options_.svaqd.base;
+
+  // Distinct literals with their estimators.
+  const std::vector<Literal> literals = query_.DistinctLiterals();
+  std::vector<LiteralState> states;
+  states.reserve(literals.size());
+  for (const Literal& literal : literals) {
+    if (literal.kind == Literal::Kind::kObject) {
+      VAQ_CHECK(detector != nullptr);
+      states.emplace_back(literal, options_.svaqd.bandwidth_frames,
+                          base.p0_object, options_.svaqd.prior_weight,
+                          ObjectScanConfig(layout_, base));
+    } else {
+      VAQ_CHECK(recognizer != nullptr);
+      states.emplace_back(literal, options_.svaqd.bandwidth_shots,
+                          base.p0_action, options_.svaqd.prior_weight,
+                          ActionScanConfig(layout_, base));
+    }
+  }
+  // Clause literals resolved to state indices.
+  std::vector<std::vector<size_t>> clause_states(query_.clauses.size());
+  for (size_t c = 0; c < query_.clauses.size(); ++c) {
+    for (const Literal& literal : query_.clauses[c].literals) {
+      for (size_t s = 0; s < literals.size(); ++s) {
+        if (literals[s] == literal) {
+          clause_states[c].push_back(s);
+          break;
+        }
+      }
+    }
+  }
+
+  CnfResult result;
+  result.literals = literals;
+  const int64_t num_clips = layout_.NumClips();
+  result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
+
+  // Per-clip literal count cache (-1 = not evaluated this clip).
+  std::vector<int64_t> counts(literals.size());
+  std::vector<int64_t> frames_in(literals.size());
+
+  auto evaluate_literal = [&](size_t s, ClipIndex clip) {
+    if (counts[s] >= 0) return;  // Cached for this clip.
+    const LiteralState& state = states[s];
+    int64_t count = 0;
+    int64_t units = 0;
+    if (state.literal.kind == Literal::Kind::kObject) {
+      const Interval frames = layout_.ClipFrameRange(clip);
+      units = frames.length();
+      for (FrameIndex v = frames.lo; v <= frames.hi; ++v) {
+        if (detector->IsPositive(state.literal.type, v)) ++count;
+      }
+    } else {
+      const Interval shots = layout_.ClipShotRange(clip);
+      units = shots.length();
+      for (ShotIndex sh = shots.lo; sh <= shots.hi; ++sh) {
+        if (recognizer->IsPositive(state.literal.type, sh)) ++count;
+      }
+    }
+    counts[s] = count;
+    frames_in[s] = units;
+  };
+
+  for (ClipIndex clip = 0; clip < num_clips; ++clip) {
+    std::fill(counts.begin(), counts.end(), int64_t{-1});
+    const bool probe = options_.svaqd.probe_period > 0 &&
+                       clip % options_.svaqd.probe_period == 0;
+    const bool short_circuit = base.short_circuit && !probe;
+
+    bool all_clauses = true;
+    for (size_t c = 0; c < clause_states.size(); ++c) {
+      bool clause_fired = false;
+      for (size_t s : clause_states[c]) {
+        evaluate_literal(s, clip);
+        if (counts[s] >= states[s].kcrit) {
+          clause_fired = true;
+          if (short_circuit) break;  // OR short-circuit.
+        }
+      }
+      if (!clause_fired) {
+        all_clauses = false;
+        if (short_circuit) break;  // AND short-circuit.
+      }
+    }
+    if (probe) {
+      // Probing evaluates every literal so all estimators stay fed.
+      for (size_t s = 0; s < states.size(); ++s) evaluate_literal(s, clip);
+    }
+    result.clip_indicator[static_cast<size_t>(clip)] = all_clauses;
+    ++result.clips_processed;
+
+    if (!options_.adaptive) continue;
+    // Self-excluding background updates, as in SVAQD.
+    for (size_t s = 0; s < states.size(); ++s) {
+      if (counts[s] < 0) continue;
+      if (8 * counts[s] >= frames_in[s]) continue;  // Plainly satisfied.
+      states[s].estimator.ObserveBatch(frames_in[s], counts[s]);
+      states[s].MaybeRecompute(options_.svaqd.recompute_rel_tol);
+    }
+  }
+
+  result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
+  result.kcrit.resize(states.size());
+  for (size_t s = 0; s < states.size(); ++s) result.kcrit[s] = states[s].kcrit;
+  if (detector != nullptr) result.detector_stats = detector->stats();
+  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  result.algorithm_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace online
+}  // namespace vaq

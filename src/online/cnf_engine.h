@@ -1,0 +1,68 @@
+// Streaming evaluation of CNF queries (§2, footnotes 3-4).
+//
+// Generalizes SVAQ/SVAQD from one conjunction to a conjunction of
+// disjunctive clauses: per clip, a clause's indicator is the OR of its
+// literals' scan-statistic indicators, and the clip satisfies the query
+// when every clause fires. Evaluation short-circuits at both levels —
+// within a clause, literals are evaluated until one fires; across
+// clauses, a failed clause skips the rest of the clip.
+//
+// Each distinct literal carries its own critical value, either static
+// from p0 (SVAQ-style) or maintained by a kernel background estimator
+// (SVAQD-style), exactly as in the conjunctive engines.
+#ifndef VAQ_ONLINE_CNF_ENGINE_H_
+#define VAQ_ONLINE_CNF_ENGINE_H_
+
+#include <vector>
+
+#include "detect/models.h"
+#include "online/svaqd.h"
+#include "video/cnf_query.h"
+#include "video/layout.h"
+
+namespace vaq {
+namespace online {
+
+struct CnfEngineOptions {
+  // Estimation / significance parameters (alpha, p0, bandwidths, gate,
+  // probe period) are shared with the conjunctive SVAQD.
+  SvaqdOptions svaqd;
+  // false: keep the initial critical values for the whole stream
+  // (SVAQ-style); true: adapt them online (SVAQD-style).
+  bool adaptive = true;
+};
+
+// Result of a CNF run; sequences and indicator as in OnlineResult, plus
+// the final critical value per distinct literal.
+struct CnfResult {
+  IntervalSet sequences;
+  std::vector<bool> clip_indicator;
+  int64_t clips_processed = 0;
+  std::vector<Literal> literals;         // Distinct literals, engine order.
+  std::vector<int64_t> kcrit;            // Final k_crit per literal.
+  detect::ModelStats detector_stats;
+  detect::ModelStats recognizer_stats;
+  double algorithm_wall_ms = 0.0;
+};
+
+class CnfEngine {
+ public:
+  CnfEngine(CnfQuery query, VideoLayout layout, CnfEngineOptions options);
+
+  // `detector` is required when any literal is an object, `recognizer`
+  // when any literal is an action.
+  CnfResult Run(detect::ObjectDetector* detector,
+                detect::ActionRecognizer* recognizer) const;
+
+  const CnfQuery& query() const { return query_; }
+
+ private:
+  CnfQuery query_;
+  VideoLayout layout_;
+  CnfEngineOptions options_;
+};
+
+}  // namespace online
+}  // namespace vaq
+
+#endif  // VAQ_ONLINE_CNF_ENGINE_H_

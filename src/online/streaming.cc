@@ -1,0 +1,136 @@
+#include "online/streaming.h"
+
+#include "common/logging.h"
+#include "online/clip_evaluator.h"
+#include "online/predicate_state.h"
+
+namespace vaq {
+namespace online {
+
+using internal_online::PredicateState;
+
+// All per-predicate adaptive state, mirroring Svaqd::Run's locals.
+struct StreamingSvaqd::State {
+  std::vector<PredicateState> objects;
+  std::unique_ptr<PredicateState> action;
+};
+
+StreamingSvaqd::StreamingSvaqd(QuerySpec query, VideoLayout layout,
+                               SvaqdOptions options, Callback callback)
+    : query_(std::move(query)),
+      layout_(layout),
+      options_(std::move(options)),
+      callback_(std::move(callback)),
+      state_(std::make_unique<State>()) {
+  const SvaqOptions& base = options_.base;
+  if (!base.p0_per_object.empty()) {
+    VAQ_CHECK_EQ(base.p0_per_object.size(), query_.objects.size());
+  }
+  const scanstat::ScanConfig object_config = ObjectScanConfig(layout_, base);
+  for (size_t i = 0; i < query_.objects.size(); ++i) {
+    const double p0 =
+        base.p0_per_object.empty() ? base.p0_object : base.p0_per_object[i];
+    state_->objects.emplace_back(options_.bandwidth_frames, p0,
+                                 options_.prior_weight, object_config,
+                                 options_.burst_aware);
+  }
+  if (query_.has_action()) {
+    state_->action = std::make_unique<PredicateState>(
+        options_.bandwidth_shots, base.p0_action, options_.prior_weight,
+        ActionScanConfig(layout_, base), options_.burst_aware);
+  }
+}
+
+StreamingSvaqd::~StreamingSvaqd() = default;
+
+bool StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
+                              detect::ActionRecognizer* recognizer) {
+  VAQ_CHECK(!finished_) << "PushClip after Finish";
+  VAQ_CHECK_LT(next_clip_, layout_.NumClips())
+      << "stream exceeds the layout's design horizon";
+  const ClipIndex clip = next_clip_++;
+  const SvaqOptions& base = options_.base;
+
+  ClipEvaluator evaluator(query_, layout_, detector, recognizer);
+  std::vector<int64_t> kcrit_objects(state_->objects.size());
+  for (size_t i = 0; i < state_->objects.size(); ++i) {
+    kcrit_objects[i] = state_->objects[i].kcrit;
+  }
+  const int64_t kcrit_action =
+      state_->action != nullptr ? state_->action->kcrit : 0;
+  const bool probe =
+      options_.probe_period > 0 && clip % options_.probe_period == 0;
+  const ClipEvaluation eval = evaluator.Evaluate(
+      clip, kcrit_objects, kcrit_action, base.short_circuit && !probe);
+
+  // Background updates, identical to Svaqd::Run.
+  const bool clip_gate =
+      options_.update_policy == UpdatePolicy::kAllClips ||
+      options_.update_policy == UpdatePolicy::kSelfExcluding ||
+      (options_.update_policy == UpdatePolicy::kNegativeClipsOnly &&
+       !eval.positive) ||
+      (options_.update_policy == UpdatePolicy::kPositiveClipsOnly &&
+       eval.positive);
+  if (clip_gate) {
+    const bool self_excluding =
+        options_.update_policy == UpdatePolicy::kSelfExcluding;
+    for (size_t i = 0; i < state_->objects.size(); ++i) {
+      if (!eval.ObjectEvaluated(i)) continue;
+      if (self_excluding &&
+          8 * eval.object_counts[i] >= eval.frames_in_clip) {
+        continue;
+      }
+      state_->objects[i].estimator.ObserveBatch(eval.frames_in_clip,
+                                                eval.object_counts[i]);
+      state_->objects[i].ObserveCount(eval.object_counts[i],
+                                      eval.frames_in_clip);
+      state_->objects[i].MaybeRecompute(options_.recompute_rel_tol);
+    }
+    if (state_->action != nullptr && eval.ActionEvaluated()) {
+      if (!(self_excluding &&
+            8 * eval.action_count >= eval.shots_in_clip)) {
+        state_->action->estimator.ObserveBatch(eval.shots_in_clip,
+                                               eval.action_count);
+        state_->action->ObserveCount(eval.action_count, eval.shots_in_clip);
+        state_->action->MaybeRecompute(options_.recompute_rel_tol);
+      }
+    }
+  }
+
+  // Incremental sequence maintenance + events.
+  if (eval.positive) {
+    if (open_start_ < 0) {
+      open_start_ = clip;
+      if (callback_) {
+        callback_({SequenceEvent::Kind::kOpened, Interval(clip, clip), clip});
+      }
+    } else if (callback_) {
+      callback_(
+          {SequenceEvent::Kind::kExtended, Interval(open_start_, clip), clip});
+    }
+  } else if (open_start_ >= 0) {
+    const Interval closed(open_start_, clip - 1);
+    sequences_.Add(closed);
+    open_start_ = -1;
+    if (callback_) {
+      callback_({SequenceEvent::Kind::kClosed, closed, clip});
+    }
+  }
+  return eval.positive;
+}
+
+void StreamingSvaqd::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (open_start_ >= 0) {
+    const Interval closed(open_start_, next_clip_ - 1);
+    sequences_.Add(closed);
+    open_start_ = -1;
+    if (callback_) {
+      callback_({SequenceEvent::Kind::kClosed, closed, next_clip_ - 1});
+    }
+  }
+}
+
+}  // namespace online
+}  // namespace vaq

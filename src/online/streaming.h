@@ -1,0 +1,89 @@
+// Push-based incremental SVAQD.
+//
+// Svaqd::Run drives a whole (finite) video; a deployed monitoring system
+// instead receives the stream clip by clip and must report result
+// sequences *as they form* (§1: "query results have to be reported as the
+// video streams"). `StreamingSvaqd` exposes exactly that contract:
+//
+//   StreamingSvaqd stream(query, layout, options, [](const auto& event) {
+//     if (event.kind == SequenceEvent::Kind::kClosed) Alert(event.sequence);
+//   });
+//   while (camera.HasClip()) stream.PushClip(&detector, &recognizer);
+//   stream.Finish();
+//
+// Events fire with one-clip latency for closures (a sequence is known to
+// have ended only when the first negative clip after it is seen, per
+// Eq. 4's maximality requirement) and immediately for openings and
+// extensions. The adaptive machinery (kernel estimators, burst awareness,
+// probing) is identical to Svaqd: feeding every clip of a finite video
+// through PushClip reproduces Svaqd::Run bit for bit.
+#ifndef VAQ_ONLINE_STREAMING_H_
+#define VAQ_ONLINE_STREAMING_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "online/svaqd.h"
+
+namespace vaq {
+namespace online {
+
+// A change in the set of result sequences.
+struct SequenceEvent {
+  enum class Kind {
+    kOpened,    // A new sequence started at `sequence.lo` (== clip).
+    kExtended,  // The open sequence grew to include `clip`.
+    kClosed,    // The sequence [sequence.lo, sequence.hi] is final.
+  };
+  Kind kind = Kind::kOpened;
+  Interval sequence;
+  ClipIndex clip = 0;  // The clip whose processing triggered the event.
+};
+
+class StreamingSvaqd {
+ public:
+  using Callback = std::function<void(const SequenceEvent&)>;
+
+  // `layout` fixes the segmentation and the design horizon (its
+  // num_frames bounds the stream; push at most NumClips() clips).
+  StreamingSvaqd(QuerySpec query, VideoLayout layout, SvaqdOptions options,
+                 Callback callback);
+  ~StreamingSvaqd();
+
+  StreamingSvaqd(const StreamingSvaqd&) = delete;
+  StreamingSvaqd& operator=(const StreamingSvaqd&) = delete;
+
+  // Processes the next clip of the stream (clip indices advance
+  // implicitly). Returns the clip's query indicator. Must not be called
+  // after Finish() or past the layout's clip count.
+  bool PushClip(detect::ObjectDetector* detector,
+                detect::ActionRecognizer* recognizer);
+
+  // Ends the stream, closing any open sequence.
+  void Finish();
+
+  // Clips pushed so far; the next PushClip processes this index.
+  ClipIndex next_clip() const { return next_clip_; }
+  bool finished() const { return finished_; }
+  // All sequences closed so far (plus the open one only after Finish()).
+  const IntervalSet& sequences() const { return sequences_; }
+
+ private:
+  struct State;  // Per-predicate adaptive state (internal).
+
+  QuerySpec query_;
+  VideoLayout layout_;
+  SvaqdOptions options_;
+  Callback callback_;
+  std::unique_ptr<State> state_;
+  IntervalSet sequences_;
+  ClipIndex next_clip_ = 0;
+  ClipIndex open_start_ = -1;  // Start of the currently open run, or -1.
+  bool finished_ = false;
+};
+
+}  // namespace online
+}  // namespace vaq
+
+#endif  // VAQ_ONLINE_STREAMING_H_

@@ -1,0 +1,90 @@
+#include "online/svaq.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace online {
+
+scanstat::ScanConfig ObjectScanConfig(const VideoLayout& layout,
+                                      const SvaqOptions& options) {
+  scanstat::ScanConfig config;
+  config.window = layout.frames_per_clip();
+  config.horizon = options.horizon_frames > 0 ? options.horizon_frames
+                                              : layout.num_frames();
+  config.horizon = std::max(config.horizon, config.window);
+  config.alpha = options.alpha;
+  return config;
+}
+
+scanstat::ScanConfig ActionScanConfig(const VideoLayout& layout,
+                                      const SvaqOptions& options) {
+  scanstat::ScanConfig config;
+  config.window = layout.shots_per_clip();
+  const int64_t horizon_frames = options.horizon_frames > 0
+                                     ? options.horizon_frames
+                                     : layout.num_frames();
+  config.horizon =
+      std::max<int64_t>(horizon_frames / layout.frames_per_shot(),
+                        config.window);
+  config.alpha = options.alpha;
+  return config;
+}
+
+Svaq::Svaq(QuerySpec query, VideoLayout layout, SvaqOptions options)
+    : query_(std::move(query)),
+      layout_(layout),
+      options_(std::move(options)) {
+  if (!options_.p0_per_object.empty()) {
+    VAQ_CHECK_EQ(options_.p0_per_object.size(), query_.objects.size());
+  }
+}
+
+std::vector<int64_t> Svaq::InitialObjectCriticalValues() const {
+  const scanstat::ScanConfig config = ObjectScanConfig(layout_, options_);
+  std::vector<int64_t> kcrit(query_.objects.size());
+  for (size_t i = 0; i < query_.objects.size(); ++i) {
+    const double p0 = options_.p0_per_object.empty()
+                          ? options_.p0_object
+                          : options_.p0_per_object[i];
+    kcrit[i] = scanstat::CriticalValue(p0, config);
+  }
+  return kcrit;
+}
+
+int64_t Svaq::InitialActionCriticalValue() const {
+  if (!query_.has_action()) return 0;
+  return scanstat::CriticalValue(options_.p0_action,
+                                 ActionScanConfig(layout_, options_));
+}
+
+OnlineResult Svaq::Run(detect::ObjectDetector* detector,
+                       detect::ActionRecognizer* recognizer) const {
+  const auto start = std::chrono::steady_clock::now();
+  OnlineResult result;
+  result.kcrit_objects = InitialObjectCriticalValues();
+  result.kcrit_action = InitialActionCriticalValue();
+
+  ClipEvaluator evaluator(query_, layout_, detector, recognizer);
+  const int64_t num_clips = layout_.NumClips();
+  result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
+  for (ClipIndex c = 0; c < num_clips; ++c) {
+    const ClipEvaluation eval =
+        evaluator.Evaluate(c, result.kcrit_objects, result.kcrit_action,
+                           options_.short_circuit);
+    result.clip_indicator[static_cast<size_t>(c)] = eval.positive;
+    ++result.clips_processed;
+  }
+  result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
+  if (detector != nullptr) result.detector_stats = detector->stats();
+  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  result.algorithm_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace online
+}  // namespace vaq

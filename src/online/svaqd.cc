@@ -1,0 +1,118 @@
+#include "online/svaqd.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "online/predicate_state.h"
+#include "scanstat/critical_value.h"
+#include "scanstat/markov.h"
+
+namespace vaq {
+namespace online {
+
+using internal_online::PredicateState;
+
+Svaqd::Svaqd(QuerySpec query, VideoLayout layout, SvaqdOptions options)
+    : query_(std::move(query)),
+      layout_(layout),
+      options_(std::move(options)) {
+  if (!options_.base.p0_per_object.empty()) {
+    VAQ_CHECK_EQ(options_.base.p0_per_object.size(), query_.objects.size());
+  }
+}
+
+OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
+                        detect::ActionRecognizer* recognizer) const {
+  const auto start = std::chrono::steady_clock::now();
+  const SvaqOptions& base = options_.base;
+
+  // One estimator per object predicate plus one for the action.
+  std::vector<PredicateState> objects;
+  objects.reserve(query_.objects.size());
+  const scanstat::ScanConfig object_config = ObjectScanConfig(layout_, base);
+  for (size_t i = 0; i < query_.objects.size(); ++i) {
+    const double p0 =
+        base.p0_per_object.empty() ? base.p0_object : base.p0_per_object[i];
+    objects.emplace_back(options_.bandwidth_frames, p0,
+                         options_.prior_weight, object_config,
+                         options_.burst_aware);
+  }
+  std::unique_ptr<PredicateState> action;
+  if (query_.has_action()) {
+    action = std::make_unique<PredicateState>(
+        options_.bandwidth_shots, base.p0_action, options_.prior_weight,
+        ActionScanConfig(layout_, base), options_.burst_aware);
+  }
+
+  ClipEvaluator evaluator(query_, layout_, detector, recognizer);
+  OnlineResult result;
+  const int64_t num_clips = layout_.NumClips();
+  result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
+
+  for (ClipIndex c = 0; c < num_clips; ++c) {
+    std::vector<int64_t> kcrit_objects(objects.size());
+    for (size_t i = 0; i < objects.size(); ++i) {
+      kcrit_objects[i] = objects[i].kcrit;
+    }
+    const int64_t kcrit_action = action != nullptr ? action->kcrit : 0;
+    const bool probe =
+        options_.probe_period > 0 && c % options_.probe_period == 0;
+    const ClipEvaluation eval = evaluator.Evaluate(
+        c, kcrit_objects, kcrit_action,
+        base.short_circuit && !probe);
+    result.clip_indicator[static_cast<size_t>(c)] = eval.positive;
+    ++result.clips_processed;
+
+    // Feed the background estimators according to the update policy.
+    const bool clip_gate =
+        options_.update_policy == UpdatePolicy::kAllClips ||
+        options_.update_policy == UpdatePolicy::kSelfExcluding ||
+        (options_.update_policy == UpdatePolicy::kNegativeClipsOnly &&
+         !eval.positive) ||
+        (options_.update_policy == UpdatePolicy::kPositiveClipsOnly &&
+         eval.positive);
+    if (clip_gate) {
+      const bool self_excluding =
+          options_.update_policy == UpdatePolicy::kSelfExcluding;
+      for (size_t i = 0; i < objects.size(); ++i) {
+        if (!eval.ObjectEvaluated(i)) continue;
+        if (self_excluding &&
+            8 * eval.object_counts[i] >= eval.frames_in_clip) {
+          continue;  // Predicate plainly satisfied: not background.
+        }
+        objects[i].estimator.ObserveBatch(eval.frames_in_clip,
+                                          eval.object_counts[i]);
+        objects[i].ObserveCount(eval.object_counts[i], eval.frames_in_clip);
+        objects[i].MaybeRecompute(options_.recompute_rel_tol);
+      }
+      if (action != nullptr && eval.ActionEvaluated()) {
+        if (!(self_excluding &&
+              8 * eval.action_count >= eval.shots_in_clip)) {
+          action->estimator.ObserveBatch(eval.shots_in_clip,
+                                         eval.action_count);
+          action->ObserveCount(eval.action_count, eval.shots_in_clip);
+          action->MaybeRecompute(options_.recompute_rel_tol);
+        }
+      }
+    }
+  }
+
+  result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
+  result.kcrit_objects.resize(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    result.kcrit_objects[i] = objects[i].kcrit;
+  }
+  result.kcrit_action = action != nullptr ? action->kcrit : 0;
+  if (detector != nullptr) result.detector_stats = detector->stats();
+  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  result.algorithm_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace online
+}  // namespace vaq

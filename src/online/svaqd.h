@@ -1,0 +1,95 @@
+// Algorithm SVAQD (§3.3): SVAQ with dynamic background-probability
+// estimation.
+//
+// Each predicate carries an edge-corrected exponential-kernel rate
+// estimator (Eq. 6 / KernelRateEstimator). After each processed clip the
+// estimators ingest the clip's per-predicate positive-prediction counts,
+// and the critical values are re-derived from the current estimates
+// whenever they have drifted materially. This removes the dependence on
+// the initial background probability, adapts to sudden rate changes
+// (concept drift) and ignores gradual ones, as Figure 2 of the paper
+// demonstrates.
+#ifndef VAQ_ONLINE_SVAQD_H_
+#define VAQ_ONLINE_SVAQD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "online/svaq.h"
+#include "scanstat/kernel_estimator.h"
+
+namespace vaq {
+namespace online {
+
+// Which clips feed the background estimators.
+enum class UpdatePolicy {
+  // Per-predicate signal suppression (the robust default): a predicate's
+  // estimator ingests a clip only when that predicate's positive count is
+  // below an eighth of the clip's occurrence units. Clips where the predicate is
+  // plainly satisfied (count near the model's TPR) are excluded, so the
+  // estimator converges to the model's false-positive rate — the
+  // background probability Eq. 5 actually calls for — regardless of how
+  // much of the stream satisfies the predicate, and regardless of the
+  // initial p0 (a CFAR-style guard; see DESIGN.md).
+  kSelfExcluding,
+  // Only clips whose query indicator is 0 (current belief of background).
+  kNegativeClipsOnly,
+  // Every evaluated clip (the §3.3 text: smooth all observed events).
+  // Appropriate when query-positive segments are rare.
+  kAllClips,
+  // Only clips whose query indicator is 1 (the literal condition printed
+  // in Algorithm 3, line 7). Provided for fidelity and ablation.
+  kPositiveClipsOnly,
+};
+
+struct SvaqdOptions {
+  SvaqOptions base;
+  // Kernel bandwidth u for object predicates, in frames.
+  double bandwidth_frames = 12000;
+  // Kernel bandwidth u for the action predicate, in shots.
+  double bandwidth_shots = 600;
+  // Pseudo-observation weight of the initial probability (the prior washes
+  // out as real observations accumulate).
+  double prior_weight = 30;
+  // Critical values are re-derived when an estimate moves by more than
+  // this relative amount since they were last computed (0 = every clip).
+  double recompute_rel_tol = 0.02;
+  UpdatePolicy update_policy = UpdatePolicy::kSelfExcluding;
+  // Calibrate critical values for Markov-dependent (bursty) prediction
+  // noise instead of iid trials (§3.2 footnote 7). The burstiness is
+  // estimated online from the overdispersion of background clip counts:
+  // the design effect D = Var(count) / (w p (1-p)) of a two-state chain
+  // is (1+rho)/(1-rho), so rho = (D-1)/(D+1); critical values then come
+  // from scanstat::MarkovCriticalValue. Costs a little recall when noise
+  // is truly iid, buys back precision when detectors flicker in bursts
+  // (see bench_ablation_burst).
+  bool burst_aware = false;
+  // Every `probe_period`-th clip is evaluated without short-circuiting so
+  // that predicates late in the evaluation order still accumulate
+  // background observations (otherwise a predicate that is usually
+  // short-circuited away would starve its estimator and keep its initial
+  // p0 forever). Costs a bounded amount of extra inference; 0 disables
+  // probing.
+  int64_t probe_period = 8;
+};
+
+// SVAQD per Algorithm 3.
+class Svaqd {
+ public:
+  Svaqd(QuerySpec query, VideoLayout layout, SvaqdOptions options);
+
+  OnlineResult Run(detect::ObjectDetector* detector,
+                   detect::ActionRecognizer* recognizer) const;
+
+  const SvaqdOptions& options() const { return options_; }
+
+ private:
+  QuerySpec query_;
+  VideoLayout layout_;
+  SvaqdOptions options_;
+};
+
+}  // namespace online
+}  // namespace vaq
+
+#endif  // VAQ_ONLINE_SVAQD_H_

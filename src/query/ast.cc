@@ -1,0 +1,48 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace vaq {
+namespace query {
+
+bool QueryStatement::IsConjunctive() const {
+  int actions = 0;
+  for (const auto& clause : cnf_clauses) {
+    if (clause.size() != 1) return false;
+    if (clause[0].rfind("act:", 0) == 0) ++actions;
+  }
+  return actions <= 1;
+}
+
+std::string QueryStatement::ToString() const {
+  std::ostringstream os;
+  os << "Query{video=" << video;
+  if (!action.empty()) os << ", act=" << action;
+  if (!objects.empty()) {
+    os << ", obj=[";
+    for (size_t i = 0; i < objects.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << objects[i];
+    }
+    os << "]";
+  }
+  if (!IsConjunctive()) {
+    os << ", cnf=";
+    for (size_t c = 0; c < cnf_clauses.size(); ++c) {
+      if (c > 0) os << "&";
+      os << "(";
+      for (size_t l = 0; l < cnf_clauses[c].size(); ++l) {
+        if (l > 0) os << "|";
+        os << cnf_clauses[c][l];
+      }
+      os << ")";
+    }
+  }
+  if (ranked) os << ", ranked";
+  if (limit >= 0) os << ", limit=" << limit;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace query
+}  // namespace vaq

@@ -1,0 +1,44 @@
+// Tokenizer for the VAQ query language.
+#ifndef VAQ_QUERY_LEXER_H_
+#define VAQ_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaq {
+namespace query {
+
+enum class TokenKind {
+  kIdentifier,  // Bare word (keywords are identifiers; parser matches them
+                // case-insensitively).
+  kString,      // 'single-quoted literal'
+  kNumber,      // Integer literal.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kEquals,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // Identifier name / string contents / number digits.
+  int64_t number = 0; // Valid for kNumber.
+  size_t offset = 0;  // Byte offset in the input, for error messages.
+};
+
+// Splits `input` into tokens. Fails on unterminated strings or unexpected
+// characters, reporting the byte offset.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+// Case-insensitive keyword comparison helper.
+bool KeywordEquals(const std::string& text, const char* keyword);
+
+}  // namespace query
+}  // namespace vaq
+
+#endif  // VAQ_QUERY_LEXER_H_

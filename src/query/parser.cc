@@ -1,0 +1,284 @@
+#include "query/parser.h"
+
+#include <sstream>
+
+#include "query/lexer.h"
+
+namespace vaq {
+namespace query {
+namespace {
+
+// Token-stream cursor with Status-returning expectation helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<QueryStatement> ParseStatement() {
+    QueryStatement stmt;
+    VAQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    VAQ_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    VAQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    VAQ_RETURN_IF_ERROR(ParseSource(&stmt));
+    if (AtKeyword("WHERE")) {
+      Advance();
+      VAQ_RETURN_IF_ERROR(ParsePredicates(&stmt));
+    }
+    if (AtKeyword("ORDER")) {
+      Advance();
+      VAQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      VAQ_RETURN_IF_ERROR(ExpectKeyword("RANK"));
+      VAQ_RETURN_IF_ERROR(SkipParenGroup());
+      stmt.ranked = true;
+      VAQ_RETURN_IF_ERROR(ExpectKeyword("LIMIT"));
+      if (Current().kind != TokenKind::kNumber) {
+        return Error("expected a number after LIMIT");
+      }
+      stmt.limit = Current().number;
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    if (stmt.cnf_clauses.empty()) {
+      return Error("query has no predicates (WHERE clause required)");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool AtKeyword(const char* keyword) const {
+    return Current().kind == TokenKind::kIdentifier &&
+           KeywordEquals(Current().text, keyword);
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!AtKeyword(keyword)) {
+      return Error(std::string("expected keyword ") + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Current().kind != kind) {
+      return Error(std::string("expected ") + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << message << " at offset " << Current().offset << " (near '"
+       << Current().text << "')";
+    return Status::InvalidArgument(os.str());
+  }
+
+  // Skips a balanced parenthesized group, e.g. the argument list of
+  // RANK(act, obj).
+  Status SkipParenGroup() {
+    VAQ_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    int depth = 1;
+    while (depth > 0) {
+      if (Current().kind == TokenKind::kEnd) {
+        return Error("unterminated '('");
+      }
+      if (Current().kind == TokenKind::kLParen) ++depth;
+      if (Current().kind == TokenKind::kRParen) --depth;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(QueryStatement* stmt) {
+    for (;;) {
+      if (AtKeyword("MERGE")) {
+        Advance();
+        VAQ_RETURN_IF_ERROR(SkipParenGroup());
+        if (AtKeyword("AS")) {
+          Advance();
+          VAQ_RETURN_IF_ERROR(
+              Expect(TokenKind::kIdentifier, "alias after AS"));
+        }
+      } else if (AtKeyword("RANK")) {
+        Advance();
+        VAQ_RETURN_IF_ERROR(SkipParenGroup());
+        stmt->ranked = true;
+      } else if (Current().kind == TokenKind::kIdentifier ||
+                 Current().kind == TokenKind::kStar) {
+        Advance();  // Plain projection item, e.g. frameSequence.
+      } else {
+        return Error("expected a select item");
+      }
+      if (Current().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseSource(QueryStatement* stmt) {
+    if (Current().kind == TokenKind::kIdentifier) {
+      stmt->video = Current().text;
+      Advance();
+      return Status::OK();
+    }
+    VAQ_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' or video name"));
+    VAQ_RETURN_IF_ERROR(ExpectKeyword("PROCESS"));
+    if (Current().kind != TokenKind::kIdentifier &&
+        Current().kind != TokenKind::kString) {
+      return Error("expected video name after PROCESS");
+    }
+    stmt->video = Current().text;
+    Advance();
+    VAQ_RETURN_IF_ERROR(ExpectKeyword("PRODUCE"));
+    // produce_item (, produce_item)*
+    for (;;) {
+      VAQ_RETURN_IF_ERROR(
+          Expect(TokenKind::kIdentifier, "produced column name"));
+      if (AtKeyword("USING")) {
+        Advance();
+        if (Current().kind != TokenKind::kIdentifier) {
+          return Error("expected model name after USING");
+        }
+        stmt->models.push_back(Current().text);
+        Advance();
+      }
+      if (Current().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kRParen, "')'");
+  }
+
+  // One atomic predicate: act='x' or obj='x'. Appends its literal(s) to
+  // `clause`. `allow_include` permits obj.include('a','b'), which expands
+  // to several literals (a conjunction — only legal outside OR groups,
+  // where it contributes one singleton clause per object).
+  Status ParseAtom(std::vector<std::string>* clause, bool allow_include) {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Error("expected predicate");
+    }
+    const std::string head = Current().text;
+    Advance();
+    if (Current().kind == TokenKind::kEquals) {
+      Advance();
+      if (Current().kind != TokenKind::kString) {
+        return Error("expected quoted value after '='");
+      }
+      if (KeywordEquals(head, "act") || KeywordEquals(head, "action")) {
+        clause->push_back("act:" + Current().text);
+      } else if (KeywordEquals(head, "obj") ||
+                 KeywordEquals(head, "object")) {
+        clause->push_back("obj:" + Current().text);
+      } else {
+        return Error("only act='...' and obj='...' predicates are "
+                     "supported");
+      }
+      Advance();
+      return Status::OK();
+    }
+    if (Current().kind == TokenKind::kDot) {
+      Advance();
+      if (Current().kind != TokenKind::kIdentifier ||
+          (!KeywordEquals(Current().text, "include") &&
+           !KeywordEquals(Current().text, "inc"))) {
+        return Error("expected include(...) after '.'");
+      }
+      if (!KeywordEquals(head, "obj") && !KeywordEquals(head, "objects")) {
+        return Error("only obj.include(...) predicates are supported");
+      }
+      if (!allow_include) {
+        return Error("obj.include(...) is a conjunction and cannot appear "
+                     "inside an OR group; use obj='...'");
+      }
+      Advance();
+      VAQ_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      for (;;) {
+        if (Current().kind != TokenKind::kString) {
+          return Error("expected quoted object name");
+        }
+        clause->push_back("obj:" + Current().text);
+        Advance();
+        if (Current().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      return Expect(TokenKind::kRParen, "')'");
+    }
+    return Error("malformed predicate");
+  }
+
+  // predicates := clause (AND clause)*
+  // clause     := atom | '(' atom (OR atom)* ')'
+  // Outside parentheses, obj.include('a','b') expands to one singleton
+  // clause per object (a conjunction, as in the paper's core form);
+  // inside parentheses each atom is one literal of the disjunction
+  // (footnote 4's CNF).
+  Status ParsePredicates(QueryStatement* stmt) {
+    for (;;) {
+      if (Current().kind == TokenKind::kLParen) {
+        Advance();
+        std::vector<std::string> clause;
+        VAQ_RETURN_IF_ERROR(ParseAtom(&clause, /*allow_include=*/false));
+        while (AtKeyword("OR")) {
+          Advance();
+          VAQ_RETURN_IF_ERROR(ParseAtom(&clause, /*allow_include=*/false));
+        }
+        VAQ_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        stmt->cnf_clauses.push_back(std::move(clause));
+      } else {
+        std::vector<std::string> literals;
+        VAQ_RETURN_IF_ERROR(ParseAtom(&literals, /*allow_include=*/true));
+        // A bare conjunction: each literal is its own clause.
+        for (std::string& literal : literals) {
+          stmt->cnf_clauses.push_back({std::move(literal)});
+        }
+      }
+      if (AtKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // Derive the conjunctive convenience fields.
+    if (stmt->IsConjunctive()) {
+      for (const auto& clause : stmt->cnf_clauses) {
+        const std::string& literal = clause[0];
+        if (literal.rfind("act:", 0) == 0) {
+          if (!stmt->action.empty()) {
+            return Error("duplicate action predicate");
+          }
+          stmt->action = literal.substr(4);
+        } else {
+          stmt->objects.push_back(literal.substr(4));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QueryStatement> Parse(const std::string& sql) {
+  VAQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace query
+}  // namespace vaq

@@ -1,0 +1,20 @@
+// Recursive-descent parser for the VAQ query language (grammar in ast.h).
+#ifndef VAQ_QUERY_PARSER_H_
+#define VAQ_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace vaq {
+namespace query {
+
+// Parses one statement. Returns InvalidArgument with a position-annotated
+// message on syntax errors.
+StatusOr<QueryStatement> Parse(const std::string& sql);
+
+}  // namespace query
+}  // namespace vaq
+
+#endif  // VAQ_QUERY_PARSER_H_

@@ -1,0 +1,157 @@
+#include "query/session.h"
+
+#include "offline/repository.h"
+#include "online/cnf_engine.h"
+#include "video/cnf_query.h"
+
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace vaq {
+namespace query {
+namespace {
+
+// Binds a CNF statement to an ingested video by type names.
+StatusOr<offline::QueryTables> BindCnfByName(
+    const storage::VideoIndex& index,
+    const std::vector<std::vector<std::string>>& clauses) {
+  // Build a temporary vocabulary mirroring the index's type ids so
+  // CnfQuery name resolution and BindCnf agree.
+  Vocabulary vocab;
+  for (const storage::TypeIndex& t : index.objects) {
+    vocab.AddObjectType(t.type_name);
+  }
+  for (const storage::TypeIndex& t : index.actions) {
+    vocab.AddActionType(t.type_name);
+  }
+  VAQ_ASSIGN_OR_RETURN(CnfQuery query, CnfQuery::FromNames(vocab, clauses));
+  // The temporary vocabulary assigned dense ids in index order, which is
+  // exactly how VideoIndex stores them when ingested from a Vocabulary —
+  // but be safe and remap via names.
+  for (Clause& clause : query.clauses) {
+    for (Literal& literal : clause.literals) {
+      if (literal.kind == Literal::Kind::kObject) {
+        const storage::TypeIndex* entry =
+            index.FindObjectByName(vocab.ObjectTypeName(literal.type));
+        VAQ_CHECK(entry != nullptr);
+        literal.type = entry->type_id;
+      } else {
+        const storage::TypeIndex* entry =
+            index.FindActionByName(vocab.ActionTypeName(literal.type));
+        VAQ_CHECK(entry != nullptr);
+        literal.type = entry->type_id;
+      }
+    }
+  }
+  // BindCnf only consults the index (vocab is for error text).
+  return offline::QueryTables::BindCnf(index, query, vocab);
+}
+
+// Chooses the model stack from USING names; defaults to MaskRCNN + I3D.
+detect::ModelBundle MakeModels(const std::vector<std::string>& names,
+                               const synth::GroundTruth& truth,
+                               uint64_t seed) {
+  for (const std::string& name : names) {
+    if (KeywordEquals(name, "YOLOv3") || KeywordEquals(name, "yolo")) {
+      return detect::ModelBundle::YoloI3d(truth, seed);
+    }
+    if (KeywordEquals(name, "Ideal") || KeywordEquals(name, "IdealModel")) {
+      return detect::ModelBundle::Ideal(truth, seed);
+    }
+  }
+  return detect::ModelBundle::MaskRcnnI3d(truth, seed);
+}
+
+}  // namespace
+
+void Session::RegisterStream(const std::string& name,
+                             synth::Scenario scenario, uint64_t model_seed,
+                             online::SvaqdOptions svaqd_options) {
+  streams_.insert_or_assign(
+      name, StreamSource{std::move(scenario), model_seed,
+                         std::move(svaqd_options)});
+}
+
+void Session::RegisterRepository(const std::string& name,
+                                 storage::VideoIndex index) {
+  repositories_.insert_or_assign(name, std::move(index));
+}
+
+StatusOr<QueryResult> Session::Execute(const std::string& sql) {
+  VAQ_ASSIGN_OR_RETURN(QueryStatement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
+  const bool offline_query = stmt.ranked || stmt.limit >= 0;
+  QueryResult result;
+  if (offline_query) {
+    auto it = repositories_.find(stmt.video);
+    if (it == repositories_.end()) {
+      return Status::NotFound("no repository video named '" + stmt.video +
+                              "'");
+    }
+    offline::QueryTables tables;
+    const offline::ScoringModel* scoring = &scoring_;
+    if (stmt.IsConjunctive()) {
+      VAQ_ASSIGN_OR_RETURN(
+          tables,
+          offline::BindByName(it->second, stmt.action, stmt.objects));
+    } else {
+      VAQ_ASSIGN_OR_RETURN(tables,
+                           BindCnfByName(it->second, stmt.cnf_clauses));
+      scoring = &cnf_scoring_;
+    }
+    offline::RvaqOptions options;
+    options.k = stmt.limit > 0 ? stmt.limit : 5;
+    offline::Rvaq rvaq(&tables, scoring, options);
+    offline::TopKResult topk = rvaq.Run();
+    result.online = false;
+    result.ranked = std::move(topk.top);
+    result.accesses = topk.accesses;
+    IntervalSet merged;
+    for (const offline::RankedSequence& seq : result.ranked) {
+      merged.Add(seq.clips);
+    }
+    result.sequences = std::move(merged);
+    return result;
+  }
+
+  auto it = streams_.find(stmt.video);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + stmt.video + "'");
+  }
+  const StreamSource& source = it->second;
+  detect::ModelBundle models =
+      MakeModels(stmt.models, source.scenario.truth(), source.model_seed);
+  result.online = true;
+  if (stmt.IsConjunctive()) {
+    VAQ_ASSIGN_OR_RETURN(
+        QuerySpec spec,
+        QuerySpec::FromNames(source.scenario.vocab(), stmt.action,
+                             stmt.objects));
+    online::Svaqd engine(spec, source.scenario.layout(), source.options);
+    online::OnlineResult online_result =
+        engine.Run(models.detector.get(), models.recognizer.get());
+    result.sequences = std::move(online_result.sequences);
+    result.detector_stats = online_result.detector_stats;
+    result.recognizer_stats = online_result.recognizer_stats;
+    return result;
+  }
+  // General CNF statement (footnotes 3-4): the disjunction-aware engine.
+  VAQ_ASSIGN_OR_RETURN(
+      CnfQuery cnf,
+      CnfQuery::FromNames(source.scenario.vocab(), stmt.cnf_clauses));
+  online::CnfEngineOptions cnf_options;
+  cnf_options.svaqd = source.options;
+  online::CnfEngine engine(cnf, source.scenario.layout(), cnf_options);
+  online::CnfResult cnf_result =
+      engine.Run(models.detector.get(), models.recognizer.get());
+  result.sequences = std::move(cnf_result.sequences);
+  result.detector_stats = cnf_result.detector_stats;
+  result.recognizer_stats = cnf_result.recognizer_stats;
+  return result;
+}
+
+}  // namespace query
+}  // namespace vaq

@@ -1,0 +1,80 @@
+// Query execution session.
+//
+// A `Session` maps the video names appearing in FROM clauses to actual
+// data sources:
+//
+//   * a *stream* — a video processed online with SVAQD (no ORDER BY);
+//   * a *repository video* — an ingested storage::VideoIndex queried with
+//     RVAQ (ORDER BY RANK ... LIMIT K).
+//
+// `Execute` parses a statement, resolves the source, dispatches to the
+// right engine and returns a uniform result.
+#ifndef VAQ_QUERY_SESSION_H_
+#define VAQ_QUERY_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/models.h"
+#include "offline/rvaq.h"
+#include "online/svaqd.h"
+#include "query/ast.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace query {
+
+// Uniform result of a statement.
+struct QueryResult {
+  bool online = false;
+  // Online: the merged result sequences (clip granularity).
+  IntervalSet sequences;
+  // Offline: the top-K ranked sequences.
+  std::vector<offline::RankedSequence> ranked;
+  // Offline: access accounting of the run.
+  storage::AccessCounter accesses;
+  // Online: model invocation stats.
+  detect::ModelStats detector_stats;
+  detect::ModelStats recognizer_stats;
+};
+
+class Session {
+ public:
+  Session() = default;
+
+  // Registers a streaming source: the scenario's video processed by a
+  // fresh model bundle per query. `svaqd_options` configures the engine.
+  void RegisterStream(const std::string& name, synth::Scenario scenario,
+                      uint64_t model_seed = 1,
+                      online::SvaqdOptions svaqd_options = {});
+
+  // Registers an ingested repository video.
+  void RegisterRepository(const std::string& name,
+                          storage::VideoIndex index);
+
+  // Parses and runs one statement.
+  StatusOr<QueryResult> Execute(const std::string& sql);
+
+  // Runs an already-parsed statement.
+  StatusOr<QueryResult> Execute(const QueryStatement& stmt);
+
+ private:
+  struct StreamSource {
+    synth::Scenario scenario;
+    uint64_t model_seed;
+    online::SvaqdOptions options;
+  };
+
+  std::map<std::string, StreamSource> streams_;
+  std::map<std::string, storage::VideoIndex> repositories_;
+  offline::PaperScoring scoring_;
+  offline::CnfScoring cnf_scoring_;
+};
+
+}  // namespace query
+}  // namespace vaq
+
+#endif  // VAQ_QUERY_SESSION_H_

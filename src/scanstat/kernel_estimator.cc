@@ -1,0 +1,81 @@
+#include "scanstat/kernel_estimator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace vaq {
+namespace scanstat {
+
+KernelRateEstimator::KernelRateEstimator(double bandwidth_u, double prior_p,
+                                         double prior_weight)
+    : bandwidth_u_(bandwidth_u),
+      prior_p_(ClampProbability(prior_p)),
+      prior_weight_(prior_weight),
+      decay_(std::exp(-1.0 / bandwidth_u)) {
+  VAQ_CHECK_GT(bandwidth_u, 0.0);
+  VAQ_CHECK_GE(prior_weight, 0.0);
+  // The prior enters as pseudo-observations *before* the stream: it decays
+  // away under the kernel exactly like real data, so wildly wrong initial
+  // probabilities are forgotten (§3.3's requirement that SVAQD eliminate
+  // the influence of p0).
+  total_weight_ = prior_weight_;
+  event_weight_ = prior_weight_ * prior_p_;
+}
+
+void KernelRateEstimator::Observe(bool event) {
+  event_weight_ = event_weight_ * decay_ + (event ? 1.0 : 0.0);
+  total_weight_ = total_weight_ * decay_ + 1.0;
+  ++num_observed_;
+}
+
+void KernelRateEstimator::ObserveBatch(int64_t count, int64_t events) {
+  VAQ_CHECK_GE(count, 0);
+  VAQ_CHECK_GE(events, 0);
+  VAQ_CHECK_LE(events, count);
+  if (count == 0) return;
+  // decay^count and the geometric mass of `count` unit weights.
+  const double batch_decay =
+      std::exp(-static_cast<double>(count) / bandwidth_u_);
+  const double batch_mass = (1.0 - batch_decay) / (1.0 - decay_);
+  total_weight_ = total_weight_ * batch_decay + batch_mass;
+  // Events assumed uniformly spread within the batch: each carries the
+  // batch's average per-OU kernel weight.
+  event_weight_ = event_weight_ * batch_decay +
+                  static_cast<double>(events) * batch_mass /
+                      static_cast<double>(count);
+  num_observed_ += count;
+}
+
+double KernelRateEstimator::rate() const {
+  if (total_weight_ <= 0.0) return prior_p_;
+  return ClampProbability(event_weight_ / total_weight_);
+}
+
+Eq6Reference::Eq6Reference(double bandwidth_u) : bandwidth_u_(bandwidth_u) {
+  VAQ_CHECK_GT(bandwidth_u, 0.0);
+}
+
+void Eq6Reference::OnEventAfter(int64_t delta_t) {
+  VAQ_CHECK_GT(delta_t, 0);
+  const double u = bandwidth_u_;
+  const double t = static_cast<double>(t_);
+  const double dt = static_cast<double>(delta_t);
+  // First term of Eq. 6, rearranged to avoid exp(dt/u) overflow:
+  //   (1 - e^{-t/u}) / (e^{dt/u} - e^{-t/u})
+  // = (1 - e^{-t/u}) e^{-dt/u} / (1 - e^{-(t+dt)/u}).
+  const double decay_num = 1.0 - std::exp(-t / u);
+  const double decay_den = 1.0 - std::exp(-(t + dt) / u);
+  double p = 0.0;
+  if (decay_den > 0.0) {
+    p = p_hat_ * decay_num * std::exp(-dt / u) / decay_den;
+    // Second term: the new event's kernel mass with edge correction.
+    p += (1.0 - std::exp(-1.0 / u)) / (u * decay_den);
+  }
+  p_hat_ = p;
+  t_ += delta_t;
+}
+
+}  // namespace scanstat
+}  // namespace vaq

@@ -1,0 +1,76 @@
+// Scan statistics on Markov-dependent Bernoulli trials.
+//
+// §3.2's analysis assumes iid trials, with a footnote (7) noting that the
+// entire machinery extends to trials with known Markov dependencies —
+// exactly the regime real detectors live in, where errors flicker in
+// bursts. This module supplies that extension for a two-state chain
+//
+//   P(X_t = 1 | X_{t-1} = 0) = p01,   P(X_t = 1 | X_{t-1} = 1) = p11,
+//
+// whose stationary success probability is π = p01 / (p01 + 1 - p11) and
+// lag-1 autocorrelation ρ = p11 - p01 (ρ > 0: bursty errors; ρ = 0: iid).
+//
+//  * Exact tail probabilities by dynamic programming over the window
+//    bit-state (any n, window ≤ 20).
+//  * A product-type approximation in the spirit of the paper's Naus
+//    formula: Q2 = P(S_w(2w) < k) and Q3 = P(S_w(3w) < k) computed
+//    *exactly* by the DP, extrapolated as 1 - Q2 (Q3/Q2)^(L-2). For
+//    windows too wide for the DP, a Gaussian window-count approximation
+//    with the Markov variance inflation (1+ρ)/(1-ρ) is used; it omits
+//    declumping and therefore errs on the conservative (higher-k) side.
+//  * A critical-value solver mirroring Eq. 5.
+//
+// SVAQD's burst-aware mode estimates ρ online from the overdispersion of
+// background clip counts and calibrates its critical values here instead
+// of the iid formulas.
+#ifndef VAQ_SCANSTAT_MARKOV_H_
+#define VAQ_SCANSTAT_MARKOV_H_
+
+#include <cstdint>
+
+#include "scanstat/critical_value.h"
+
+namespace vaq {
+namespace scanstat {
+
+// Two-state Markov chain over {0, 1} outcomes.
+struct MarkovParams {
+  double p01 = 0.0;  // 0 -> 1 transition probability.
+  double p11 = 0.0;  // 1 -> 1 transition probability.
+
+  // Long-run fraction of successes.
+  double Stationary() const;
+  // Lag-1 autocorrelation, p11 - p01 (0 for iid).
+  double Rho() const;
+  // Chain with the given stationary probability and autocorrelation;
+  // rho is clamped so both transition probabilities stay in [0, 1].
+  static MarkovParams FromStationaryAndRho(double pi, double rho);
+  // The iid chain with success probability p.
+  static MarkovParams Iid(double p);
+};
+
+// Exact P(S_w(n) >= k) for the chain, O(n * 2^w); requires 1 <= w <= 20.
+// The first trial is drawn from the stationary distribution.
+double ExactMarkovScanTailDp(int64_t k, const MarkovParams& params,
+                             int64_t w, int64_t n);
+
+// Approximate P(S_w(N) >= k) for N = L * w trials. Windows up to 16 use
+// the exact-Q2/Q3 product extrapolation; wider windows use the Gaussian
+// approximation (conservative).
+double MarkovScanTailProbability(int64_t k, const MarkovParams& params,
+                                 int64_t w, double L);
+
+// Monte-Carlo reference, deterministic in `seed`.
+double MonteCarloMarkovScanTail(int64_t k, const MarkovParams& params,
+                                int64_t w, int64_t n, int64_t trials,
+                                uint64_t seed);
+
+// Smallest k in [1, window] with MarkovScanTailProbability <= alpha;
+// window + 1 when none (the Eq. 5 solver for dependent trials).
+int64_t MarkovCriticalValue(const MarkovParams& params,
+                            const ScanConfig& config);
+
+}  // namespace scanstat
+}  // namespace vaq
+
+#endif  // VAQ_SCANSTAT_MARKOV_H_

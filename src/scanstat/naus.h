@@ -1,0 +1,48 @@
+// Naus' approximation for the distribution of the discrete scan statistic.
+//
+// Setting (§3.2 of the paper): N Bernoulli(p) trials ("occurrence units");
+// S_w(N) is the maximum number of successes in any window of w consecutive
+// trials. The paper relies on Naus (1982) [35]:
+//
+//   P(S_w(N) >= k | p, w, L) ≈ 1 - Q2 * (Q3 / Q2)^(L-2),   L = N / w,
+//
+// where Q2 = P(S_w(2w) < k) and Q3 = P(S_w(3w) < k) are computed *exactly*
+// via Naus' closed forms in terms of binomial pmf/cdf values. This module
+// implements those closed forms, the approximation, and exact/Monte-Carlo
+// reference computations used to validate them in tests.
+#ifndef VAQ_SCANSTAT_NAUS_H_
+#define VAQ_SCANSTAT_NAUS_H_
+
+#include <cstdint>
+
+namespace vaq {
+namespace scanstat {
+
+// Exact P(S_w(2w) < k) for iid Bernoulli(p) trials (Naus 1982).
+// Requires w >= 1, 0 <= p <= 1. Defined for k >= 1; returns 0 for k <= 0.
+double NausQ2(int64_t k, int64_t w, double p);
+
+// Exact P(S_w(3w) < k) for iid Bernoulli(p) trials (Naus 1982).
+double NausQ3(int64_t k, int64_t w, double p);
+
+// Approximate P(S_w(N) >= k) for N = L * w trials (L may be fractional and
+// is clamped to >= 2). Exact in the special cases k <= 0 (-> 1), k > w
+// (-> 0; a window of w trials cannot hold more than w successes), k == 1
+// (-> 1 - (1-p)^N exactly), p == 0 (-> 0) and p == 1 (-> 1 for k <= w).
+double ScanStatisticTailProbability(int64_t k, double p, int64_t w, double L);
+
+// Exact P(S_w(N) >= k) by dynamic programming over the window bit-state.
+// O(N * 2^w) time; requires 1 <= w <= 20. Reference implementation for
+// tests and small problems.
+double ExactScanTailProbabilityDp(int64_t k, double p, int64_t w, int64_t n);
+
+// Monte-Carlo estimate of P(S_w(N) >= k) using `trials` simulated
+// sequences; deterministic given `seed`.
+double MonteCarloScanTailProbability(int64_t k, double p, int64_t w,
+                                     int64_t n, int64_t trials,
+                                     uint64_t seed);
+
+}  // namespace scanstat
+}  // namespace vaq
+
+#endif  // VAQ_SCANSTAT_NAUS_H_

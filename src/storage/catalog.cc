@@ -1,0 +1,192 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace vaq {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kIndexMagic = 0x5641515f49445831ULL;  // "VAQ_IDX1"
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  const uint64_t n = s.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n > (1u << 20)) return false;
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+void WriteIntervalSet(std::ofstream& out, const IntervalSet& set) {
+  const uint64_t n = set.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Interval& iv : set.intervals()) {
+    out.write(reinterpret_cast<const char*>(&iv.lo), sizeof(iv.lo));
+    out.write(reinterpret_cast<const char*>(&iv.hi), sizeof(iv.hi));
+  }
+}
+
+bool ReadIntervalSet(std::ifstream& in, IntervalSet* set) {
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  std::vector<Interval> intervals(n);
+  for (Interval& iv : intervals) {
+    in.read(reinterpret_cast<char*>(&iv.lo), sizeof(iv.lo));
+    in.read(reinterpret_cast<char*>(&iv.hi), sizeof(iv.hi));
+  }
+  if (!in) return false;
+  *set = IntervalSet::FromIntervals(std::move(intervals));
+  return true;
+}
+
+std::string TableFileName(bool is_action, int32_t type_id) {
+  return (is_action ? "act_" : "obj_") + std::to_string(type_id) + ".tbl";
+}
+
+}  // namespace
+
+const TypeIndex* VideoIndex::FindObject(int32_t type_id) const {
+  for (const TypeIndex& t : objects) {
+    if (t.type_id == type_id) return &t;
+  }
+  return nullptr;
+}
+
+const TypeIndex* VideoIndex::FindAction(int32_t type_id) const {
+  for (const TypeIndex& t : actions) {
+    if (t.type_id == type_id) return &t;
+  }
+  return nullptr;
+}
+
+const TypeIndex* VideoIndex::FindObjectByName(const std::string& name) const {
+  for (const TypeIndex& t : objects) {
+    if (t.type_name == name) return &t;
+  }
+  return nullptr;
+}
+
+const TypeIndex* VideoIndex::FindActionByName(const std::string& name) const {
+  for (const TypeIndex& t : actions) {
+    if (t.type_name == name) return &t;
+  }
+  return nullptr;
+}
+
+AccessCounter VideoIndex::TotalAccesses() const {
+  AccessCounter total;
+  for (const TypeIndex& t : objects) total += t.table.counter();
+  for (const TypeIndex& t : actions) total += t.table.counter();
+  return total;
+}
+
+void VideoIndex::ResetAccessCounters() const {
+  for (const TypeIndex& t : objects) t.table.ResetCounter();
+  for (const TypeIndex& t : actions) t.table.ResetCounter();
+}
+
+Catalog::Catalog(std::string root) : root_(std::move(root)) {}
+
+Status Catalog::Save(const std::string& name, const VideoIndex& index) const {
+  std::error_code ec;
+  const fs::path dir = fs::path(root_) / name;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir.string());
+
+  std::ofstream out(dir / "index.bin", std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write index.bin in " + dir.string());
+  const uint64_t magic = kIndexMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&index.video_id),
+            sizeof(index.video_id));
+  out.write(reinterpret_cast<const char*>(&index.num_clips),
+            sizeof(index.num_clips));
+  for (const bool is_action : {false, true}) {
+    const auto& types = is_action ? index.actions : index.objects;
+    const uint64_t n = types.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const TypeIndex& t : types) {
+      out.write(reinterpret_cast<const char*>(&t.type_id), sizeof(t.type_id));
+      WriteString(out, t.type_name);
+      WriteIntervalSet(out, t.sequences);
+      VAQ_RETURN_IF_ERROR(
+          t.table.WriteTo((dir / TableFileName(is_action, t.type_id))
+                              .string()));
+    }
+  }
+  if (!out) return Status::IoError("short write of index.bin");
+  return Status::OK();
+}
+
+StatusOr<VideoIndex> Catalog::Load(const std::string& name) const {
+  const fs::path dir = fs::path(root_) / name;
+  std::ifstream in(dir / "index.bin", std::ios::binary);
+  if (!in) return Status::NotFound("no index.bin in " + dir.string());
+  uint64_t magic = 0;
+  VideoIndex index;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&index.video_id), sizeof(index.video_id));
+  in.read(reinterpret_cast<char*>(&index.num_clips), sizeof(index.num_clips));
+  if (!in || magic != kIndexMagic) {
+    return Status::Corruption("bad index header in " + dir.string());
+  }
+  for (const bool is_action : {false, true}) {
+    auto& types = is_action ? index.actions : index.objects;
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in) return Status::Corruption("truncated index in " + dir.string());
+    types.resize(n);
+    for (TypeIndex& t : types) {
+      in.read(reinterpret_cast<char*>(&t.type_id), sizeof(t.type_id));
+      if (!ReadString(in, &t.type_name) ||
+          !ReadIntervalSet(in, &t.sequences)) {
+        return Status::Corruption("truncated index in " + dir.string());
+      }
+      VAQ_ASSIGN_OR_RETURN(
+          t.table, ScoreTable::ReadFrom(
+                       (dir / TableFileName(is_action, t.type_id)).string()));
+    }
+  }
+  return index;
+}
+
+Status Catalog::Delete(const std::string& name) const {
+  const fs::path dir = fs::path(root_) / name;
+  if (!fs::exists(dir / "index.bin")) {
+    return Status::NotFound("no ingested video named '" + name + "'");
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (ec) return Status::IoError("cannot delete " + dir.string());
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return fs::exists(fs::path(root_) / name / "index.bin");
+}
+
+std::vector<std::string> Catalog::ListVideos() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "index.bin")) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace storage
+}  // namespace vaq

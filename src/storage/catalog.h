@@ -1,0 +1,73 @@
+// Persistent video repository metadata.
+//
+// The ingestion phase (§4.2) runs once per video and materializes, for
+// every object and action type the deployed models support: (a) the clip
+// score table and (b) the type's individual sequences P_{o_i} / P_{a_j}.
+// `VideoIndex` is the in-memory form; `Catalog` persists indexes under a
+// root directory, one subdirectory per video, so that ad-hoc queries at any
+// later time never re-run model inference.
+#ifndef VAQ_STORAGE_CATALOG_H_
+#define VAQ_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "storage/score_table.h"
+
+namespace vaq {
+namespace storage {
+
+// Ingested metadata of one type (object or action) in one video.
+struct TypeIndex {
+  int32_t type_id = -1;
+  std::string type_name;
+  ScoreTable table;
+  // Individual sequences: maximal runs of clips where the type's indicator
+  // fired (§4.2), at clip granularity.
+  IntervalSet sequences;
+};
+
+// All ingested metadata of one video.
+struct VideoIndex {
+  int64_t video_id = 0;
+  int64_t num_clips = 0;
+  std::vector<TypeIndex> objects;
+  std::vector<TypeIndex> actions;
+
+  const TypeIndex* FindObject(int32_t type_id) const;
+  const TypeIndex* FindAction(int32_t type_id) const;
+  const TypeIndex* FindObjectByName(const std::string& name) const;
+  const TypeIndex* FindActionByName(const std::string& name) const;
+
+  // Sum of access counters across all tables.
+  AccessCounter TotalAccesses() const;
+  void ResetAccessCounters() const;
+};
+
+// A directory of persisted VideoIndexes keyed by name.
+class Catalog {
+ public:
+  // `root` is created on first Save if missing.
+  explicit Catalog(std::string root);
+
+  Status Save(const std::string& name, const VideoIndex& index) const;
+  StatusOr<VideoIndex> Load(const std::string& name) const;
+  // Removes a video and its table files (§4.2: videos can be added or
+  // deleted from the repository by manipulating the per-video metadata).
+  Status Delete(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListVideos() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace storage
+}  // namespace vaq
+
+#endif  // VAQ_STORAGE_CATALOG_H_

@@ -1,0 +1,196 @@
+#include "storage/paged_table.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace storage {
+namespace {
+
+constexpr uint64_t kPagedMagic = 0x5641515f50474431ULL;  // "VAQ_PGD1"
+constexpr int64_t kHeaderBytes = 4096;
+constexpr int64_t kRowBytes =
+    static_cast<int64_t>(sizeof(int64_t) + sizeof(double));
+
+// Layout: [header page][num_rows sorted rows][num_rows by-clip doubles].
+int64_t SortedRowOffset(int64_t rank) {
+  return kHeaderBytes + rank * kRowBytes;
+}
+int64_t ByClipOffset(int64_t num_rows, ClipIndex cid) {
+  return kHeaderBytes + num_rows * kRowBytes +
+         cid * static_cast<int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+PageCache::PageCache(int64_t capacity_pages, int64_t page_size)
+    : capacity_pages_(capacity_pages), page_size_(page_size) {
+  VAQ_CHECK_GT(capacity_pages, 0);
+  VAQ_CHECK_GT(page_size, 0);
+}
+
+StatusOr<const std::vector<char>*> PageCache::Get(int fd,
+                                                  int64_t page_index) {
+  const Key key{fd, page_index};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+    return &lru_.front().bytes;
+  }
+  ++fetches_;
+  Entry entry;
+  entry.key = key;
+  entry.bytes.assign(static_cast<size_t>(page_size_), 0);
+  const ssize_t got = ::pread(fd, entry.bytes.data(),
+                              static_cast<size_t>(page_size_),
+                              page_index * page_size_);
+  if (got < 0) {
+    return Status::IoError("pread failed for page " +
+                           std::to_string(page_index));
+  }
+  // Short reads at EOF leave the tail zeroed; offsets are validated by
+  // the table layer, so this only happens for the final partial page.
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  if (static_cast<int64_t>(lru_.size()) > capacity_pages_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return &lru_.front().bytes;
+}
+
+void PageCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+Status WritePagedTable(const ScoreTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Header page.
+  std::vector<char> header(static_cast<size_t>(kHeaderBytes), 0);
+  const uint64_t magic = kPagedMagic;
+  const int64_t num_rows = table.num_rows();
+  std::memcpy(header.data(), &magic, sizeof(magic));
+  std::memcpy(header.data() + sizeof(magic), &num_rows, sizeof(num_rows));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  // Sorted rows (score order).
+  for (int64_t rank = 0; rank < num_rows; ++rank) {
+    const ScoreRow row = table.SortedRow(rank);
+    out.write(reinterpret_cast<const char*>(&row.clip), sizeof(row.clip));
+    out.write(reinterpret_cast<const char*>(&row.score), sizeof(row.score));
+  }
+  // By-clip projection.
+  for (ClipIndex cid = 0; cid < num_rows; ++cid) {
+    const double score = table.PeekScore(cid);
+    out.write(reinterpret_cast<const char*>(&score), sizeof(score));
+  }
+  table.ResetCounter();  // The export scan is not part of any query.
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+PagedScoreTable::PagedScoreTable(int fd, int64_t num_rows, PageCache* cache)
+    : fd_(fd), num_rows_(num_rows), cache_(cache) {}
+
+PagedScoreTable::~PagedScoreTable() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<PagedScoreTable>> PagedScoreTable::Open(
+    const std::string& path, PageCache* cache) {
+  VAQ_CHECK(cache != nullptr);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open: " + path);
+  char header[16];
+  if (::pread(fd, header, sizeof(header), 0) !=
+      static_cast<ssize_t>(sizeof(header))) {
+    ::close(fd);
+    return Status::Corruption("short header: " + path);
+  }
+  uint64_t magic = 0;
+  int64_t num_rows = 0;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&num_rows, header + sizeof(magic), sizeof(num_rows));
+  if (magic != kPagedMagic || num_rows < 0) {
+    ::close(fd);
+    return Status::Corruption("bad paged table header: " + path);
+  }
+  return std::unique_ptr<PagedScoreTable>(
+      new PagedScoreTable(fd, num_rows, cache));
+}
+
+void PagedScoreTable::ReadAt(int64_t offset, void* out, int64_t size) const {
+  char* dst = static_cast<char*>(out);
+  int64_t remaining = size;
+  int64_t pos = offset;
+  while (remaining > 0) {
+    const int64_t page = pos / cache_->page_size();
+    const int64_t in_page = pos % cache_->page_size();
+    const int64_t chunk =
+        std::min(remaining, cache_->page_size() - in_page);
+    auto bytes = cache_->Get(fd_, page);
+    VAQ_CHECK(bytes.ok()) << bytes.status().ToString();
+    std::memcpy(dst, (*bytes.value()).data() + in_page,
+                static_cast<size_t>(chunk));
+    dst += chunk;
+    pos += chunk;
+    remaining -= chunk;
+  }
+}
+
+ScoreRow PagedScoreTable::SortedRow(int64_t rank) const {
+  VAQ_CHECK_GE(rank, 0);
+  VAQ_CHECK_LT(rank, num_rows_);
+  ++counter_.sorted_accesses;
+  ScoreRow row;
+  char buffer[kRowBytes];
+  ReadAt(SortedRowOffset(rank), buffer, kRowBytes);
+  std::memcpy(&row.clip, buffer, sizeof(row.clip));
+  std::memcpy(&row.score, buffer + sizeof(row.clip), sizeof(row.score));
+  return row;
+}
+
+ScoreRow PagedScoreTable::ReverseRow(int64_t rank) const {
+  VAQ_CHECK_GE(rank, 0);
+  VAQ_CHECK_LT(rank, num_rows_);
+  ++counter_.reverse_accesses;
+  ScoreRow row;
+  char buffer[kRowBytes];
+  ReadAt(SortedRowOffset(num_rows_ - 1 - rank), buffer, kRowBytes);
+  std::memcpy(&row.clip, buffer, sizeof(row.clip));
+  std::memcpy(&row.score, buffer + sizeof(row.clip), sizeof(row.score));
+  return row;
+}
+
+double PagedScoreTable::RandomScore(ClipIndex cid) const {
+  VAQ_CHECK_GE(cid, 0);
+  VAQ_CHECK_LT(cid, num_rows_);
+  ++counter_.random_accesses;
+  double score = 0;
+  ReadAt(ByClipOffset(num_rows_, cid), &score, sizeof(score));
+  return score;
+}
+
+void PagedScoreTable::RangeScores(ClipIndex lo, ClipIndex hi,
+                                  std::vector<double>* out) const {
+  VAQ_CHECK_GE(lo, 0);
+  VAQ_CHECK_LE(lo, hi);
+  VAQ_CHECK_LT(hi, num_rows_);
+  ++counter_.range_scans;
+  counter_.range_rows += hi - lo + 1;
+  const size_t count = static_cast<size_t>(hi - lo + 1);
+  const size_t base = out->size();
+  out->resize(base + count);
+  ReadAt(ByClipOffset(num_rows_, lo), out->data() + base,
+         static_cast<int64_t>(count * sizeof(double)));
+}
+
+}  // namespace storage
+}  // namespace vaq

@@ -1,0 +1,120 @@
+// Disk-resident clip score tables behind a page cache.
+//
+// The in-memory ScoreTable is fine for experiments, but a repository of
+// long videos is a secondary-storage workload (that is why the paper
+// counts random disk accesses). `PagedScoreTable` serves the identical
+// ScoreTableView interface directly from a file:
+//
+//   header page | score-ordered rows (clip, score) | by-clip scores
+//
+// with fixed-size pages fetched on demand through a shared LRU
+// `PageCache` (a miniature buffer pool). Logical accesses are counted in
+// the usual AccessCounter; physical I/O shows up as page fetches vs cache
+// hits, letting benches and tests demonstrate locality: sorted scans and
+// range scans hit mostly-cached pages, scattered random lookups miss.
+#ifndef VAQ_STORAGE_PAGED_TABLE_H_
+#define VAQ_STORAGE_PAGED_TABLE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/score_table.h"
+
+namespace vaq {
+namespace storage {
+
+// Fixed-capacity LRU cache of file pages, shareable across tables.
+class PageCache {
+ public:
+  // `capacity_pages` > 0; `page_size` bytes per page (power of two not
+  // required).
+  PageCache(int64_t capacity_pages, int64_t page_size);
+
+  int64_t page_size() const { return page_size_; }
+  int64_t capacity_pages() const { return capacity_pages_; }
+
+  // Returns the page's bytes, reading through `fd` at
+  // page_index * page_size on a miss. The pointer stays valid until the
+  // page is evicted (callers copy what they need before re-entering).
+  StatusOr<const std::vector<char>*> Get(int fd, int64_t page_index);
+
+  int64_t fetches() const { return fetches_; }
+  int64_t hits() const { return hits_; }
+  void ResetStats() {
+    fetches_ = 0;
+    hits_ = 0;
+  }
+  // Drops every cached page (stats are kept).
+  void Clear();
+
+ private:
+  struct Key {
+    int fd;
+    int64_t page;
+    bool operator==(const Key& other) const {
+      return fd == other.fd && page == other.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return std::hash<int64_t>()(key.page * 1000003 + key.fd);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<char> bytes;
+  };
+
+  int64_t capacity_pages_;
+  int64_t page_size_;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  int64_t fetches_ = 0;
+  int64_t hits_ = 0;
+};
+
+// Converts an in-memory table to the paged on-disk format.
+Status WritePagedTable(const ScoreTable& table, const std::string& path);
+
+// A read-only paged table. Not thread-safe (like the rest of the storage
+// layer); one instance per query thread.
+class PagedScoreTable : public ScoreTableView {
+ public:
+  // `cache` must outlive the table.
+  static StatusOr<std::unique_ptr<PagedScoreTable>> Open(
+      const std::string& path, PageCache* cache);
+  ~PagedScoreTable() override;
+
+  PagedScoreTable(const PagedScoreTable&) = delete;
+  PagedScoreTable& operator=(const PagedScoreTable&) = delete;
+
+  int64_t num_rows() const override { return num_rows_; }
+  ScoreRow SortedRow(int64_t rank) const override;
+  ScoreRow ReverseRow(int64_t rank) const override;
+  double RandomScore(ClipIndex cid) const override;
+  void RangeScores(ClipIndex lo, ClipIndex hi,
+                   std::vector<double>* out) const override;
+  const AccessCounter& counter() const override { return counter_; }
+  void ResetCounter() const override { counter_.Reset(); }
+
+ private:
+  PagedScoreTable(int fd, int64_t num_rows, PageCache* cache);
+
+  // Reads `size` bytes at `offset` via the page cache.
+  void ReadAt(int64_t offset, void* out, int64_t size) const;
+
+  int fd_;
+  int64_t num_rows_;
+  PageCache* cache_;
+  mutable AccessCounter counter_;
+};
+
+}  // namespace storage
+}  // namespace vaq
+
+#endif  // VAQ_STORAGE_PAGED_TABLE_H_

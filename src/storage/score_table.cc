@@ -1,0 +1,118 @@
+#include "storage/score_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace storage {
+namespace {
+
+constexpr uint64_t kTableMagic = 0x5641515f54424c31ULL;  // "VAQ_TBL1"
+
+}  // namespace
+
+StatusOr<ScoreTable> ScoreTable::Build(std::vector<Row> rows) {
+  ScoreTable table;
+  table.by_clip_.assign(rows.size(), 0.0);
+  std::vector<bool> seen(rows.size(), false);
+  for (const Row& row : rows) {
+    if (row.clip < 0 || row.clip >= static_cast<int64_t>(rows.size())) {
+      return Status::InvalidArgument("clip id out of range: " +
+                                     std::to_string(row.clip));
+    }
+    if (seen[static_cast<size_t>(row.clip)]) {
+      return Status::InvalidArgument("duplicate clip id: " +
+                                     std::to_string(row.clip));
+    }
+    seen[static_cast<size_t>(row.clip)] = true;
+    table.by_clip_[static_cast<size_t>(row.clip)] = row.score;
+  }
+  // Stable order among ties: lower clip id first, to keep runs
+  // deterministic.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.clip < b.clip;
+  });
+  table.by_rank_ = std::move(rows);
+  return table;
+}
+
+ScoreTable::Row ScoreTable::SortedRow(int64_t rank) const {
+  VAQ_CHECK_GE(rank, 0);
+  VAQ_CHECK_LT(rank, num_rows());
+  ++counter_.sorted_accesses;
+  return by_rank_[static_cast<size_t>(rank)];
+}
+
+ScoreTable::Row ScoreTable::ReverseRow(int64_t rank) const {
+  VAQ_CHECK_GE(rank, 0);
+  VAQ_CHECK_LT(rank, num_rows());
+  ++counter_.reverse_accesses;
+  return by_rank_[static_cast<size_t>(num_rows() - 1 - rank)];
+}
+
+double ScoreTable::RandomScore(ClipIndex cid) const {
+  VAQ_CHECK_GE(cid, 0);
+  VAQ_CHECK_LT(cid, num_rows());
+  ++counter_.random_accesses;
+  return by_clip_[static_cast<size_t>(cid)];
+}
+
+void ScoreTable::RangeScores(ClipIndex lo, ClipIndex hi,
+                             std::vector<double>* out) const {
+  VAQ_CHECK_GE(lo, 0);
+  VAQ_CHECK_LE(lo, hi);
+  VAQ_CHECK_LT(hi, num_rows());
+  ++counter_.range_scans;
+  counter_.range_rows += hi - lo + 1;
+  for (ClipIndex c = lo; c <= hi; ++c) {
+    out->push_back(by_clip_[static_cast<size_t>(c)]);
+  }
+}
+
+double ScoreTable::PeekScore(ClipIndex cid) const {
+  VAQ_CHECK_GE(cid, 0);
+  VAQ_CHECK_LT(cid, num_rows());
+  return by_clip_[static_cast<size_t>(cid)];
+}
+
+Status ScoreTable::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const uint64_t magic = kTableMagic;
+  const uint64_t n = static_cast<uint64_t>(num_rows());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Row& row : by_rank_) {
+    out.write(reinterpret_cast<const char*>(&row.clip), sizeof(row.clip));
+    out.write(reinterpret_cast<const char*>(&row.score), sizeof(row.score));
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<ScoreTable> ScoreTable::ReadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint64_t magic = 0;
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || magic != kTableMagic) {
+    return Status::Corruption("bad score table header: " + path);
+  }
+  std::vector<Row> rows(n);
+  for (Row& row : rows) {
+    in.read(reinterpret_cast<char*>(&row.clip), sizeof(row.clip));
+    in.read(reinterpret_cast<char*>(&row.score), sizeof(row.score));
+  }
+  if (!in) return Status::Corruption("truncated score table: " + path);
+  return Build(std::move(rows));
+}
+
+}  // namespace storage
+}  // namespace vaq

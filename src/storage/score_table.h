@@ -1,0 +1,97 @@
+// Clip score tables (§4.2 of the paper).
+//
+// During ingestion, every object type o_i and action type a_j gets a table
+// table_{o_i} : {cid, Score} holding one row per clip, ordered by Score
+// descending. Query processing touches tables through three counted access
+// paths mirroring the top-k literature [Fagin]:
+//
+//   * sorted access   — read the row at a given rank from the top;
+//   * reverse access  — read the row at a given rank from the bottom
+//                       (TBClip's bottom cursor, Algorithm 5 step 3);
+//   * random access   — look up the score of a given clip id.
+//
+// Tables serialize to a simple versioned binary file so a video repository
+// survives process restarts (the ingestion phase runs once per video).
+#ifndef VAQ_STORAGE_SCORE_TABLE_H_
+#define VAQ_STORAGE_SCORE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/access_counter.h"
+#include "video/layout.h"
+
+namespace vaq {
+namespace storage {
+
+// One row of a clip score table.
+struct ScoreRow {
+  ClipIndex clip = 0;
+  double score = 0.0;
+};
+
+// Access interface of a clip score table: the three counted paths query
+// processing uses, regardless of whether the table lives in memory
+// (ScoreTable) or on disk behind a page cache (PagedScoreTable).
+class ScoreTableView {
+ public:
+  virtual ~ScoreTableView() = default;
+
+  virtual int64_t num_rows() const = 0;
+  // Sorted access: the row with the `rank`-th highest score (0-based).
+  virtual ScoreRow SortedRow(int64_t rank) const = 0;
+  // Reverse access: the row with the `rank`-th lowest score (0-based).
+  virtual ScoreRow ReverseRow(int64_t rank) const = 0;
+  // Random access: the score of clip `cid`.
+  virtual double RandomScore(ClipIndex cid) const = 0;
+  // Range scan over the contiguous clips [lo, hi] (one seek + rows).
+  virtual void RangeScores(ClipIndex lo, ClipIndex hi,
+                           std::vector<double>* out) const = 0;
+  virtual const AccessCounter& counter() const = 0;
+  virtual void ResetCounter() const = 0;
+};
+
+class ScoreTable : public ScoreTableView {
+ public:
+  using Row = ScoreRow;
+
+  ScoreTable() = default;
+
+  // Builds a table from one row per clip. Clip ids must be exactly
+  // 0..rows.size()-1 (every clip of the video has a score; §4.2 stores a
+  // row even for zero scores so sorted access can reach every clip).
+  static StatusOr<ScoreTable> Build(std::vector<Row> rows);
+
+  int64_t num_rows() const override {
+    return static_cast<int64_t>(by_rank_.size());
+  }
+  Row SortedRow(int64_t rank) const override;
+  Row ReverseRow(int64_t rank) const override;
+  double RandomScore(ClipIndex cid) const override;
+  // Contiguous clip ids are physically adjacent in the by-clip projection
+  // of the table, so a range costs one seek plus sequential rows.
+  void RangeScores(ClipIndex lo, ClipIndex hi, std::vector<double>* out)
+      const override;
+
+  // Uncounted internal lookups (for building ground truth in tests or
+  // result verification; not part of the costed query path).
+  double PeekScore(ClipIndex cid) const;
+
+  const AccessCounter& counter() const override { return counter_; }
+  void ResetCounter() const override { counter_.Reset(); }
+
+  Status WriteTo(const std::string& path) const;
+  static StatusOr<ScoreTable> ReadFrom(const std::string& path);
+
+ private:
+  std::vector<Row> by_rank_;      // Sorted by score descending.
+  std::vector<double> by_clip_;   // Dense score array indexed by clip id.
+  mutable AccessCounter counter_;
+};
+
+}  // namespace storage
+}  // namespace vaq
+
+#endif  // VAQ_STORAGE_SCORE_TABLE_H_

@@ -1,0 +1,173 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vaq {
+namespace synth {
+namespace {
+
+// Draws one interval length (>= 1 frame) with the given mean.
+int64_t DrawLength(Rng& rng, double mean_frames) {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(rng.Exponential(1.0 / std::max(
+             mean_frames, 1.0)))));
+}
+
+// Generates an alternating renewal on/off process over [0, num_frames)
+// with target on-fraction `duty` (scaled locally by `drift`) and mean
+// on-interval length `mean_len`.
+IntervalSet GenerateRenewalProcess(Rng& rng, int64_t num_frames, double duty,
+                                   double mean_len,
+                                   const DriftProfile& drift) {
+  IntervalSet out;
+  if (duty <= 0.0 || num_frames <= 0) return out;
+  // First frame of the drift segment after `frame` (num_frames if none):
+  // off-waits are exponential, so by memorylessness a draw that crosses a
+  // segment boundary is correctly resumed there with the new local rate.
+  auto next_boundary = [&](int64_t frame) {
+    if (drift.flat()) return num_frames;
+    const int64_t segments =
+        static_cast<int64_t>(drift.multipliers.size());
+    const int64_t segment =
+        std::min(frame * segments / num_frames, segments - 1);
+    return std::min(num_frames, (segment + 1) * num_frames / segments);
+  };
+  int64_t cursor = 0;
+  // Start in the off state with a random phase so intervals do not pile up
+  // at frame 0 across tracks.
+  bool on = rng.Bernoulli(std::min(duty, 0.95));
+  while (cursor < num_frames) {
+    const double mult = drift.At(cursor, num_frames);
+    const double local_duty = std::clamp(duty * mult, 0.0, 0.98);
+    if (on) {
+      const int64_t len = DrawLength(rng, mean_len);
+      const int64_t hi = std::min(cursor + len - 1, num_frames - 1);
+      out.Add(Interval(cursor, hi));
+      cursor = hi + 1;
+      on = false;
+    } else {
+      const int64_t boundary = next_boundary(cursor);
+      if (local_duty <= 0.0) {
+        cursor = boundary;  // Locally suppressed until the rate changes.
+        continue;
+      }
+      const double mean_off = mean_len * (1.0 - local_duty) / local_duty;
+      const int64_t wait = DrawLength(rng, mean_off);
+      if (cursor + wait >= boundary && boundary < num_frames) {
+        cursor = boundary;  // Re-draw under the next segment's rate.
+      } else {
+        cursor += wait;
+        on = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double DriftProfile::At(int64_t frame, int64_t num_frames) const {
+  if (flat() || num_frames <= 0) return 1.0;
+  const size_t segments = multipliers.size();
+  size_t idx = static_cast<size_t>(
+      (static_cast<double>(frame) / static_cast<double>(num_frames)) *
+      static_cast<double>(segments));
+  idx = std::min(idx, segments - 1);
+  return multipliers[idx];
+}
+
+VideoLayout ScenarioSpec::MakeLayoutWithClipFrames(
+    int64_t frames_per_clip) const {
+  VAQ_CHECK_GT(frames_per_clip, 0);
+  const int32_t shots = std::max<int32_t>(
+      1, static_cast<int32_t>(
+             std::llround(static_cast<double>(frames_per_clip) /
+                          static_cast<double>(frames_per_shot))));
+  return VideoLayout(NumFrames(), frames_per_shot, shots);
+}
+
+GroundTruth Generate(const ScenarioSpec& spec, Vocabulary& vocab) {
+  GroundTruth truth(spec.video_id, spec.MakeLayout());
+  const int64_t num_frames = spec.NumFrames();
+
+  // Actions first: objects may couple to them.
+  for (size_t i = 0; i < spec.actions.size(); ++i) {
+    const ActionTrackSpec& aspec = spec.actions[i];
+    Rng rng(MixSeed(spec.seed, MixSeed(0xac710a, i)));
+    ActionTruth at;
+    at.type = vocab.AddActionType(aspec.name);
+    at.frames = GenerateRenewalProcess(rng, num_frames, aspec.duty,
+                                       aspec.mean_len_frames, aspec.drift);
+    truth.AddActionTruth(std::move(at));
+  }
+
+  for (size_t i = 0; i < spec.objects.size(); ++i) {
+    const ObjectTrackSpec& ospec = spec.objects[i];
+    Rng rng(MixSeed(spec.seed, MixSeed(0x0b7ec7, i)));
+    ObjectTruth ot;
+    ot.type = vocab.AddObjectType(ospec.name);
+    IntervalSet presence =
+        GenerateRenewalProcess(rng, num_frames, ospec.background_duty,
+                               ospec.mean_len_frames, ospec.drift);
+    // Action-coupled presence: cover (a jittered version of) each
+    // occurrence of the coupled action with probability cover_action_prob.
+    if (!ospec.coupled_action.empty() && ospec.cover_action_prob > 0.0) {
+      const ActionTypeId act = vocab.FindActionType(ospec.coupled_action);
+      VAQ_CHECK_NE(act, kInvalidTypeId)
+          << "object '" << ospec.name << "' couples to unknown action '"
+          << ospec.coupled_action << "'";
+      for (const Interval& occ : truth.ActionFrames(act).intervals()) {
+        if (!rng.Bernoulli(ospec.cover_action_prob)) continue;
+        const double len = static_cast<double>(occ.length());
+        const int64_t lo = std::max<int64_t>(
+            0, occ.lo - static_cast<int64_t>(rng.UniformDouble(0, 0.03) * len));
+        const int64_t hi = std::min<int64_t>(
+            num_frames - 1,
+            occ.hi + static_cast<int64_t>(rng.UniformDouble(-0.08, 0.04) * len));
+        if (lo <= hi) presence.Add(Interval(lo, hi));
+      }
+      presence = IntervalSet::FromIntervals(
+          {presence.intervals().begin(), presence.intervals().end()});
+    }
+    // Instances: the first instance spans each presence interval; extra
+    // instances (for the tracker) cover random sub-intervals.
+    int64_t next_instance = 0;
+    for (const Interval& iv : presence.intervals()) {
+      TruthInstance primary;
+      primary.instance_id = next_instance++;
+      primary.frames = iv;
+      primary.x0 = rng.UniformDouble(0.1, 0.9);
+      primary.vx = rng.UniformDouble(-3e-4, 3e-4);
+      ot.instances.push_back(primary);
+      const int64_t extra =
+          ospec.mean_instances > 1.0
+              ? rng.Geometric(1.0 / ospec.mean_instances)
+              : 0;
+      for (int64_t e = 0; e < extra; ++e) {
+        const int64_t len = iv.length();
+        const int64_t sub_lo =
+            iv.lo + static_cast<int64_t>(rng.UniformDouble(0, 0.5) *
+                                         static_cast<double>(len));
+        const int64_t sub_len = std::max<int64_t>(
+            1, static_cast<int64_t>(rng.UniformDouble(0.3, 1.0) *
+                                    static_cast<double>(iv.hi - sub_lo + 1)));
+        TruthInstance extra;
+        extra.instance_id = next_instance++;
+        extra.frames = Interval(sub_lo, std::min(iv.hi, sub_lo + sub_len - 1));
+        extra.x0 = rng.UniformDouble(0.1, 0.9);
+        extra.vx = rng.UniformDouble(-3e-4, 3e-4);
+        ot.instances.push_back(extra);
+      }
+    }
+    ot.frames = std::move(presence);
+    truth.AddObjectTruth(std::move(ot));
+  }
+  return truth;
+}
+
+}  // namespace synth
+}  // namespace vaq

@@ -1,0 +1,97 @@
+// Synthetic video scenario generator.
+//
+// A `ScenarioSpec` describes the statistical structure of one evaluation
+// video: its length and segmentation, one or more action tracks (alternating
+// renewal processes of on/off intervals), and object tracks that combine a
+// background presence process with action-coupled presence (an object can be
+// configured to be visible whenever the action happens with a given
+// probability — this models the paper's "correlated predicates", Table 3).
+// Optional drift profiles scale the background presence rate across the
+// video (sudden traffic peaks of §3.3).
+//
+// Generation is deterministic given the spec's seed.
+#ifndef VAQ_SYNTH_GENERATOR_H_
+#define VAQ_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/ground_truth.h"
+#include "video/layout.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+namespace synth {
+
+// Piecewise-constant multiplier over the video: `multipliers[i]` scales the
+// background presence rate within the i-th equal-length segment. An empty
+// profile means a flat rate. A profile like {1, 4, 1} models a sudden rate
+// change in the middle third (concept drift).
+struct DriftProfile {
+  std::vector<double> multipliers;
+
+  bool flat() const { return multipliers.empty(); }
+  // Multiplier applying at `frame` of a video with `num_frames` frames.
+  double At(int64_t frame, int64_t num_frames) const;
+};
+
+// Statistical description of one action track.
+struct ActionTrackSpec {
+  std::string name;
+  // Fraction of the video during which the action is happening.
+  double duty = 0.2;
+  // Mean length of one occurrence, in frames.
+  double mean_len_frames = 900;
+  DriftProfile drift;
+};
+
+// Statistical description of one object track.
+struct ObjectTrackSpec {
+  std::string name;
+  // Background presence: fraction of the video covered by presence
+  // intervals that are independent of any action.
+  double background_duty = 0.1;
+  // Mean length of one background presence interval, in frames.
+  double mean_len_frames = 600;
+  // For each occurrence of `coupled_action`, probability that this object
+  // is visible throughout (a jittered cover of) that occurrence. Empty
+  // action name = uncoupled.
+  std::string coupled_action;
+  double cover_action_prob = 0.0;
+  // Mean number of simultaneous instances while present (>= 1); extra
+  // instances give the tracker several track ids to report.
+  double mean_instances = 1.2;
+  DriftProfile drift;
+};
+
+// Complete description of one synthetic evaluation video.
+struct ScenarioSpec {
+  std::string name;
+  int64_t video_id = 0;
+  double minutes = 10.0;
+  double fps = 30.0;
+  int32_t frames_per_shot = 10;  // Action-recognizer input length (§2).
+  int32_t shots_per_clip = 10;   // Default clip = 100 frames (~3s).
+  std::vector<ActionTrackSpec> actions;
+  std::vector<ObjectTrackSpec> objects;
+  uint64_t seed = 1;
+
+  int64_t NumFrames() const {
+    return static_cast<int64_t>(minutes * 60.0 * fps);
+  }
+  VideoLayout MakeLayout() const {
+    return VideoLayout(NumFrames(), frames_per_shot, shots_per_clip);
+  }
+  // Layout with an overridden clip length (Figures 4-5 sweep clip size).
+  VideoLayout MakeLayoutWithClipFrames(int64_t frames_per_clip) const;
+};
+
+// Generates the ground truth for `spec`, registering any missing type
+// names in `vocab`. Deterministic in `spec.seed`.
+GroundTruth Generate(const ScenarioSpec& spec, Vocabulary& vocab);
+
+}  // namespace synth
+}  // namespace vaq
+
+#endif  // VAQ_SYNTH_GENERATOR_H_

@@ -1,0 +1,109 @@
+#include "synth/ground_truth.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace synth {
+namespace {
+
+const IntervalSet& EmptySet() {
+  static const IntervalSet* empty = new IntervalSet();
+  return *empty;
+}
+
+}  // namespace
+
+void GroundTruth::AddObjectTruth(ObjectTruth truth) {
+  VAQ_CHECK_NE(truth.type, kInvalidTypeId);
+  std::sort(truth.instances.begin(), truth.instances.end(),
+            [](const TruthInstance& a, const TruthInstance& b) {
+              return a.frames.lo < b.frames.lo;
+            });
+  objects_.push_back(std::move(truth));
+}
+
+void GroundTruth::AddActionTruth(ActionTruth truth) {
+  VAQ_CHECK_NE(truth.type, kInvalidTypeId);
+  actions_.push_back(std::move(truth));
+}
+
+const IntervalSet& GroundTruth::ObjectFrames(ObjectTypeId type) const {
+  for (const ObjectTruth& truth : objects_) {
+    if (truth.type == type) return truth.frames;
+  }
+  return EmptySet();
+}
+
+const IntervalSet& GroundTruth::ActionFrames(ActionTypeId type) const {
+  for (const ActionTruth& truth : actions_) {
+    if (truth.type == type) return truth.frames;
+  }
+  return EmptySet();
+}
+
+std::vector<TruthInstance> GroundTruth::InstancesAt(ObjectTypeId type,
+                                                    FrameIndex frame) const {
+  std::vector<TruthInstance> out;
+  for (const ObjectTruth& truth : objects_) {
+    if (truth.type != type) continue;
+    for (const TruthInstance& inst : truth.instances) {
+      if (inst.frames.lo > frame) break;  // Sorted by lo.
+      if (inst.frames.Contains(frame)) out.push_back(inst);
+    }
+  }
+  return out;
+}
+
+IntervalSet GroundTruth::ActionShots(ActionTypeId type,
+                                     double min_overlap_fraction) const {
+  const IntervalSet& frames = ActionFrames(type);
+  std::vector<bool> shot_on(static_cast<size_t>(layout_.NumShots()), false);
+  for (ShotIndex s = 0; s < layout_.NumShots(); ++s) {
+    const Interval range = layout_.ShotFrameRange(s);
+    int64_t covered = 0;
+    for (const Interval& iv : frames.intervals()) {
+      const int64_t lo = std::max(iv.lo, range.lo);
+      const int64_t hi = std::min(iv.hi, range.hi);
+      if (lo <= hi) covered += hi - lo + 1;
+    }
+    shot_on[static_cast<size_t>(s)] =
+        covered >= static_cast<int64_t>(min_overlap_fraction *
+                                        static_cast<double>(range.length()));
+  }
+  return IntervalSet::FromIndicators(shot_on);
+}
+
+IntervalSet GroundTruth::QueryTruthFrames(const QuerySpec& query) const {
+  IntervalSet result(
+      IntervalSet::FromIntervals({Interval(0, layout_.num_frames() - 1)}));
+  if (query.has_action()) {
+    result = result.Intersect(ActionFrames(query.action));
+  }
+  for (ObjectTypeId type : query.objects) {
+    result = result.Intersect(ObjectFrames(type));
+  }
+  return result;
+}
+
+IntervalSet GroundTruth::QueryTruthClips(const QuerySpec& query,
+                                         int64_t min_frames) const {
+  const IntervalSet frames = QueryTruthFrames(query);
+  if (min_frames <= 1) return layout_.FramesToClips(frames);
+  std::vector<bool> clip_on(static_cast<size_t>(layout_.NumClips()), false);
+  for (ClipIndex c = 0; c < layout_.NumClips(); ++c) {
+    const Interval range = layout_.ClipFrameRange(c);
+    int64_t covered = 0;
+    for (const Interval& iv : frames.intervals()) {
+      const int64_t lo = std::max(iv.lo, range.lo);
+      const int64_t hi = std::min(iv.hi, range.hi);
+      if (lo <= hi) covered += hi - lo + 1;
+    }
+    clip_on[static_cast<size_t>(c)] = covered >= min_frames;
+  }
+  return IntervalSet::FromIndicators(clip_on);
+}
+
+}  // namespace synth
+}  // namespace vaq

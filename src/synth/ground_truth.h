@@ -1,0 +1,105 @@
+// Ground-truth model for synthetic videos.
+//
+// The paper evaluates on real videos whose object/action presence was
+// manually annotated with temporal boundaries (§5.1). This module is the
+// offline-reproduction substitute (see DESIGN.md §1): a video is described
+// by *truth tracks* — for every object type the set of frames where at
+// least one instance is visible (plus per-instance intervals for the
+// tracker), and for every action type the set of frames where the action
+// is happening. Simulated detectors draw noisy observations from this
+// truth; evaluation compares query results against it.
+#ifndef VAQ_SYNTH_GROUND_TRUTH_H_
+#define VAQ_SYNTH_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/interval.h"
+#include "video/layout.h"
+#include "video/query_spec.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+namespace synth {
+
+// One visible instance of an object type: the tracker's unit of identity.
+// Instances carry a horizontal screen position (normalized to [0, 1]) as a
+// linear motion track, which grounds the spatial relationship predicates
+// of §2 footnote 2.
+struct TruthInstance {
+  int64_t instance_id = 0;   // Unique within the video and object type.
+  Interval frames;           // Frames where this instance is visible.
+  double x0 = 0.5;           // Horizontal position at frames.lo.
+  double vx = 0.0;           // Horizontal velocity per frame.
+
+  // Position at `frame`, clamped to the screen.
+  double XAt(FrameIndex frame) const {
+    const double x = x0 + vx * static_cast<double>(frame - frames.lo);
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
+};
+
+// Presence of one object type across a video.
+struct ObjectTruth {
+  ObjectTypeId type = kInvalidTypeId;
+  IntervalSet frames;                    // Union of instance intervals.
+  std::vector<TruthInstance> instances;  // Sorted by frames.lo.
+};
+
+// Presence of one action type across a video.
+struct ActionTruth {
+  ActionTypeId type = kInvalidTypeId;
+  IntervalSet frames;
+};
+
+// Complete annotation of one synthetic video.
+class GroundTruth {
+ public:
+  GroundTruth(int64_t video_id, VideoLayout layout)
+      : video_id_(video_id), layout_(layout) {}
+
+  int64_t video_id() const { return video_id_; }
+  const VideoLayout& layout() const { return layout_; }
+
+  void AddObjectTruth(ObjectTruth truth);
+  void AddActionTruth(ActionTruth truth);
+
+  // Frame-level presence of a type; the empty set when never present.
+  const IntervalSet& ObjectFrames(ObjectTypeId type) const;
+  const IntervalSet& ActionFrames(ActionTypeId type) const;
+
+  // Instances of `type` visible at `frame` (empty when none). Linear in
+  // the number of instances overlapping the frame's neighbourhood.
+  std::vector<TruthInstance> InstancesAt(ObjectTypeId type,
+                                         FrameIndex frame) const;
+
+  const std::vector<ObjectTruth>& objects() const { return objects_; }
+  const std::vector<ActionTruth>& actions() const { return actions_; }
+
+  // Shot-level presence of an action: shots with at least
+  // `min_overlap_fraction` of their frames inside a truth interval.
+  IntervalSet ActionShots(ActionTypeId type,
+                          double min_overlap_fraction = 0.5) const;
+
+  // Frame-level truth for a conjunctive query: the intersection of the
+  // temporal intervals of all query-specified objects and the action
+  // (§5.1, annotation methodology).
+  IntervalSet QueryTruthFrames(const QuerySpec& query) const;
+
+  // Clip-level truth: clips containing at least `min_frames` truth frames
+  // of the query (default 1 — any overlap makes the clip a truth clip).
+  IntervalSet QueryTruthClips(const QuerySpec& query,
+                              int64_t min_frames = 1) const;
+
+ private:
+  int64_t video_id_;
+  VideoLayout layout_;
+  std::vector<ObjectTruth> objects_;
+  std::vector<ActionTruth> actions_;
+};
+
+}  // namespace synth
+}  // namespace vaq
+
+#endif  // VAQ_SYNTH_GROUND_TRUTH_H_

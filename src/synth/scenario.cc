@@ -1,0 +1,252 @@
+#include "synth/scenario.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vaq {
+namespace synth {
+namespace {
+
+// One row of Table 1.
+struct YouTubePreset {
+  const char* action;
+  std::array<const char*, 3> objects;  // nullptr-padded.
+  int minutes;
+};
+
+// The twelve YouTube queries (Table 1 of the paper), with the total video
+// length in minutes per action set.
+constexpr YouTubePreset kYouTubePresets[12] = {
+    {"washing dishes", {"faucet", "oven", nullptr}, 57},        // q1
+    {"blowing leaves", {"car", "plant", nullptr}, 52},          // q2
+    {"walking the dog", {"tree", "chair", nullptr}, 127},       // q3
+    {"drinking beer", {"bottle", "chair", nullptr}, 63},        // q4
+    {"volleyball", {"tree", nullptr, nullptr}, 110},            // q5
+    {"playing rubik cube", {"clock", nullptr, nullptr}, 89},    // q6
+    {"cleaning sink", {"faucet", "knife", nullptr}, 84},        // q7
+    {"kneeling", {"tree", nullptr, nullptr}, 104},              // q8
+    {"doing crunches", {"chair", nullptr, nullptr}, 85},        // q9
+    {"blow-drying hair", {"kid", nullptr, nullptr}, 138},       // q10
+    {"washing hands", {"faucet", "dish", nullptr}, 113},        // q11
+    {"archery", {"sunglasses", nullptr, nullptr}, 156},         // q12
+};
+
+// Distractor object types present in most videos; ingestion (§4.2) builds
+// tables for every type the detector supports, so scenarios carry more
+// types than their query mentions.
+constexpr const char* kDistractorObjects[] = {"person", "tv", "phone",
+                                              "dog", "table"};
+
+// Adds the query objects plus distractors to `spec`. Query objects are
+// coupled to the action (they co-occur with it most of the time — the
+// annotation methodology of §5.1 intersects object and action intervals,
+// so an entirely uncoupled object would make the ground truth vanish).
+void PopulateObjects(ScenarioSpec& spec,
+                     const std::vector<std::string>& query_objects,
+                     Rng& rng) {
+  const std::string action = spec.actions.front().name;
+  for (const std::string& name : query_objects) {
+    ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = rng.UniformDouble(0.03, 0.08);
+    obj.mean_len_frames = rng.UniformDouble(700, 1400);
+    obj.coupled_action = action;
+    obj.cover_action_prob = rng.UniformDouble(0.80, 0.93);
+    obj.mean_instances = rng.UniformDouble(1.0, 1.8);
+    spec.objects.push_back(std::move(obj));
+  }
+  // "person" is special: near-perfectly correlated with human activities
+  // and detected with high accuracy (used by Table 3).
+  {
+    ObjectTrackSpec person;
+    person.name = "person";
+    person.background_duty = 0.30;
+    person.mean_len_frames = 1200;
+    person.coupled_action = action;
+    person.cover_action_prob = 0.97;
+    person.mean_instances = 1.6;
+    spec.objects.push_back(std::move(person));
+  }
+  for (const char* name : kDistractorObjects) {
+    if (std::string(name) == "person") continue;
+    bool duplicate = false;
+    for (const ObjectTrackSpec& existing : spec.objects) {
+      if (existing.name == name) duplicate = true;
+    }
+    if (duplicate) continue;
+    ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = rng.UniformDouble(0.02, 0.10);
+    obj.mean_len_frames = rng.UniformDouble(200, 600);
+    obj.mean_instances = 1.1;
+    spec.objects.push_back(std::move(obj));
+  }
+}
+
+}  // namespace
+
+Scenario Scenario::Build(ScenarioSpec spec, const std::string& query_action,
+                         const std::vector<std::string>& query_objects) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto truth =
+      std::make_shared<const GroundTruth>(Generate(spec, *vocab));
+  auto query_or = QuerySpec::FromNames(*vocab, query_action, query_objects);
+  VAQ_CHECK(query_or.ok()) << query_or.status().ToString();
+  return Scenario(std::move(spec), std::move(vocab), std::move(truth),
+                  std::move(query_or).value());
+}
+
+const char* MovieName(MovieId id) {
+  switch (id) {
+    case MovieId::kCoffeeAndCigarettes:
+      return "Coffee and Cigarettes";
+    case MovieId::kIronMan:
+      return "Iron Man";
+    case MovieId::kStarWars3:
+      return "Star Wars 3";
+    case MovieId::kTitanic:
+      return "Titanic";
+  }
+  return "?";
+}
+
+Scenario Scenario::YouTube(int index, uint64_t seed) {
+  VAQ_CHECK_GE(index, 1);
+  VAQ_CHECK_LE(index, 12);
+  const YouTubePreset& preset = kYouTubePresets[index - 1];
+
+  ScenarioSpec spec;
+  spec.name = "youtube_q" + std::to_string(index);
+  spec.video_id = index;
+  spec.minutes = preset.minutes;
+  spec.fps = 30.0;
+  spec.seed = MixSeed(seed + 0x9a7e, static_cast<uint64_t>(index));
+  Rng rng(MixSeed(spec.seed, 0x5ce9a210));
+
+  ActionTrackSpec action;
+  action.name = preset.action;
+  action.duty = rng.UniformDouble(0.25, 0.40);
+  action.mean_len_frames = rng.UniformDouble(1500, 3600);
+  spec.actions.push_back(std::move(action));
+
+  std::vector<std::string> query_objects;
+  for (const char* obj : preset.objects) {
+    if (obj != nullptr) query_objects.emplace_back(obj);
+  }
+  PopulateObjects(spec, query_objects, rng);
+  return Build(std::move(spec), preset.action, query_objects);
+}
+
+Scenario Scenario::Movie(MovieId id, uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = MovieName(id);
+  spec.fps = 24.0;
+  Rng rng(MixSeed(seed + 0x30f1e, static_cast<uint64_t>(id)));
+
+  ActionTrackSpec action;
+  std::vector<std::string> query_objects;
+  switch (id) {
+    case MovieId::kCoffeeAndCigarettes:
+      spec.video_id = 101;
+      spec.minutes = 96;
+      action.name = "smoking";
+      action.duty = 0.16;
+      action.mean_len_frames = 420;  // ~17s scenes; dozens of them.
+      query_objects = {"wine glass", "cup"};
+      break;
+    case MovieId::kIronMan:
+      spec.video_id = 102;
+      spec.minutes = 126;
+      action.name = "robot dancing";
+      action.duty = 0.12;
+      action.mean_len_frames = 380;
+      query_objects = {"car", "airplane"};
+      break;
+    case MovieId::kStarWars3:
+      spec.video_id = 103;
+      spec.minutes = 134;
+      action.name = "archery";
+      action.duty = 0.11;
+      action.mean_len_frames = 400;
+      query_objects = {"bird", "cat"};
+      break;
+    case MovieId::kTitanic:
+      spec.video_id = 104;
+      spec.minutes = 194;
+      action.name = "kissing";
+      action.duty = 0.09;
+      action.mean_len_frames = 420;
+      query_objects = {"surfboard", "boat"};
+      break;
+  }
+  spec.seed = MixSeed(seed + 0xfacade, static_cast<uint64_t>(spec.video_id));
+  spec.actions.push_back(std::move(action));
+  for (const std::string& name : query_objects) {
+    ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = rng.UniformDouble(0.04, 0.10);
+    obj.mean_len_frames = rng.UniformDouble(700, 1400);
+    obj.coupled_action = spec.actions.front().name;
+    obj.cover_action_prob = rng.UniformDouble(0.82, 0.95);
+    obj.mean_instances = rng.UniformDouble(1.0, 2.0);
+    spec.objects.push_back(std::move(obj));
+  }
+  {
+    // A person is on screen most of a movie.
+    ObjectTrackSpec person;
+    person.name = "person";
+    person.background_duty = 0.55;
+    person.mean_len_frames = 2000;
+    person.coupled_action = spec.actions.front().name;
+    person.cover_action_prob = 0.97;
+    person.mean_instances = 2.0;
+    spec.objects.push_back(std::move(person));
+  }
+  for (const char* name : kDistractorObjects) {
+    if (std::string(name) == "person") continue;
+    ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = rng.UniformDouble(0.03, 0.10);
+    obj.mean_len_frames = rng.UniformDouble(250, 700);
+    obj.mean_instances = 1.2;
+    spec.objects.push_back(std::move(obj));
+  }
+  return Build(std::move(spec), spec.actions.front().name, query_objects);
+}
+
+Scenario Scenario::FromSpec(const ScenarioSpec& spec,
+                            const std::string& query_action,
+                            const std::vector<std::string>& query_objects) {
+  return Build(spec, query_action, query_objects);
+}
+
+Scenario Scenario::WithClipFrames(int64_t frames_per_clip) const {
+  ScenarioSpec spec = spec_;
+  const VideoLayout layout = spec.MakeLayoutWithClipFrames(frames_per_clip);
+  spec.shots_per_clip = layout.shots_per_clip();
+  // Rebuild with the same query expressed as names; the regenerated truth
+  // is identical (same seed) apart from the segmentation.
+  const std::string action =
+      query_.has_action() ? vocab_->ActionTypeName(query_.action) : "";
+  std::vector<std::string> objects;
+  objects.reserve(query_.objects.size());
+  for (ObjectTypeId id : query_.objects) {
+    objects.push_back(vocab_->ObjectTypeName(id));
+  }
+  return Build(std::move(spec), action, objects);
+}
+
+StatusOr<Scenario> Scenario::WithQuery(
+    const std::string& action,
+    const std::vector<std::string>& objects) const {
+  VAQ_ASSIGN_OR_RETURN(QuerySpec query,
+                       QuerySpec::FromNames(*vocab_, action, objects));
+  Scenario out = *this;
+  out.query_ = std::move(query);
+  return out;
+}
+
+}  // namespace synth
+}  // namespace vaq

@@ -1,0 +1,94 @@
+// Evaluation scenarios: a generated video plus the query issued against it.
+//
+// `Scenario` bundles everything one experiment needs — the vocabulary, the
+// generated ground truth, the video layout, and the resolved `QuerySpec` —
+// and provides the presets of the paper's evaluation: the twelve YouTube
+// queries of Table 1 and the four movies of Table 2.
+#ifndef VAQ_SYNTH_SCENARIO_H_
+#define VAQ_SYNTH_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synth/generator.h"
+#include "synth/ground_truth.h"
+#include "video/query_spec.h"
+
+namespace vaq {
+namespace synth {
+
+// Identifies one of the four movies of Table 2.
+enum class MovieId {
+  kCoffeeAndCigarettes,  // Smoking; {wine glass, cup}; 1h36m.
+  kIronMan,              // Robot dancing; {car, airplane}; 2h06m.
+  kStarWars3,            // Archery; {bird, cat}; 2h14m.
+  kTitanic,              // Kissing; {surfboard, boat}; 3h14m.
+};
+
+const char* MovieName(MovieId id);
+
+// One generated video with a default query. Copies share the vocabulary and
+// ground truth (immutable after construction).
+class Scenario {
+ public:
+  // The q1..q12 presets of Table 1 (`index` in [1, 12]). Video lengths
+  // match the table; queried object types match the table's Object column.
+  static Scenario YouTube(int index, uint64_t seed = 0);
+
+  // The movie presets of Table 2.
+  static Scenario Movie(MovieId id, uint64_t seed = 0);
+
+  // Generates a scenario from an explicit spec and query names.
+  static Scenario FromSpec(const ScenarioSpec& spec,
+                           const std::string& query_action,
+                           const std::vector<std::string>& query_objects);
+
+  const std::string& name() const { return spec_.name; }
+  const ScenarioSpec& spec() const { return spec_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+  const GroundTruth& truth() const { return *truth_; }
+  const VideoLayout& layout() const { return truth_->layout(); }
+  const QuerySpec& query() const { return query_; }
+
+  // Ground-truth result sequences for the scenario's query, at clip
+  // level. A clip counts as truth when it holds at least one shot's worth
+  // of joint truth frames: sub-shot slivers cannot be expressed by a
+  // shot-granularity action recognizer and annotators do not label
+  // sub-second blips (§5.1 annotation methodology).
+  IntervalSet TruthClips() const {
+    return truth_->QueryTruthClips(query_, layout().frames_per_shot());
+  }
+
+  // Same scenario (same seed, same truth process) re-segmented with a
+  // different clip length in frames; used by the Figure 4/5 sweeps.
+  Scenario WithClipFrames(int64_t frames_per_clip) const;
+
+  // Same video, different query (Table 3's predicate variations). The
+  // action may be empty (object-only query) and objects may be empty.
+  StatusOr<Scenario> WithQuery(
+      const std::string& action,
+      const std::vector<std::string>& objects) const;
+
+ private:
+  static Scenario Build(ScenarioSpec spec, const std::string& query_action,
+                        const std::vector<std::string>& query_objects);
+
+  Scenario(ScenarioSpec spec, std::shared_ptr<Vocabulary> vocab,
+           std::shared_ptr<const GroundTruth> truth, QuerySpec query)
+      : spec_(std::move(spec)),
+        vocab_(std::move(vocab)),
+        truth_(std::move(truth)),
+        query_(std::move(query)) {}
+
+  ScenarioSpec spec_;
+  std::shared_ptr<Vocabulary> vocab_;
+  std::shared_ptr<const GroundTruth> truth_;
+  QuerySpec query_;
+};
+
+}  // namespace synth
+}  // namespace vaq
+
+#endif  // VAQ_SYNTH_SCENARIO_H_

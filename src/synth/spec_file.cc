@@ -1,0 +1,246 @@
+#include "synth/spec_file.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vaq {
+namespace synth {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status ParseDouble(const std::string& value, int line, double* out) {
+  // strtod keeps the library exception-free.
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  if (value.empty() || end != begin + value.size()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": expected a number, got '" + value +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+Status ParseDrift(const std::string& value, int line, DriftProfile* out) {
+  out->multipliers.clear();
+  std::stringstream ss(value);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    double multiplier = 0;
+    VAQ_RETURN_IF_ERROR(ParseDouble(Trim(piece), line, &multiplier));
+    out->multipliers.push_back(multiplier);
+  }
+  if (out->multipliers.empty()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": empty drift profile");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
+  ScenarioSpec spec;
+  enum class Section { kGlobal, kAction, kObject };
+  Section section = Section::kGlobal;
+
+  std::stringstream stream(text);
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const size_t comment = raw.find('#');
+    const std::string line =
+        Trim(comment == std::string::npos ? raw : raw.substr(0, comment));
+    if (line.empty()) continue;
+
+    if (line == "[action]") {
+      spec.actions.emplace_back();
+      section = Section::kAction;
+      continue;
+    }
+    if (line == "[object]") {
+      spec.objects.emplace_back();
+      section = Section::kObject;
+      continue;
+    }
+    if (line.front() == '[') {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": unknown section " + line);
+    }
+    const size_t equals = line.find('=');
+    if (equals == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, equals));
+    const std::string value = Trim(line.substr(equals + 1));
+    double number = 0;
+
+    switch (section) {
+      case Section::kGlobal:
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "minutes") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.minutes = number;
+        } else if (key == "fps") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.fps = number;
+        } else if (key == "seed") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.seed = static_cast<uint64_t>(number);
+        } else if (key == "video_id") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.video_id = static_cast<int64_t>(number);
+        } else if (key == "frames_per_shot") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.frames_per_shot = static_cast<int32_t>(number);
+        } else if (key == "shots_per_clip") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          spec.shots_per_clip = static_cast<int32_t>(number);
+        } else {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": unknown global key " +
+              key);
+        }
+        break;
+      case Section::kAction: {
+        ActionTrackSpec& action = spec.actions.back();
+        if (key == "name") {
+          action.name = value;
+        } else if (key == "duty") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          action.duty = number;
+        } else if (key == "mean_len_frames") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          action.mean_len_frames = number;
+        } else if (key == "drift") {
+          VAQ_RETURN_IF_ERROR(ParseDrift(value, line_number, &action.drift));
+        } else {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": unknown action key " +
+              key);
+        }
+        break;
+      }
+      case Section::kObject: {
+        ObjectTrackSpec& object = spec.objects.back();
+        if (key == "name") {
+          object.name = value;
+        } else if (key == "background_duty") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          object.background_duty = number;
+        } else if (key == "mean_len_frames") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          object.mean_len_frames = number;
+        } else if (key == "coupled_action") {
+          object.coupled_action = value;
+        } else if (key == "cover_action_prob") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          object.cover_action_prob = number;
+        } else if (key == "mean_instances") {
+          VAQ_RETURN_IF_ERROR(ParseDouble(value, line_number, &number));
+          object.mean_instances = number;
+        } else if (key == "drift") {
+          VAQ_RETURN_IF_ERROR(ParseDrift(value, line_number, &object.drift));
+        } else {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": unknown object key " +
+              key);
+        }
+        break;
+      }
+    }
+  }
+  // Validation.
+  if (spec.NumFrames() <= 0) {
+    return Status::InvalidArgument("scenario has no frames");
+  }
+  for (const ActionTrackSpec& action : spec.actions) {
+    if (action.name.empty()) {
+      return Status::InvalidArgument("action track without a name");
+    }
+  }
+  for (const ObjectTrackSpec& object : spec.objects) {
+    if (object.name.empty()) {
+      return Status::InvalidArgument("object track without a name");
+    }
+    if (!object.coupled_action.empty()) {
+      bool found = false;
+      for (const ActionTrackSpec& action : spec.actions) {
+        found |= action.name == object.coupled_action;
+      }
+      if (!found) {
+        return Status::InvalidArgument("object '" + object.name +
+                                       "' couples to unknown action '" +
+                                       object.coupled_action + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+StatusOr<ScenarioSpec> LoadScenarioSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open spec file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenarioSpec(buffer.str());
+}
+
+std::string FormatScenarioSpec(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "name = " << spec.name << "\n";
+  os << "minutes = " << spec.minutes << "\n";
+  os << "fps = " << spec.fps << "\n";
+  os << "seed = " << spec.seed << "\n";
+  os << "video_id = " << spec.video_id << "\n";
+  os << "frames_per_shot = " << spec.frames_per_shot << "\n";
+  os << "shots_per_clip = " << spec.shots_per_clip << "\n";
+  auto drift = [&os](const DriftProfile& profile) {
+    if (profile.flat()) return;
+    os << "drift = ";
+    for (size_t i = 0; i < profile.multipliers.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << profile.multipliers[i];
+    }
+    os << "\n";
+  };
+  for (const ActionTrackSpec& action : spec.actions) {
+    os << "\n[action]\n";
+    os << "name = " << action.name << "\n";
+    os << "duty = " << action.duty << "\n";
+    os << "mean_len_frames = " << action.mean_len_frames << "\n";
+    drift(action.drift);
+  }
+  for (const ObjectTrackSpec& object : spec.objects) {
+    os << "\n[object]\n";
+    os << "name = " << object.name << "\n";
+    os << "background_duty = " << object.background_duty << "\n";
+    os << "mean_len_frames = " << object.mean_len_frames << "\n";
+    if (!object.coupled_action.empty()) {
+      os << "coupled_action = " << object.coupled_action << "\n";
+      os << "cover_action_prob = " << object.cover_action_prob << "\n";
+    }
+    os << "mean_instances = " << object.mean_instances << "\n";
+    drift(object.drift);
+  }
+  return os.str();
+}
+
+}  // namespace synth
+}  // namespace vaq

@@ -1,0 +1,82 @@
+#include "video/cnf_query.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vaq {
+
+CnfQuery CnfQuery::FromConjunctive(const QuerySpec& spec) {
+  CnfQuery query;
+  for (ObjectTypeId type : spec.objects) {
+    query.clauses.push_back(Clause{{Literal::Object(type)}});
+  }
+  if (spec.has_action()) {
+    query.clauses.push_back(Clause{{Literal::Action(spec.action)}});
+  }
+  return query;
+}
+
+StatusOr<CnfQuery> CnfQuery::FromNames(
+    const Vocabulary& vocab,
+    const std::vector<std::vector<std::string>>& clauses) {
+  CnfQuery query;
+  for (const std::vector<std::string>& clause_names : clauses) {
+    Clause clause;
+    for (const std::string& name : clause_names) {
+      if (name.rfind("obj:", 0) == 0) {
+        VAQ_ASSIGN_OR_RETURN(ObjectTypeId id,
+                             vocab.GetObjectType(name.substr(4)));
+        clause.literals.push_back(Literal::Object(id));
+      } else if (name.rfind("act:", 0) == 0) {
+        VAQ_ASSIGN_OR_RETURN(ActionTypeId id,
+                             vocab.GetActionType(name.substr(4)));
+        clause.literals.push_back(Literal::Action(id));
+      } else {
+        return Status::InvalidArgument(
+            "literal must start with obj: or act:, got " + name);
+      }
+    }
+    if (clause.literals.empty()) {
+      return Status::InvalidArgument("empty clause");
+    }
+    query.clauses.push_back(std::move(clause));
+  }
+  if (query.clauses.empty()) {
+    return Status::InvalidArgument("query has no clauses");
+  }
+  return query;
+}
+
+std::vector<Literal> CnfQuery::DistinctLiterals() const {
+  std::vector<Literal> out;
+  for (const Clause& clause : clauses) {
+    for (const Literal& literal : clause.literals) {
+      if (std::find(out.begin(), out.end(), literal) == out.end()) {
+        out.push_back(literal);
+      }
+    }
+  }
+  return out;
+}
+
+std::string CnfQuery::ToString(const Vocabulary& vocab) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) os << " AND ";
+    const bool parens = clauses[c].literals.size() > 1;
+    if (parens) os << "(";
+    for (size_t l = 0; l < clauses[c].literals.size(); ++l) {
+      if (l > 0) os << " OR ";
+      const Literal& literal = clauses[c].literals[l];
+      if (literal.kind == Literal::Kind::kObject) {
+        os << "obj=" << vocab.ObjectTypeName(literal.type);
+      } else {
+        os << "act=" << vocab.ActionTypeName(literal.type);
+      }
+    }
+    if (parens) os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace vaq

@@ -1,0 +1,77 @@
+// Queries in conjunctive normal form (CNF).
+//
+// The paper's core query model is a conjunction of an action and object
+// predicates (QuerySpec), but footnotes 3-4 of §2 sketch the general
+// case: multiple actions combined conjunctively, and arbitrary
+// disjunctions handled by transforming the predicate into CNF and
+// evaluating each clause's indicator per clip. `CnfQuery` implements that
+// general form: a conjunction of clauses, each clause a disjunction of
+// literals, each literal the presence of one object type or one action
+// type.
+//
+// A plain conjunctive QuerySpec corresponds to the CNF in which every
+// clause is a single literal.
+#ifndef VAQ_VIDEO_CNF_QUERY_H_
+#define VAQ_VIDEO_CNF_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "video/query_spec.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+
+// One predicate: the presence of an object type (frame granularity) or an
+// action type (shot granularity).
+struct Literal {
+  enum class Kind { kObject, kAction };
+  Kind kind = Kind::kObject;
+  int32_t type = kInvalidTypeId;  // ObjectTypeId or ActionTypeId.
+
+  static Literal Object(ObjectTypeId id) {
+    return Literal{Kind::kObject, id};
+  }
+  static Literal Action(ActionTypeId id) {
+    return Literal{Kind::kAction, id};
+  }
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.kind == b.kind && a.type == b.type;
+  }
+};
+
+// A disjunction of literals; satisfied on a clip when any literal's
+// indicator fires.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+// A conjunction of clauses.
+struct CnfQuery {
+  std::vector<Clause> clauses;
+
+  // Lifts a conjunctive query: each predicate becomes a one-literal
+  // clause, in the QuerySpec's evaluation order (objects first, then the
+  // action, matching Algorithm 2).
+  static CnfQuery FromConjunctive(const QuerySpec& spec);
+
+  // Builds from names: each inner vector is one clause; entries are
+  // "obj:<name>" or "act:<name>".
+  static StatusOr<CnfQuery> FromNames(
+      const Vocabulary& vocab,
+      const std::vector<std::vector<std::string>>& clauses);
+
+  // Distinct literals across all clauses, in first-appearance order.
+  std::vector<Literal> DistinctLiterals() const;
+
+  bool empty() const { return clauses.empty(); }
+  int num_clauses() const { return static_cast<int>(clauses.size()); }
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_VIDEO_CNF_QUERY_H_

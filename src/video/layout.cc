@@ -1,0 +1,52 @@
+#include "video/layout.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vaq {
+
+StatusOr<VideoLayout> VideoLayout::Make(int64_t num_frames,
+                                        int32_t frames_per_shot,
+                                        int32_t shots_per_clip) {
+  if (num_frames < 0) {
+    return Status::InvalidArgument("num_frames must be non-negative");
+  }
+  if (frames_per_shot <= 0) {
+    return Status::InvalidArgument("frames_per_shot must be positive");
+  }
+  if (shots_per_clip <= 0) {
+    return Status::InvalidArgument("shots_per_clip must be positive");
+  }
+  return VideoLayout(num_frames, frames_per_shot, shots_per_clip);
+}
+
+IntervalSet VideoLayout::FramesToClips(const IntervalSet& frames) const {
+  IntervalSet clips;
+  const int64_t fpc = frames_per_clip();
+  for (const Interval& iv : frames.intervals()) {
+    if (iv.empty()) continue;
+    const int64_t lo = std::clamp<int64_t>(iv.lo, 0, num_frames_ - 1);
+    const int64_t hi = std::clamp<int64_t>(iv.hi, 0, num_frames_ - 1);
+    clips.Add(Interval(lo / fpc, hi / fpc));
+  }
+  return clips;
+}
+
+IntervalSet VideoLayout::ClipsToFrames(const IntervalSet& clips) const {
+  IntervalSet frames;
+  for (const Interval& iv : clips.intervals()) {
+    if (iv.empty()) continue;
+    frames.Add(Interval(ClipFrameRange(iv.lo).lo, ClipFrameRange(iv.hi).hi));
+  }
+  return frames;
+}
+
+std::string VideoLayout::ToString() const {
+  std::ostringstream os;
+  os << "VideoLayout{frames=" << num_frames_
+     << ", frames_per_shot=" << frames_per_shot_
+     << ", shots_per_clip=" << shots_per_clip_ << "}";
+  return os.str();
+}
+
+}  // namespace vaq

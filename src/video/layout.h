@@ -1,0 +1,143 @@
+// The frame / shot / clip hierarchy of §2.
+//
+// A video is a sequence of frames. A *shot* is a fixed-length run of
+// consecutive frames (the input unit of action recognition; typical length
+// 10-30 frames). A *clip* is a fixed-length run of consecutive shots (the
+// paper's tunable granularity; object events are counted per frame within a
+// clip, action events per shot). A *sequence* — the query result unit — is a
+// run of consecutive clips, represented with `Interval`/`IntervalSet`.
+//
+// `VideoLayout` fixes the shot and clip lengths and provides all index
+// arithmetic between the three granularities. A trailing partial clip/shot
+// is retained (its frame range is simply shorter).
+#ifndef VAQ_VIDEO_LAYOUT_H_
+#define VAQ_VIDEO_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/interval.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace vaq {
+
+// Index aliases; all zero-based.
+using FrameIndex = int64_t;
+using ShotIndex = int64_t;
+using ClipIndex = int64_t;
+
+// Fixed segmentation parameters of one video.
+class VideoLayout {
+ public:
+  // `frames_per_shot` and `shots_per_clip` must be positive;
+  // `num_frames` must be non-negative.
+  VideoLayout(int64_t num_frames, int32_t frames_per_shot,
+              int32_t shots_per_clip)
+      : num_frames_(num_frames),
+        frames_per_shot_(frames_per_shot),
+        shots_per_clip_(shots_per_clip) {
+    VAQ_CHECK_GE(num_frames, 0);
+    VAQ_CHECK_GT(frames_per_shot, 0);
+    VAQ_CHECK_GT(shots_per_clip, 0);
+  }
+
+  // Validating factory for untrusted inputs.
+  static StatusOr<VideoLayout> Make(int64_t num_frames,
+                                    int32_t frames_per_shot,
+                                    int32_t shots_per_clip);
+
+  int64_t num_frames() const { return num_frames_; }
+  int32_t frames_per_shot() const { return frames_per_shot_; }
+  int32_t shots_per_clip() const { return shots_per_clip_; }
+  int64_t frames_per_clip() const {
+    return static_cast<int64_t>(frames_per_shot_) * shots_per_clip_;
+  }
+
+  // Counts include a trailing partial shot/clip, if any.
+  int64_t NumShots() const {
+    return CeilDiv(num_frames_, frames_per_shot_);
+  }
+  int64_t NumClips() const {
+    return CeilDiv(num_frames_, frames_per_clip());
+  }
+
+  ShotIndex FrameToShot(FrameIndex frame) const {
+    CheckFrame(frame);
+    return frame / frames_per_shot_;
+  }
+  ClipIndex FrameToClip(FrameIndex frame) const {
+    CheckFrame(frame);
+    return frame / frames_per_clip();
+  }
+  ClipIndex ShotToClip(ShotIndex shot) const {
+    CheckShot(shot);
+    return shot / shots_per_clip_;
+  }
+
+  // Inclusive frame range covered by a shot (trailing shot may be short).
+  Interval ShotFrameRange(ShotIndex shot) const {
+    CheckShot(shot);
+    const int64_t lo = shot * frames_per_shot_;
+    const int64_t hi =
+        std::min<int64_t>(lo + frames_per_shot_ - 1, num_frames_ - 1);
+    return Interval(lo, hi);
+  }
+
+  // Inclusive frame range covered by a clip.
+  Interval ClipFrameRange(ClipIndex clip) const {
+    CheckClip(clip);
+    const int64_t lo = clip * frames_per_clip();
+    const int64_t hi =
+        std::min<int64_t>(lo + frames_per_clip() - 1, num_frames_ - 1);
+    return Interval(lo, hi);
+  }
+
+  // Inclusive shot range covered by a clip.
+  Interval ClipShotRange(ClipIndex clip) const {
+    CheckClip(clip);
+    const int64_t lo = clip * shots_per_clip_;
+    const int64_t hi =
+        std::min<int64_t>(lo + shots_per_clip_ - 1, NumShots() - 1);
+    return Interval(lo, hi);
+  }
+
+  // Converts a frame-level interval set to the clip-level set of clips with
+  // at least one covered frame (used to project ground truth to clips).
+  IntervalSet FramesToClips(const IntervalSet& frames) const;
+
+  // Converts a clip-level interval set to the frame-level set it covers.
+  IntervalSet ClipsToFrames(const IntervalSet& clips) const;
+
+  friend bool operator==(const VideoLayout& a, const VideoLayout& b) {
+    return a.num_frames_ == b.num_frames_ &&
+           a.frames_per_shot_ == b.frames_per_shot_ &&
+           a.shots_per_clip_ == b.shots_per_clip_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  static int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+  void CheckFrame(FrameIndex frame) const {
+    VAQ_CHECK_GE(frame, 0);
+    VAQ_CHECK_LT(frame, num_frames_);
+  }
+  void CheckShot(ShotIndex shot) const {
+    VAQ_CHECK_GE(shot, 0);
+    VAQ_CHECK_LT(shot, NumShots());
+  }
+  void CheckClip(ClipIndex clip) const {
+    VAQ_CHECK_GE(clip, 0);
+    VAQ_CHECK_LT(clip, NumClips());
+  }
+
+  int64_t num_frames_;
+  int32_t frames_per_shot_;
+  int32_t shots_per_clip_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_VIDEO_LAYOUT_H_

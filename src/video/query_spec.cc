@@ -1,0 +1,41 @@
+#include "video/query_spec.h"
+
+#include <sstream>
+
+namespace vaq {
+
+StatusOr<QuerySpec> QuerySpec::FromNames(
+    const Vocabulary& vocab, const std::string& action_name,
+    const std::vector<std::string>& object_names) {
+  QuerySpec spec;
+  if (!action_name.empty()) {
+    VAQ_ASSIGN_OR_RETURN(spec.action, vocab.GetActionType(action_name));
+  }
+  for (const std::string& name : object_names) {
+    VAQ_ASSIGN_OR_RETURN(ObjectTypeId id, vocab.GetObjectType(name));
+    spec.objects.push_back(id);
+  }
+  if (!spec.has_action() && spec.objects.empty()) {
+    return Status::InvalidArgument("query has no predicates");
+  }
+  return spec;
+}
+
+std::string QuerySpec::ToString(const Vocabulary& vocab) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  if (has_action()) {
+    os << "a=" << vocab.ActionTypeName(action);
+    first = false;
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (!first) os << "; ";
+    os << "o" << (i + 1) << "=" << vocab.ObjectTypeName(objects[i]);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace vaq

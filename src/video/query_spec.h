@@ -1,0 +1,47 @@
+// The query model of §2: q = { o_1, ..., o_I ∈ O; a ∈ A }.
+//
+// A query is a conjunction of predicates: the presence of one action and of
+// zero or more object types. Object predicates are listed in evaluation
+// order (the paper leaves predicate ordering to "user expertise"; Algorithm
+// 2 evaluates them in the given order and short-circuits).
+#ifndef VAQ_VIDEO_QUERY_SPEC_H_
+#define VAQ_VIDEO_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+
+// A resolved query against a concrete vocabulary.
+struct QuerySpec {
+  // Object-type predicates o_1 .. o_I, in evaluation order. May be empty.
+  std::vector<ObjectTypeId> objects;
+  // The action predicate a. kInvalidTypeId means "no action predicate"
+  // (the paper's Table 3 includes object-free and, symmetrically, we allow
+  // action-free conjunctions for ablations).
+  ActionTypeId action = kInvalidTypeId;
+
+  bool has_action() const { return action != kInvalidTypeId; }
+  int num_object_predicates() const {
+    return static_cast<int>(objects.size());
+  }
+  int num_predicates() const {
+    return num_object_predicates() + (has_action() ? 1 : 0);
+  }
+
+  // Builds a spec from names, resolving them in `vocab`. `action_name` may
+  // be empty for an action-free query.
+  static StatusOr<QuerySpec> FromNames(
+      const Vocabulary& vocab, const std::string& action_name,
+      const std::vector<std::string>& object_names);
+
+  // Human-readable form, e.g. "{a=jumping; o1=car; o2=human}".
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_VIDEO_QUERY_SPEC_H_

@@ -1,0 +1,74 @@
+#include "video/sequence_ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vaq {
+
+IntervalSet DropShortSequences(const IntervalSet& sequences,
+                               int64_t min_clips) {
+  VAQ_CHECK_GE(min_clips, 0);
+  IntervalSet out;
+  for (const Interval& seq : sequences.intervals()) {
+    if (seq.length() >= min_clips) out.Add(seq);
+  }
+  return out;
+}
+
+IntervalSet MergeGaps(const IntervalSet& sequences, int64_t max_gap_clips) {
+  VAQ_CHECK_GE(max_gap_clips, 0);
+  IntervalSet out;
+  Interval pending;
+  bool has_pending = false;
+  for (const Interval& seq : sequences.intervals()) {
+    if (!has_pending) {
+      pending = seq;
+      has_pending = true;
+      continue;
+    }
+    if (seq.lo - pending.hi - 1 <= max_gap_clips) {
+      pending.hi = seq.hi;  // Bridge the gap.
+    } else {
+      out.Add(pending);
+      pending = seq;
+    }
+  }
+  if (has_pending) out.Add(pending);
+  return out;
+}
+
+IntervalSet PadSequences(const IntervalSet& sequences, int64_t pad_clips,
+                         int64_t num_clips) {
+  VAQ_CHECK_GE(pad_clips, 0);
+  VAQ_CHECK_GT(num_clips, 0);
+  IntervalSet out;
+  for (const Interval& seq : sequences.intervals()) {
+    out.Add(Interval(std::max<int64_t>(0, seq.lo - pad_clips),
+                     std::min(num_clips - 1, seq.hi + pad_clips)));
+  }
+  return out;
+}
+
+IntervalSet ClampToWindow(const IntervalSet& sequences,
+                          const Interval& window) {
+  return sequences.Intersect(IntervalSet::FromIntervals({window}));
+}
+
+std::vector<TimeRange> ToTimeRanges(const IntervalSet& sequences,
+                                    const VideoLayout& layout, double fps) {
+  VAQ_CHECK_GT(fps, 0.0);
+  std::vector<TimeRange> out;
+  out.reserve(sequences.size());
+  for (const Interval& seq : sequences.intervals()) {
+    TimeRange range;
+    range.begin_seconds =
+        static_cast<double>(layout.ClipFrameRange(seq.lo).lo) / fps;
+    range.end_seconds =
+        static_cast<double>(layout.ClipFrameRange(seq.hi).hi + 1) / fps;
+    out.push_back(range);
+  }
+  return out;
+}
+
+}  // namespace vaq

@@ -1,0 +1,49 @@
+// Post-processing operators over result sequences.
+//
+// The engines return P_q as maximal runs of positive clips (Eq. 4); real
+// applications routinely shape that set before acting on it — drop blips,
+// bridge momentary dropouts, window the results to a time range, pad
+// context around hits. These operators are pure functions over
+// IntervalSet at clip granularity, each preserving canonical form.
+#ifndef VAQ_VIDEO_SEQUENCE_OPS_H_
+#define VAQ_VIDEO_SEQUENCE_OPS_H_
+
+#include <cstdint>
+
+#include "common/interval.h"
+#include "video/layout.h"
+
+namespace vaq {
+
+// Drops sequences shorter than `min_clips`.
+IntervalSet DropShortSequences(const IntervalSet& sequences,
+                               int64_t min_clips);
+
+// Bridges gaps of at most `max_gap_clips` between consecutive sequences
+// (morphological closing at clip granularity); a dropout of a clip or two
+// inside one real event no longer splits it.
+IntervalSet MergeGaps(const IntervalSet& sequences, int64_t max_gap_clips);
+
+// Extends every sequence by `pad_clips` on each side (clamped to
+// [0, num_clips)), merging any sequences that come to touch. Useful to
+// hand a viewer some context around each hit.
+IntervalSet PadSequences(const IntervalSet& sequences, int64_t pad_clips,
+                         int64_t num_clips);
+
+// Keeps only the parts of sequences that lie within the clip window
+// [window.lo, window.hi].
+IntervalSet ClampToWindow(const IntervalSet& sequences,
+                          const Interval& window);
+
+// Converts a clip-granularity sequence set to inclusive second ranges
+// under `layout` at `fps` frames per second.
+struct TimeRange {
+  double begin_seconds = 0;
+  double end_seconds = 0;
+};
+std::vector<TimeRange> ToTimeRanges(const IntervalSet& sequences,
+                                    const VideoLayout& layout, double fps);
+
+}  // namespace vaq
+
+#endif  // VAQ_VIDEO_SEQUENCE_OPS_H_

@@ -1,0 +1,63 @@
+#include "video/vocabulary.h"
+
+#include "common/logging.h"
+
+namespace vaq {
+
+ObjectTypeId Vocabulary::AddObjectType(std::string_view name) {
+  auto it = object_ids_.find(std::string(name));
+  if (it != object_ids_.end()) return it->second;
+  const ObjectTypeId id = static_cast<ObjectTypeId>(object_names_.size());
+  object_names_.emplace_back(name);
+  object_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+ActionTypeId Vocabulary::AddActionType(std::string_view name) {
+  auto it = action_ids_.find(std::string(name));
+  if (it != action_ids_.end()) return it->second;
+  const ActionTypeId id = static_cast<ActionTypeId>(action_names_.size());
+  action_names_.emplace_back(name);
+  action_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+ObjectTypeId Vocabulary::FindObjectType(std::string_view name) const {
+  auto it = object_ids_.find(std::string(name));
+  return it == object_ids_.end() ? kInvalidTypeId : it->second;
+}
+
+ActionTypeId Vocabulary::FindActionType(std::string_view name) const {
+  auto it = action_ids_.find(std::string(name));
+  return it == action_ids_.end() ? kInvalidTypeId : it->second;
+}
+
+StatusOr<ObjectTypeId> Vocabulary::GetObjectType(std::string_view name) const {
+  const ObjectTypeId id = FindObjectType(name);
+  if (id == kInvalidTypeId) {
+    return Status::NotFound("unknown object type: " + std::string(name));
+  }
+  return id;
+}
+
+StatusOr<ActionTypeId> Vocabulary::GetActionType(std::string_view name) const {
+  const ActionTypeId id = FindActionType(name);
+  if (id == kInvalidTypeId) {
+    return Status::NotFound("unknown action type: " + std::string(name));
+  }
+  return id;
+}
+
+const std::string& Vocabulary::ObjectTypeName(ObjectTypeId id) const {
+  VAQ_CHECK_GE(id, 0);
+  VAQ_CHECK_LT(id, num_object_types());
+  return object_names_[id];
+}
+
+const std::string& Vocabulary::ActionTypeName(ActionTypeId id) const {
+  VAQ_CHECK_GE(id, 0);
+  VAQ_CHECK_LT(id, num_action_types());
+  return action_names_[id];
+}
+
+}  // namespace vaq

@@ -1,0 +1,65 @@
+// Label vocabulary: the universes O (object types) and A (action types).
+//
+// Object types are what the deployed object detector can recognize (§2,
+// e.g. COCO classes for Mask R-CNN); action types are what the action
+// recognizer is trained on (e.g. Kinetics categories for I3D). The
+// vocabulary maps names to dense integer ids used everywhere else.
+#ifndef VAQ_VIDEO_VOCABULARY_H_
+#define VAQ_VIDEO_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaq {
+
+// Dense id of an object type within a Vocabulary.
+using ObjectTypeId = int32_t;
+// Dense id of an action type within a Vocabulary.
+using ActionTypeId = int32_t;
+
+inline constexpr int32_t kInvalidTypeId = -1;
+
+// Registry of object and action type names. Ids are assigned densely in
+// registration order and are stable for the lifetime of the vocabulary.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Registers (or finds) an object type by name; returns its id.
+  ObjectTypeId AddObjectType(std::string_view name);
+  // Registers (or finds) an action type by name; returns its id.
+  ActionTypeId AddActionType(std::string_view name);
+
+  // Lookup by name; kInvalidTypeId when absent.
+  ObjectTypeId FindObjectType(std::string_view name) const;
+  ActionTypeId FindActionType(std::string_view name) const;
+
+  // Lookup by name with a Status error when absent.
+  StatusOr<ObjectTypeId> GetObjectType(std::string_view name) const;
+  StatusOr<ActionTypeId> GetActionType(std::string_view name) const;
+
+  const std::string& ObjectTypeName(ObjectTypeId id) const;
+  const std::string& ActionTypeName(ActionTypeId id) const;
+
+  int32_t num_object_types() const {
+    return static_cast<int32_t>(object_names_.size());
+  }
+  int32_t num_action_types() const {
+    return static_cast<int32_t>(action_names_.size());
+  }
+
+ private:
+  std::vector<std::string> object_names_;
+  std::vector<std::string> action_names_;
+  std::unordered_map<std::string, ObjectTypeId> object_ids_;
+  std::unordered_map<std::string, ActionTypeId> action_ids_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_VIDEO_VOCABULARY_H_

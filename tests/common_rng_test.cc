@@ -1,0 +1,149 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 4);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+  }
+  // All 8 values should appear.
+  bool seen[8] = {};
+  for (int i = 0; i < 10000; ++i) seen[rng.UniformInt(-3, 4) + 3] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, BernoulliMatchesRate) {
+  Rng rng(11);
+  for (double p : {0.0, 0.01, 0.3, 1.0}) {
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02) << "p=" << p;
+  }
+}
+
+// Moment checks for the continuous distributions (parameterized sweep).
+class RngMomentsTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RngMomentsTest, GammaMeanAndVariance) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(13);
+  const int n = 40000;
+  double sum = 0;
+  double sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(shape, scale);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.08 * shape * scale + 0.02);
+  EXPECT_NEAR(var, shape * scale * scale,
+              0.20 * shape * scale * scale + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RngMomentsTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.5, 8.0),
+                       ::testing::Values(0.5, 2.0)));
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(17);
+  for (auto [a, b] : {std::pair{2.0, 5.0}, {5.0, 2.0}, {1.0, 1.0}}) {
+    double sum = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.Beta(a, b);
+      ASSERT_GE(x, 0.0);
+      ASSERT_LE(x, 1.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / n, a / (a + b), 0.01) << a << "," << b;
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t x = rng.Geometric(0.2);
+    ASSERT_GE(x, 0);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.2);  // (1-p)/p = 4.
+}
+
+TEST(RngTest, MixSeedSeparatesStreams) {
+  Rng a(MixSeed(42, 1));
+  Rng b(MixSeed(42, 2));
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace vaq

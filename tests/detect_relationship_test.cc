@@ -1,0 +1,232 @@
+#include "detect/relationship.h"
+
+#include <gtest/gtest.h>
+
+#include "scanstat/critical_value.h"
+#include "eval/metrics.h"
+#include "synth/generator.h"
+
+namespace vaq {
+namespace detect {
+namespace {
+
+// Hand-built ground truth: a "car" parked on the left half and a "human"
+// walking right-to-left across it.
+struct HandFixture {
+  Vocabulary vocab;
+  ObjectTypeId car;
+  ObjectTypeId human;
+  synth::GroundTruth truth{1, VideoLayout(1000, 10, 10)};
+
+  HandFixture() {
+    car = vocab.AddObjectType("car");
+    human = vocab.AddObjectType("human");
+    synth::ObjectTruth car_truth;
+    car_truth.type = car;
+    synth::TruthInstance parked;
+    parked.instance_id = 0;
+    parked.frames = Interval(0, 999);
+    parked.x0 = 0.3;
+    parked.vx = 0.0;
+    car_truth.instances.push_back(parked);
+    car_truth.frames = IntervalSet::FromIntervals({parked.frames});
+    truth.AddObjectTruth(std::move(car_truth));
+
+    synth::ObjectTruth human_truth;
+    human_truth.type = human;
+    synth::TruthInstance walking;
+    walking.instance_id = 0;
+    walking.frames = Interval(0, 999);
+    walking.x0 = 0.9;           // Starts right of the car...
+    walking.vx = -0.8 / 999.0;  // ...ends at x = 0.1, left of it.
+    human_truth.instances.push_back(walking);
+    human_truth.frames = IntervalSet::FromIntervals({walking.frames});
+    truth.AddObjectTruth(std::move(human_truth));
+  }
+};
+
+TEST(RelationshipTruthTest, GeometryOfLeftRightNear) {
+  const HandFixture f;
+  const RelationshipDetector detector(&f.truth, ModelProfile::IdealObject(),
+                                      1);
+  RelationshipSpec car_left_of_human{RelationshipKind::kLeftOf, f.car,
+                                     f.human, 0.05};
+  RelationshipSpec car_right_of_human{RelationshipKind::kRightOf, f.car,
+                                      f.human, 0.05};
+  RelationshipSpec near{RelationshipKind::kNear, f.car, f.human, 0.05};
+
+  // Early frames: human at ~0.9, car at 0.3 -> car left of human.
+  EXPECT_TRUE(detector.TruthHolds(car_left_of_human, 0));
+  EXPECT_FALSE(detector.TruthHolds(car_right_of_human, 0));
+  EXPECT_FALSE(detector.TruthHolds(near, 0));
+  // Late frames: human at ~0.1 -> car right of human.
+  EXPECT_FALSE(detector.TruthHolds(car_left_of_human, 999));
+  EXPECT_TRUE(detector.TruthHolds(car_right_of_human, 999));
+  // Crossing point: human passes x = 0.3 near frame
+  // (0.9 - 0.3) / (0.8 / 999) ~= 749; "near" holds around it.
+  EXPECT_TRUE(detector.TruthHolds(near, 749));
+  // XAt clamps to the screen.
+  synth::TruthInstance runaway;
+  runaway.frames = Interval(0, 10);
+  runaway.x0 = 0.95;
+  runaway.vx = 0.1;
+  EXPECT_DOUBLE_EQ(runaway.XAt(10), 1.0);
+}
+
+TEST(RelationshipTruthTest, SelfRelationshipNeedsTwoInstances) {
+  const HandFixture f;
+  const RelationshipDetector detector(&f.truth, ModelProfile::IdealObject(),
+                                      1);
+  // Only one car instance: "car left of car" never holds.
+  RelationshipSpec self{RelationshipKind::kLeftOf, f.car, f.car, 0.01};
+  EXPECT_FALSE(detector.TruthHolds(self, 500));
+}
+
+TEST(RelationshipTruthTest, AbsentTypeNeverHolds) {
+  const HandFixture f;
+  const RelationshipDetector detector(&f.truth, ModelProfile::IdealObject(),
+                                      1);
+  // Restrict to frames where the human is absent.
+  HandFixture limited;
+  limited.truth = synth::GroundTruth(2, VideoLayout(1000, 10, 10));
+  RelationshipSpec spec{RelationshipKind::kLeftOf, f.car, f.human, 0.05};
+  const RelationshipDetector empty_detector(&limited.truth,
+                                            ModelProfile::IdealObject(), 1);
+  EXPECT_FALSE(empty_detector.TruthHolds(spec, 0));
+}
+
+TEST(RelationshipDetectorTest, IdealProfileMatchesTruth) {
+  const HandFixture f;
+  const RelationshipDetector detector(&f.truth, ModelProfile::IdealObject(),
+                                      1);
+  RelationshipSpec spec{RelationshipKind::kLeftOf, f.car, f.human, 0.05};
+  for (FrameIndex frame = 0; frame < 1000; frame += 7) {
+    EXPECT_EQ(detector.IsPositive(spec, frame),
+              detector.TruthHolds(spec, frame))
+        << frame;
+  }
+}
+
+TEST(RelationshipDetectorTest, NoisyRatesComposeDetectorProfile) {
+  const HandFixture f;
+  ModelProfile profile = ModelProfile::MaskRcnn();
+  profile.fn_block = 1;
+  profile.fp_block = 1;
+  const RelationshipDetector detector(&f.truth, profile, 3);
+  RelationshipSpec spec{RelationshipKind::kLeftOf, f.car, f.human, 0.05};
+  int64_t tp = 0;
+  int64_t pos = 0;
+  int64_t fp = 0;
+  int64_t neg = 0;
+  for (FrameIndex frame = 0; frame < 1000; ++frame) {
+    const bool truth_holds = detector.TruthHolds(spec, frame);
+    const bool fired = detector.IsPositive(spec, frame);
+    if (truth_holds) {
+      ++pos;
+      tp += fired;
+    } else {
+      ++neg;
+      fp += fired;
+    }
+  }
+  ASSERT_GT(pos, 200);
+  ASSERT_GT(neg, 200);
+  // Effective TPR ~ tpr^2 (two detections must both succeed).
+  EXPECT_NEAR(static_cast<double>(tp) / pos, profile.tpr * profile.tpr,
+              0.06);
+  EXPECT_NEAR(static_cast<double>(fp) / neg, profile.fpr, 0.02);
+}
+
+TEST(RelationshipDetectorTest, FootnoteTwoPipeline) {
+  // The footnote-2 architecture end to end: the relationship's per-frame
+  // binary outputs feed the identical scan-statistic machinery as object
+  // predicates — per-clip counts, a critical value from Eq. 5, merged
+  // indicator sequences — and recover the relationship's truth segments.
+  const HandFixture f;
+  const VideoLayout& layout = f.truth.layout();
+  ModelProfile profile = ModelProfile::MaskRcnn();
+  profile.fn_block = 1;
+  profile.fp_block = 1;
+  const RelationshipDetector detector(&f.truth, profile, 9);
+  RelationshipSpec spec{RelationshipKind::kLeftOf, f.car, f.human, 0.05};
+
+  const std::vector<int64_t> counts = detector.ClipCounts(spec, layout);
+  scanstat::ScanConfig config;
+  config.window = layout.frames_per_clip();
+  config.horizon = layout.num_frames();
+  config.alpha = 0.01;
+  const int64_t kcrit = scanstat::CriticalValue(profile.fpr, config);
+  std::vector<bool> indicator;
+  for (const int64_t count : counts) indicator.push_back(count >= kcrit);
+  const IntervalSet result = IntervalSet::FromIndicators(indicator);
+
+  // Truth at clip granularity.
+  std::vector<bool> truth_indicator;
+  for (ClipIndex c = 0; c < layout.NumClips(); ++c) {
+    const Interval frames = layout.ClipFrameRange(c);
+    int64_t holds = 0;
+    for (FrameIndex v = frames.lo; v <= frames.hi; ++v) {
+      holds += detector.TruthHolds(spec, v) ? 1 : 0;
+    }
+    truth_indicator.push_back(2 * holds >= frames.length());
+  }
+  const IntervalSet truth_clips =
+      IntervalSet::FromIndicators(truth_indicator);
+  const eval::F1Result f1 = eval::FrameLevelF1(result, truth_clips, layout);
+  EXPECT_GT(f1.f1, 0.9) << f1.ToString();
+}
+
+TEST(RelationshipSpecTest, ToStringNamesEverything) {
+  const HandFixture f;
+  RelationshipSpec spec{RelationshipKind::kNear, f.human, f.car, 0.1};
+  EXPECT_EQ(spec.ToString(f.vocab), "human near car");
+  EXPECT_STREQ(RelationshipKindName(RelationshipKind::kLeftOf), "left_of");
+  EXPECT_STREQ(RelationshipKindName(RelationshipKind::kRightOf), "right_of");
+}
+
+TEST(RelationshipDetectorTest, GeneratedScenarioPositionsAreUsable) {
+  // The generator populates position tracks; relationships over generated
+  // videos are well-defined and occasionally true.
+  synth::ScenarioSpec spec;
+  spec.minutes = 2;
+  spec.seed = 8;
+  synth::ActionTrackSpec action;
+  action.name = "走";
+  spec.actions.push_back(action);
+  for (const char* name : {"a", "b"}) {
+    synth::ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = 0.5;
+    obj.mean_len_frames = 600;
+    spec.objects.push_back(obj);
+  }
+  Vocabulary vocab;
+  const synth::GroundTruth truth = synth::Generate(spec, vocab);
+  const RelationshipDetector detector(&truth, ModelProfile::IdealObject(),
+                                      1);
+  const ObjectTypeId a = vocab.FindObjectType("a");
+  const ObjectTypeId b = vocab.FindObjectType("b");
+  RelationshipSpec left{RelationshipKind::kLeftOf, a, b, 0.05};
+  RelationshipSpec right{RelationshipKind::kRightOf, a, b, 0.05};
+  RelationshipSpec near{RelationshipKind::kNear, a, b, 0.05};
+  int64_t both_visible = 0;
+  for (FrameIndex frame = 0; frame < truth.layout().num_frames();
+       frame += 3) {
+    if (truth.InstancesAt(a, frame).empty() ||
+        truth.InstancesAt(b, frame).empty()) {
+      continue;
+    }
+    ++both_visible;
+    // left / right / near partition the co-visible frames (the margins
+    // overlap at the boundary, so at least one always holds).
+    EXPECT_TRUE(detector.TruthHolds(left, frame) ||
+                detector.TruthHolds(right, frame) ||
+                detector.TruthHolds(near, frame))
+        << frame;
+  }
+  EXPECT_GT(both_visible, 50);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace vaq

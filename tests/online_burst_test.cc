@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "detect/models.h"
+#include "eval/metrics.h"
+#include "online/svaqd.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace online {
+namespace {
+
+// Object-only scenario with a configurable false-positive burst length.
+struct BurstRun {
+  eval::F1Result f1;
+  int64_t kcrit = 0;
+};
+
+BurstRun RunBurst(int32_t fp_block, bool burst_aware) {
+  auto scenario_or = synth::Scenario::YouTube(2).WithQuery("", {"car"});
+  const synth::Scenario& scenario = scenario_or.value();
+  detect::ModelProfile object_profile = detect::ModelProfile::MaskRcnn();
+  object_profile.fpr = 0.04;
+  object_profile.fp_block = fp_block;
+  object_profile.fn_block = 2;
+  detect::ModelBundle models = detect::ModelBundle::Make(
+      scenario.truth(), object_profile, detect::ModelProfile::I3d(),
+      detect::ModelProfile::CenterTrack(), 7);
+  SvaqdOptions options;
+  options.burst_aware = burst_aware;
+  Svaqd engine(scenario.query(), scenario.layout(), options);
+  const OnlineResult result =
+      engine.Run(models.detector.get(), models.recognizer.get());
+  BurstRun run;
+  run.f1 = eval::SequenceF1(result.sequences, scenario.TruthClips());
+  run.kcrit = result.kcrit_objects[0];
+  return run;
+}
+
+TEST(BurstAwareTest, IidCalibrationCollapsesUnderBursts) {
+  const BurstRun iid = RunBurst(/*fp_block=*/8, /*burst_aware=*/false);
+  EXPECT_LT(iid.f1.precision, 0.5);  // Bursts overwhelm iid k_crit.
+}
+
+TEST(BurstAwareTest, MarkovCalibrationRecoversPrecision) {
+  const BurstRun iid = RunBurst(/*fp_block=*/8, /*burst_aware=*/false);
+  const BurstRun aware = RunBurst(/*fp_block=*/8, /*burst_aware=*/true);
+  EXPECT_GT(aware.f1.precision, iid.f1.precision + 0.3);
+  EXPECT_GT(aware.f1.f1, iid.f1.f1 + 0.3);
+  // The burst-aware critical value is strictly larger.
+  EXPECT_GT(aware.kcrit, iid.kcrit);
+}
+
+TEST(BurstAwareTest, HarmlessUnderIidNoise) {
+  const BurstRun iid = RunBurst(/*fp_block=*/1, /*burst_aware=*/false);
+  const BurstRun aware = RunBurst(/*fp_block=*/1, /*burst_aware=*/true);
+  // With truly iid noise the estimated rho stays near 0 and both modes
+  // perform equivalently.
+  EXPECT_NEAR(aware.f1.f1, iid.f1.f1, 0.05);
+}
+
+}  // namespace
+}  // namespace online
+}  // namespace vaq

@@ -1,0 +1,175 @@
+// Property sweeps over the online engines: structural invariants that
+// must hold for every scenario, model stack and configuration.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "online/svaq.h"
+#include "online/svaqd.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace online {
+namespace {
+
+enum class Stack { kMaskRcnn, kYolo, kIdeal };
+
+detect::ModelBundle MakeStack(const synth::Scenario& scenario, Stack stack,
+                              uint64_t seed) {
+  switch (stack) {
+    case Stack::kMaskRcnn:
+      return detect::ModelBundle::MaskRcnnI3d(scenario.truth(), seed);
+    case Stack::kYolo:
+      return detect::ModelBundle::YoloI3d(scenario.truth(), seed);
+    case Stack::kIdeal:
+      return detect::ModelBundle::Ideal(scenario.truth(), seed);
+  }
+  VAQ_CHECK(false);
+  return detect::ModelBundle::Ideal(scenario.truth(), seed);
+}
+
+// Shared scenarios (generation is the expensive part).
+const synth::Scenario& CachedScenario(int index) {
+  static std::map<int, synth::Scenario>* cache =
+      new std::map<int, synth::Scenario>();
+  auto it = cache->find(index);
+  if (it == cache->end()) {
+    it = cache->emplace(index, synth::Scenario::YouTube(index)).first;
+  }
+  return it->second;
+}
+
+class OnlineInvariants
+    : public ::testing::TestWithParam<std::tuple<int, Stack>> {};
+
+TEST_P(OnlineInvariants, SvaqdStructureAndQuality) {
+  const auto [qi, stack] = GetParam();
+  const synth::Scenario& scenario = CachedScenario(qi);
+  detect::ModelBundle models = MakeStack(scenario, stack, 17);
+  Svaqd engine(scenario.query(), scenario.layout(), SvaqdOptions{});
+  const OnlineResult result =
+      engine.Run(models.detector.get(), models.recognizer.get());
+
+  // Structural invariants.
+  EXPECT_EQ(result.clips_processed, scenario.layout().NumClips());
+  EXPECT_EQ(IntervalSet::FromIndicators(result.clip_indicator),
+            result.sequences);
+  for (const Interval& seq : result.sequences.intervals()) {
+    EXPECT_GE(seq.lo, 0);
+    EXPECT_LT(seq.hi, scenario.layout().NumClips());
+  }
+  for (const int64_t kcrit : result.kcrit_objects) {
+    EXPECT_GE(kcrit, 1);
+    EXPECT_LE(kcrit, scenario.layout().frames_per_clip() + 1);
+  }
+  EXPECT_GE(result.kcrit_action, 1);
+  EXPECT_LE(result.kcrit_action, scenario.layout().shots_per_clip() + 1);
+
+  // Inference accounting: at most one inference per frame/shot.
+  EXPECT_LE(result.detector_stats.inferences,
+            scenario.layout().num_frames());
+  EXPECT_LE(result.recognizer_stats.inferences,
+            scenario.layout().NumShots());
+
+  // Quality floor: every stack keeps a solid frame-level F1 against the
+  // annotated truth (ideal stacks near-perfect).
+  const double f1 =
+      eval::FrameLevelF1Frames(
+          result.sequences,
+          scenario.truth().QueryTruthFrames(scenario.query()),
+          scenario.layout())
+          .f1;
+  EXPECT_GT(f1, stack == Stack::kIdeal ? 0.95 : 0.75)
+      << "q" << qi << " stack " << static_cast<int>(stack);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OnlineInvariants,
+    ::testing::Combine(::testing::Values(2, 4, 6, 9),
+                       ::testing::Values(Stack::kMaskRcnn, Stack::kYolo,
+                                         Stack::kIdeal)));
+
+TEST(OnlineInvariantsTest, ShortCircuitNeverChangesTheAnswer) {
+  // Algorithm 2's short-circuiting is a pure cost optimization: with
+  // probing disabled, the reported sequences must be identical with and
+  // without it when the skipped predicates' estimators are also frozen
+  // (static SVAQ has no estimators at all).
+  const synth::Scenario& scenario = CachedScenario(4);
+  SvaqOptions options;
+  options.p0_object = 1e-2;
+  options.p0_action = 1e-2;
+  detect::ModelBundle m1 = detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 5);
+  const OnlineResult with_sc =
+      Svaq(scenario.query(), scenario.layout(), options)
+          .Run(m1.detector.get(), m1.recognizer.get());
+  SvaqOptions no_sc = options;
+  no_sc.short_circuit = false;
+  detect::ModelBundle m2 = detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 5);
+  const OnlineResult without_sc =
+      Svaq(scenario.query(), scenario.layout(), no_sc)
+          .Run(m2.detector.get(), m2.recognizer.get());
+  EXPECT_EQ(with_sc.sequences, without_sc.sequences);
+  EXPECT_LE(m1.recognizer->stats().type_queries,
+            m2.recognizer->stats().type_queries);
+}
+
+TEST(OnlineInvariantsTest, StricterAlphaDetectsNoMoreClips) {
+  // A smaller significance level demands more evidence, so the set of
+  // positive clips shrinks (static critical values isolate the effect).
+  const synth::Scenario& scenario = CachedScenario(2);
+  int64_t previous = std::numeric_limits<int64_t>::max();
+  for (double alpha : {0.2, 0.05, 0.01, 1e-4}) {
+    SvaqOptions options;
+    options.alpha = alpha;
+    options.p0_object = 1e-2;
+    options.p0_action = 1e-2;
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 5);
+    const OnlineResult result =
+        Svaq(scenario.query(), scenario.layout(), options)
+            .Run(models.detector.get(), models.recognizer.get());
+    EXPECT_LE(result.sequences.TotalLength(), previous) << alpha;
+    previous = result.sequences.TotalLength();
+  }
+}
+
+TEST(OnlineInvariantsTest, HigherP0DetectsNoMoreClips) {
+  const synth::Scenario& scenario = CachedScenario(2);
+  int64_t previous = std::numeric_limits<int64_t>::max();
+  for (double p0 : {1e-4, 1e-2, 0.1, 0.4}) {
+    SvaqOptions options;
+    options.p0_object = p0;
+    options.p0_action = p0;
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 5);
+    const OnlineResult result =
+        Svaq(scenario.query(), scenario.layout(), options)
+            .Run(models.detector.get(), models.recognizer.get());
+    EXPECT_LE(result.sequences.TotalLength(), previous) << p0;
+    previous = result.sequences.TotalLength();
+  }
+}
+
+TEST(OnlineInvariantsTest, HorizonActsAsMultipleComparisonControl) {
+  // A longer design horizon means more windows are implicitly tested, so
+  // the static critical values cannot shrink.
+  const synth::Scenario& scenario = CachedScenario(2);
+  int64_t previous_obj = 0;
+  int64_t previous_act = 0;
+  for (int64_t horizon : {10000L, 100000L, 10000000L}) {
+    SvaqOptions options;
+    options.p0_object = 1e-2;
+    options.p0_action = 1e-2;
+    options.horizon_frames = horizon;
+    Svaq engine(scenario.query(), scenario.layout(), options);
+    EXPECT_GE(engine.InitialObjectCriticalValues()[0], previous_obj);
+    EXPECT_GE(engine.InitialActionCriticalValue(), previous_act);
+    previous_obj = engine.InitialObjectCriticalValues()[0];
+    previous_act = engine.InitialActionCriticalValue();
+  }
+}
+
+}  // namespace
+}  // namespace online
+}  // namespace vaq

@@ -1,0 +1,183 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+
+namespace vaq {
+namespace query {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x, 'str' (42).");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // Includes kEnd.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[3].text, "str");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kLParen);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[5].number, 42);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kRParen);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+TEST(LexerTest, KeywordEqualsIsCaseInsensitive) {
+  EXPECT_TRUE(KeywordEquals("select", "SELECT"));
+  EXPECT_TRUE(KeywordEquals("SeLeCt", "SELECT"));
+  EXPECT_FALSE(KeywordEquals("selec", "SELECT"));
+  EXPECT_FALSE(KeywordEquals("selects", "SELECT"));
+}
+
+TEST(ParserTest, PaperOnlineQuery) {
+  // Verbatim (modulo whitespace) from §2 of the paper.
+  auto stmt = Parse(
+      "SELECT MERGE(clipID) AS Sequence "
+      "FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car', 'human')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->video, "inputVideo");
+  EXPECT_EQ(stmt->action, "jumping");
+  EXPECT_EQ(stmt->objects,
+            (std::vector<std::string>{"car", "human"}));
+  EXPECT_FALSE(stmt->ranked);
+  EXPECT_EQ(stmt->limit, -1);
+  EXPECT_EQ(stmt->models,
+            (std::vector<std::string>{"ObjectDetector",
+                                      "ActionRecognizer"}));
+}
+
+TEST(ParserTest, PaperOfflineQuery) {
+  auto stmt = Parse(
+      "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+      "FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car', 'human') "
+      "ORDER BY RANK(act, obj) LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->ranked);
+  EXPECT_EQ(stmt->limit, 5);
+  EXPECT_EQ(stmt->action, "jumping");
+}
+
+TEST(ParserTest, IncAliasAndCaseInsensitivity) {
+  auto stmt = Parse(
+      "select merge(clipID) from (process v produce clipID, obj using M) "
+      "where obj.inc('car')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->objects, std::vector<std::string>{"car"});
+  EXPECT_TRUE(stmt->action.empty());
+}
+
+TEST(ParserTest, BareVideoSource) {
+  auto stmt = Parse("SELECT MERGE(clipID) FROM myVideo WHERE act='jumping'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->video, "myVideo");
+}
+
+TEST(ParserTest, ActionOnlyAndObjectOnly) {
+  EXPECT_TRUE(Parse("SELECT MERGE(c) FROM v WHERE act='x'").ok());
+  EXPECT_TRUE(Parse("SELECT MERGE(c) FROM v WHERE obj.include('x')").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  // No predicates at all.
+  EXPECT_FALSE(Parse("SELECT MERGE(c) FROM v").ok());
+  // Missing LIMIT count.
+  EXPECT_FALSE(
+      Parse("SELECT MERGE(c) FROM v WHERE act='x' ORDER BY RANK(a) LIMIT")
+          .ok());
+  // obj.include inside an OR group is a conjunction: rejected.
+  EXPECT_FALSE(
+      Parse("SELECT MERGE(c) FROM v WHERE (act='x' OR obj.include('a'))")
+          .ok());
+  // Unterminated OR group.
+  EXPECT_FALSE(
+      Parse("SELECT MERGE(c) FROM v WHERE (act='x' OR obj='a'").ok());
+  // Unsupported predicate head.
+  EXPECT_FALSE(Parse("SELECT MERGE(c) FROM v WHERE foo='x'").ok());
+  EXPECT_FALSE(Parse("SELECT MERGE(c) FROM v WHERE foo.include('x')").ok());
+  // Unterminated parenthesis in source.
+  EXPECT_FALSE(
+      Parse("SELECT MERGE(c) FROM (PROCESS v PRODUCE c WHERE act='x'").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(Parse("SELECT MERGE(c) FROM v WHERE act='x' extra").ok());
+  // Empty input.
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ParserTest, ErrorMessagesCarryPosition) {
+  const auto status = Parse("SELECT MERGE(c) FROM v WHERE foo='x'").status();
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, MultipleActionsAreConjoinedClauses) {
+  // Footnote 3: multiple actions combine conjunctively.
+  auto stmt = Parse("SELECT MERGE(c) FROM v WHERE act='x' AND act='y'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_FALSE(stmt->IsConjunctive());
+  ASSERT_EQ(stmt->cnf_clauses.size(), 2u);
+  EXPECT_EQ(stmt->cnf_clauses[0], std::vector<std::string>{"act:x"});
+  EXPECT_EQ(stmt->cnf_clauses[1], std::vector<std::string>{"act:y"});
+}
+
+TEST(ParserTest, DisjunctiveClauses) {
+  // Footnote 4: CNF predicates.
+  auto stmt = Parse(
+      "SELECT MERGE(c) FROM v "
+      "WHERE (obj='car' OR obj='truck') AND act='jumping' AND "
+      "(act='waving' OR obj='human')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_FALSE(stmt->IsConjunctive());
+  ASSERT_EQ(stmt->cnf_clauses.size(), 3u);
+  EXPECT_EQ(stmt->cnf_clauses[0],
+            (std::vector<std::string>{"obj:car", "obj:truck"}));
+  EXPECT_EQ(stmt->cnf_clauses[1], std::vector<std::string>{"act:jumping"});
+  EXPECT_EQ(stmt->cnf_clauses[2],
+            (std::vector<std::string>{"act:waving", "obj:human"}));
+  // Convenience fields are not populated for CNF statements.
+  EXPECT_TRUE(stmt->action.empty());
+  EXPECT_TRUE(stmt->objects.empty());
+}
+
+TEST(ParserTest, ConjunctiveStatementsFillBothForms) {
+  auto stmt = Parse(
+      "SELECT MERGE(c) FROM v WHERE act='x' AND obj.include('a', 'b')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->IsConjunctive());
+  EXPECT_EQ(stmt->action, "x");
+  EXPECT_EQ(stmt->objects, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(stmt->cnf_clauses.size(), 3u);
+}
+
+TEST(ParserTest, SingleObjectEquality) {
+  auto stmt = Parse("SELECT MERGE(c) FROM v WHERE obj='car'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->IsConjunctive());
+  EXPECT_EQ(stmt->objects, std::vector<std::string>{"car"});
+}
+
+TEST(AstTest, ToStringSummarizes) {
+  QueryStatement stmt;
+  stmt.video = "v";
+  stmt.action = "jumping";
+  stmt.objects = {"car"};
+  stmt.ranked = true;
+  stmt.limit = 3;
+  const std::string s = stmt.ToString();
+  EXPECT_NE(s.find("jumping"), std::string::npos);
+  EXPECT_NE(s.find("limit=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vaq

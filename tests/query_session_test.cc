@@ -1,0 +1,138 @@
+#include "query/session.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "offline/ingest.h"
+
+namespace vaq {
+namespace query {
+namespace {
+
+synth::Scenario MakeScenario() {
+  synth::ScenarioSpec spec;
+  spec.name = "session_test";
+  spec.minutes = 5;
+  spec.fps = 30;
+  spec.seed = 123;
+  synth::ActionTrackSpec action;
+  action.name = "jumping";
+  action.duty = 0.3;
+  action.mean_len_frames = 900;
+  spec.actions.push_back(action);
+  for (const char* name : {"car", "human"}) {
+    synth::ObjectTrackSpec obj;
+    obj.name = name;
+    obj.background_duty = 0.05;
+    obj.mean_len_frames = 600;
+    obj.coupled_action = "jumping";
+    obj.cover_action_prob = 0.9;
+    spec.objects.push_back(obj);
+  }
+  return synth::Scenario::FromSpec(spec, "jumping", {"car", "human"});
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new synth::Scenario(MakeScenario());
+    session_ = new Session();
+    session_->RegisterStream("inputVideo", *scenario_, /*model_seed=*/7);
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario_->truth(), 7);
+    offline::PaperScoring scoring;
+    offline::Ingestor ingestor(&scenario_->vocab(), &scoring,
+                               offline::IngestOptions{});
+    session_->RegisterRepository("repoVideo",
+                                 ingestor.Ingest(scenario_->truth(), models));
+  }
+
+  static synth::Scenario* scenario_;
+  static Session* session_;
+};
+
+synth::Scenario* SessionTest::scenario_ = nullptr;
+Session* SessionTest::session_ = nullptr;
+
+TEST_F(SessionTest, OnlineStatementRunsSvaqd) {
+  auto result = session_->Execute(
+      "SELECT MERGE(clipID) AS Sequence "
+      "FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car', 'human')");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->online);
+  EXPECT_GT(result->sequences.TotalLength(), 0);
+  EXPECT_GT(result->detector_stats.inferences, 0);
+  // The result tracks ground truth.
+  const auto f1 = eval::FrameLevelF1Frames(
+      result->sequences, scenario_->truth().QueryTruthFrames(scenario_->query()),
+      scenario_->layout());
+  EXPECT_GT(f1.f1, 0.8) << f1.ToString();
+}
+
+TEST_F(SessionTest, OfflineStatementRunsRvaq) {
+  auto result = session_->Execute(
+      "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+      "FROM (PROCESS repoVideo PRODUCE clipID, obj USING ObjectTracker, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car', 'human') "
+      "ORDER BY RANK(act, obj) LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->online);
+  ASSERT_LE(result->ranked.size(), 3u);
+  ASSERT_GE(result->ranked.size(), 1u);
+  // Ranked descending by exact score.
+  for (size_t i = 1; i < result->ranked.size(); ++i) {
+    EXPECT_GE(result->ranked[i - 1].exact_score,
+              result->ranked[i].exact_score);
+  }
+  EXPECT_GT(result->accesses.total(), 0);
+}
+
+TEST_F(SessionTest, UnknownVideoFails) {
+  EXPECT_EQ(session_->Execute("SELECT MERGE(c) FROM ghost WHERE act='jumping'")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session_
+                ->Execute("SELECT MERGE(c) FROM ghost WHERE act='jumping' "
+                          "ORDER BY RANK(a) LIMIT 2")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, UnknownTypeFails) {
+  EXPECT_FALSE(session_
+                   ->Execute("SELECT MERGE(c) FROM inputVideo "
+                             "WHERE obj.include('spaceship')")
+                   .ok());
+  EXPECT_FALSE(session_
+                   ->Execute("SELECT MERGE(c) FROM repoVideo "
+                             "WHERE act='flying' ORDER BY RANK(a) LIMIT 2")
+                   .ok());
+}
+
+TEST_F(SessionTest, SyntaxErrorPropagates) {
+  EXPECT_EQ(session_->Execute("SELEKT nonsense").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, ModelSelectionViaUsingClause) {
+  auto ideal = session_->Execute(
+      "SELECT MERGE(clipID) FROM (PROCESS inputVideo PRODUCE clipID, "
+      "obj USING IdealModel) WHERE act='jumping' AND obj.include('car')");
+  ASSERT_TRUE(ideal.ok()) << ideal.status();
+  // Ideal models track the exact per-type truth intersection.
+  auto spec =
+      QuerySpec::FromNames(scenario_->vocab(), "jumping", {"car"});
+  ASSERT_TRUE(spec.ok());
+  const auto f1 = eval::SequenceF1(
+      ideal->sequences, scenario_->truth().QueryTruthClips(*spec), 0.5);
+  EXPECT_DOUBLE_EQ(f1.f1, 1.0) << f1.ToString();
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vaq

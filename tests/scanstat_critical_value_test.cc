@@ -1,0 +1,94 @@
+#include "scanstat/critical_value.h"
+
+#include <gtest/gtest.h>
+
+#include "scanstat/naus.h"
+
+namespace vaq {
+namespace scanstat {
+namespace {
+
+ScanConfig Config(int64_t w, int64_t n, double alpha) {
+  ScanConfig c;
+  c.window = w;
+  c.horizon = n;
+  c.alpha = alpha;
+  return c;
+}
+
+TEST(CriticalValueTest, DefinitionHolds) {
+  // k_crit is the smallest k with tail <= alpha: verify both sides.
+  for (double p : {0.001, 0.01, 0.05, 0.2}) {
+    for (int64_t w : {5, 50, 100}) {
+      const ScanConfig config = Config(w, 100 * w, 0.01);
+      const int64_t k = CriticalValue(p, config);
+      ASSERT_GE(k, 1);
+      ASSERT_LE(k, w + 1);
+      if (k <= w) {
+        EXPECT_LE(ScanStatisticTailProbability(k, p, w, config.L()), 0.01)
+            << "p=" << p << " w=" << w;
+      }
+      if (k > 1) {
+        EXPECT_GT(ScanStatisticTailProbability(k - 1, p, w, config.L()),
+                  0.01)
+            << "p=" << p << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(CriticalValueTest, MonotoneInBackgroundProbability) {
+  const ScanConfig config = Config(50, 100000, 0.01);
+  int64_t prev = 0;
+  for (double p : {1e-6, 1e-4, 1e-3, 1e-2, 0.05, 0.2, 0.5, 0.9}) {
+    const int64_t k = CriticalValue(p, config);
+    EXPECT_GE(k, prev) << "p=" << p;
+    prev = k;
+  }
+}
+
+TEST(CriticalValueTest, MonotoneInAlpha) {
+  // Stricter significance demands more evidence.
+  int64_t prev = 1000;
+  for (double alpha : {1e-6, 1e-4, 0.01, 0.1, 0.5}) {
+    const int64_t k = CriticalValue(0.02, Config(50, 100000, alpha));
+    EXPECT_LE(k, prev) << "alpha=" << alpha;
+    prev = k;
+  }
+}
+
+TEST(CriticalValueTest, MonotoneInHorizon) {
+  // Longer streams mean more windows to test: k_crit cannot shrink.
+  int64_t prev = 0;
+  for (int64_t horizon : {100L, 1000L, 10000L, 1000000L}) {
+    const int64_t k = CriticalValue(0.02, Config(50, horizon, 0.01));
+    EXPECT_GE(k, prev) << "horizon=" << horizon;
+    prev = k;
+  }
+}
+
+TEST(CriticalValueTest, ZeroBackgroundNeedsSingleEvent) {
+  EXPECT_EQ(CriticalValue(0.0, Config(50, 100000, 0.01)), 1);
+}
+
+TEST(CriticalValueTest, SaturatedBackgroundIsNeverSignificant) {
+  EXPECT_EQ(CriticalValue(1.0, Config(50, 100000, 0.01)), 51);
+  EXPECT_EQ(CriticalValue(0.95, Config(10, 100000, 0.001)), 11);
+}
+
+TEST(CriticalValueTest, WindowOfOne) {
+  // With w = 1 the only possible counts are 0 and 1.
+  const int64_t k = CriticalValue(1e-9, Config(1, 1000, 0.01));
+  EXPECT_EQ(k, 1);
+  EXPECT_EQ(CriticalValue(0.5, Config(1, 1000, 0.01)), 2);
+}
+
+TEST(ScanConfigTest, ToStringMentionsFields) {
+  const std::string s = Config(50, 1000, 0.05).ToString();
+  EXPECT_NE(s.find("w=50"), std::string::npos);
+  EXPECT_NE(s.find("alpha=0.05"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scanstat
+}  // namespace vaq

@@ -1,0 +1,162 @@
+#include "scanstat/kernel_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "scanstat/critical_value.h"
+
+namespace vaq {
+namespace scanstat {
+namespace {
+
+TEST(KernelRateEstimatorTest, ReturnsPriorBeforeData) {
+  KernelRateEstimator est(100, 0.25);
+  EXPECT_DOUBLE_EQ(est.rate(), 0.25);
+  EXPECT_EQ(est.num_observed(), 0);
+}
+
+TEST(KernelRateEstimatorTest, ConvergesToConstantRate) {
+  for (double p : {0.001, 0.05, 0.4}) {
+    Rng rng(42);
+    KernelRateEstimator est(2000, 0.5, /*prior_weight=*/10);
+    for (int t = 0; t < 50000; ++t) est.Observe(rng.Bernoulli(p));
+    EXPECT_NEAR(est.rate(), p, std::max(0.25 * p, 0.003)) << "p=" << p;
+  }
+}
+
+TEST(KernelRateEstimatorTest, PriorWashesOut) {
+  // Wildly wrong priors converge to the same estimate on the same data:
+  // the prior is decaying pseudo-data, not a permanent offset.
+  Rng rng(7);
+  KernelRateEstimator low(1000, 1e-6, 50);
+  KernelRateEstimator high(1000, 0.9, 50);
+  for (int t = 0; t < 20000; ++t) {
+    const bool event = rng.Bernoulli(0.02);
+    low.Observe(event);
+    high.Observe(event);
+  }
+  EXPECT_NEAR(low.rate(), high.rate(), 1e-4);
+  EXPECT_NEAR(low.rate(), 0.02, 0.01);
+}
+
+TEST(KernelRateEstimatorTest, AdaptsToSuddenChange) {
+  Rng rng(11);
+  KernelRateEstimator est(500, 0.01, 10);
+  for (int t = 0; t < 5000; ++t) est.Observe(rng.Bernoulli(0.01));
+  const double before = est.rate();
+  EXPECT_NEAR(before, 0.01, 0.01);
+  // Sudden 10x rate jump (the §3.3 traffic-peak example): within a few
+  // bandwidths the estimate follows.
+  for (int t = 0; t < 3000; ++t) est.Observe(rng.Bernoulli(0.10));
+  EXPECT_GT(est.rate(), 0.07);
+}
+
+TEST(KernelRateEstimatorTest, SmoothsGradualDriftWithLargeBandwidth) {
+  // A large bandwidth keeps the estimate near the time-average of a slow
+  // linear drift rather than chasing it.
+  Rng rng(13);
+  KernelRateEstimator est(50000, 0.05, 10);
+  const int n = 50000;
+  for (int t = 0; t < n; ++t) {
+    const double p = 0.02 + 0.02 * static_cast<double>(t) / n;
+    est.Observe(rng.Bernoulli(p));
+  }
+  EXPECT_NEAR(est.rate(), 0.03, 0.01);  // Close to the average, not 0.04.
+}
+
+TEST(KernelRateEstimatorTest, ObserveBatchMatchesPerOuOnAverage) {
+  // Feeding a whole clip at once should track the per-OU path closely.
+  Rng rng(17);
+  KernelRateEstimator per_ou(1000, 0.1, 0);
+  KernelRateEstimator batched(1000, 0.1, 0);
+  for (int clip = 0; clip < 500; ++clip) {
+    int64_t events = 0;
+    bool outcomes[50];
+    for (int i = 0; i < 50; ++i) {
+      outcomes[i] = rng.Bernoulli(0.03);
+      events += outcomes[i] ? 1 : 0;
+    }
+    for (int i = 0; i < 50; ++i) per_ou.Observe(outcomes[i]);
+    batched.ObserveBatch(50, events);
+  }
+  EXPECT_EQ(per_ou.num_observed(), batched.num_observed());
+  EXPECT_NEAR(per_ou.rate(), batched.rate(), 0.005);
+}
+
+TEST(KernelRateEstimatorTest, BatchOfZeroCountIsNoOp) {
+  KernelRateEstimator est(100, 0.2);
+  est.ObserveBatch(0, 0);
+  EXPECT_DOUBLE_EQ(est.rate(), 0.2);
+  EXPECT_EQ(est.num_observed(), 0);
+}
+
+// Steady-state mean of the literal Eq. 6 recurrence under a constant
+// Bernoulli event rate.
+double Eq6SteadyState(double p, double u, uint64_t seed) {
+  Rng rng(seed);
+  Eq6Reference ref(u);
+  int64_t since_last = 0;
+  double tail_avg = 0;
+  int64_t tail_n = 0;
+  for (int t = 1; t <= 300000; ++t) {
+    ++since_last;
+    if (rng.Bernoulli(p)) {
+      ref.OnEventAfter(since_last);
+      since_last = 0;
+      if (t > 150000) {
+        tail_avg += ref.value();
+        ++tail_n;
+      }
+    }
+  }
+  return tail_n > 0 ? tail_avg / static_cast<double>(tail_n) : 0.0;
+}
+
+TEST(Eq6ReferenceTest, SteadyStateMatchesFixedPoint) {
+  // The literal Eq. 6 recurrence at event times is (for large t)
+  //   p̂' = p̂ · e^(-Δt/u) + c,   c = (1 - e^(-1/u)) / u,
+  // with geometric inter-event gaps Δt. Its fixed point in expectation is
+  //   p̂* = c / (1 - m),   m = E[e^(-Δt/u)] = p e^(-1/u) / (1-(1-p)e^(-1/u)),
+  // which is *not* the background probability p (DESIGN.md §1 rationale
+  // for the ratio-form estimator). Verify the simulation sits on the
+  // derived fixed point, increasing with p but saturating sublinearly.
+  const double u = 50;
+  for (double p : {0.02, 0.04}) {
+    const double c = (1.0 - std::exp(-1.0 / u)) / u;
+    const double e1 = std::exp(-1.0 / u);
+    const double m = p * e1 / (1.0 - (1.0 - p) * e1);
+    const double fixed_point = c / (1.0 - m);
+    const double simulated = Eq6SteadyState(p, u, 23);
+    EXPECT_NEAR(simulated, fixed_point, 0.3 * fixed_point) << "p=" << p;
+  }
+  EXPECT_GT(Eq6SteadyState(0.04, u, 23), Eq6SteadyState(0.02, u, 29));
+}
+
+TEST(Eq6ReferenceTest, FirstEventInitializes) {
+  Eq6Reference ref(100);
+  EXPECT_DOUBLE_EQ(ref.value(), 0.0);
+  ref.OnEventAfter(10);
+  EXPECT_GT(ref.value(), 0.0);
+  EXPECT_EQ(ref.time(), 10);
+}
+
+TEST(CriticalValueIntegrationTest, EstimatedRateYieldsSaneCriticalValue) {
+  // An estimator fed pure background noise should produce a critical value
+  // that the noise itself rarely reaches.
+  Rng rng(31);
+  KernelRateEstimator est(5000, 0.5, 10);
+  for (int t = 0; t < 40000; ++t) est.Observe(rng.Bernoulli(0.02));
+  ScanConfig config;
+  config.window = 100;
+  config.horizon = 100000;
+  config.alpha = 0.01;
+  const int64_t kcrit = CriticalValue(est.rate(), config);
+  EXPECT_GT(kcrit, 4);    // Well above the mean noise count (2).
+  EXPECT_LT(kcrit, 40);   // Far below a real detection rate (~80+).
+}
+
+}  // namespace
+}  // namespace scanstat
+}  // namespace vaq

@@ -1,0 +1,160 @@
+#include "scanstat/markov.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "scanstat/naus.h"
+
+namespace vaq {
+namespace scanstat {
+namespace {
+
+TEST(MarkovParamsTest, StationaryAndRho) {
+  const MarkovParams iid = MarkovParams::Iid(0.3);
+  EXPECT_DOUBLE_EQ(iid.Stationary(), 0.3);
+  EXPECT_DOUBLE_EQ(iid.Rho(), 0.0);
+
+  MarkovParams bursty;
+  bursty.p01 = 0.02;
+  bursty.p11 = 0.8;
+  // pi = 0.02 / (0.02 + 0.2) = 1/11.
+  EXPECT_NEAR(bursty.Stationary(), 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(bursty.Rho(), 0.78, 1e-12);
+}
+
+TEST(MarkovParamsTest, FromStationaryAndRhoRoundTrips) {
+  for (double pi : {0.01, 0.2, 0.6}) {
+    for (double rho : {0.0, 0.3, 0.9}) {
+      const MarkovParams params = MarkovParams::FromStationaryAndRho(pi, rho);
+      EXPECT_NEAR(params.Stationary(), pi, 1e-9) << pi << "," << rho;
+      EXPECT_NEAR(params.Rho(), rho, 1e-9) << pi << "," << rho;
+      EXPECT_GE(params.p01, 0.0);
+      EXPECT_LE(params.p11, 1.0);
+    }
+  }
+}
+
+TEST(MarkovExactDpTest, IidChainMatchesIidDp) {
+  // With p01 = p11 the chain is iid and must agree with the iid DP.
+  for (double p : {0.05, 0.3}) {
+    for (int64_t w : {4, 8}) {
+      for (int64_t k = 1; k <= w; ++k) {
+        const double markov =
+            ExactMarkovScanTailDp(k, MarkovParams::Iid(p), w, 5 * w);
+        const double iid = ExactScanTailProbabilityDp(k, p, w, 5 * w);
+        EXPECT_NEAR(markov, iid, 1e-10) << "p=" << p << " w=" << w
+                                        << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(MarkovExactDpTest, MatchesMonteCarlo) {
+  const MarkovParams params = MarkovParams::FromStationaryAndRho(0.08, 0.6);
+  for (int64_t k : {2, 3, 5}) {
+    const double exact = ExactMarkovScanTailDp(k, params, 10, 200);
+    const double mc =
+        MonteCarloMarkovScanTail(k, params, 10, 200, 40000, 77);
+    const double sigma = std::sqrt(std::max(mc * (1 - mc), 1e-6) / 40000);
+    EXPECT_NEAR(exact, mc, 4 * sigma + 0.005) << "k=" << k;
+  }
+}
+
+TEST(MarkovApproxTest, ProductFormTracksExactDp) {
+  const MarkovParams params = MarkovParams::FromStationaryAndRho(0.05, 0.5);
+  for (int64_t w : {6, 12}) {
+    for (int64_t L : {5, 20}) {
+      for (int64_t k = 2; k <= w; k += 2) {
+        const double approx = MarkovScanTailProbability(
+            k, params, w, static_cast<double>(L));
+        const double exact = ExactMarkovScanTailDp(k, params, w, L * w);
+        EXPECT_NEAR(approx, exact, 0.03)
+            << "w=" << w << " L=" << L << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(MarkovApproxTest, BurstsDemandLargerCriticalValues) {
+  // At equal stationary probability, positive autocorrelation concentrates
+  // successes and must raise k_crit.
+  ScanConfig config;
+  config.window = 100;
+  config.horizon = 100000;
+  config.alpha = 0.01;
+  int64_t prev = 0;
+  for (double rho : {0.0, 0.3, 0.6, 0.85}) {
+    const int64_t k = MarkovCriticalValue(
+        MarkovParams::FromStationaryAndRho(0.015, rho), config);
+    EXPECT_GE(k, prev) << "rho=" << rho;
+    prev = k;
+  }
+  // And strictly larger somewhere along the sweep.
+  EXPECT_GT(prev, MarkovCriticalValue(MarkovParams::Iid(0.015), config));
+}
+
+TEST(MarkovApproxTest, IidCaseAgreesWithNausCriticalValue) {
+  ScanConfig config;
+  config.window = 10;  // Exact-DP branch.
+  config.horizon = 20000;
+  config.alpha = 0.01;
+  for (double p : {0.002, 0.02}) {
+    const int64_t markov =
+        MarkovCriticalValue(MarkovParams::Iid(p), config);
+    const int64_t naus = CriticalValue(p, config);
+    EXPECT_NEAR(static_cast<double>(markov), static_cast<double>(naus), 1.0)
+        << "p=" << p;
+  }
+}
+
+TEST(MarkovApproxTest, WideWindowBranchTracksMonteCarlo) {
+  // Wide window -> disjoint-window composition of the exact per-window
+  // count tail; should land close to the sliding-scan Monte-Carlo truth
+  // across a range of burstiness levels.
+  const int64_t w = 100;
+  const int64_t n = 10000;
+  for (double rho : {0.0, 0.4, 0.7}) {
+    const MarkovParams params =
+        MarkovParams::FromStationaryAndRho(0.02, rho);
+    for (int64_t k : {8, 12, 16}) {
+      const double approx = MarkovScanTailProbability(
+          k, params, w, static_cast<double>(n) / w);
+      const double mc = MonteCarloMarkovScanTail(k, params, w, n, 20000, 5);
+      EXPECT_NEAR(approx, mc, 0.12) << "rho=" << rho << " k=" << k;
+    }
+  }
+}
+
+TEST(MarkovApproxTest, EdgeCases) {
+  const MarkovParams params = MarkovParams::FromStationaryAndRho(0.1, 0.5);
+  EXPECT_DOUBLE_EQ(MarkovScanTailProbability(0, params, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(MarkovScanTailProbability(11, params, 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(
+      MarkovScanTailProbability(3, MarkovParams::Iid(0.0), 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(
+      MarkovScanTailProbability(3, MarkovParams::Iid(1.0), 10, 5), 1.0);
+}
+
+TEST(MarkovCriticalValueTest, DefinitionHolds) {
+  const MarkovParams params = MarkovParams::FromStationaryAndRho(0.03, 0.4);
+  ScanConfig config;
+  config.window = 12;
+  config.horizon = 12000;
+  config.alpha = 0.01;
+  const int64_t k = MarkovCriticalValue(params, config);
+  ASSERT_GE(k, 1);
+  ASSERT_LE(k, 13);
+  if (k <= 12) {
+    EXPECT_LE(MarkovScanTailProbability(k, params, 12, config.L()), 0.01);
+  }
+  if (k > 1) {
+    EXPECT_GT(MarkovScanTailProbability(k - 1, params, 12, config.L()),
+              0.01);
+  }
+}
+
+}  // namespace
+}  // namespace scanstat
+}  // namespace vaq

@@ -1,0 +1,195 @@
+#include "storage/paged_table.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "offline/baselines.h"
+#include "offline/rvaq.h"
+
+namespace vaq {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+ScoreTable MakeTable(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoreTable::Row> rows;
+  for (int64_t c = 0; c < n; ++c) {
+    rows.push_back({c, rng.UniformDouble(0, 1000)});
+  }
+  return std::move(ScoreTable::Build(std::move(rows))).value();
+}
+
+TEST(PagedTableTest, AllAccessPathsMatchInMemoryTable) {
+  const std::string dir = TempDir("vaq_paged_basic");
+  const ScoreTable memory = MakeTable(500, 3);
+  const std::string path = dir + "/t.pgd";
+  ASSERT_TRUE(WritePagedTable(memory, path).ok());
+
+  PageCache cache(/*capacity_pages=*/64, /*page_size=*/4096);
+  auto paged_or = PagedScoreTable::Open(path, &cache);
+  ASSERT_TRUE(paged_or.ok()) << paged_or.status();
+  const PagedScoreTable& paged = *paged_or.value();
+  ASSERT_EQ(paged.num_rows(), memory.num_rows());
+
+  for (int64_t rank = 0; rank < memory.num_rows(); ++rank) {
+    const ScoreRow a = memory.SortedRow(rank);
+    const ScoreRow b = paged.SortedRow(rank);
+    ASSERT_EQ(a.clip, b.clip) << rank;
+    ASSERT_DOUBLE_EQ(a.score, b.score) << rank;
+    const ScoreRow ra = memory.ReverseRow(rank);
+    const ScoreRow rb = paged.ReverseRow(rank);
+    ASSERT_EQ(ra.clip, rb.clip) << rank;
+  }
+  for (ClipIndex cid = 0; cid < memory.num_rows(); ++cid) {
+    ASSERT_DOUBLE_EQ(paged.RandomScore(cid), memory.PeekScore(cid)) << cid;
+  }
+  std::vector<double> a;
+  std::vector<double> b;
+  memory.RangeScores(100, 220, &a);
+  paged.RangeScores(100, 220, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PagedTableTest, AccessCountingMatchesInterfaceContract) {
+  const std::string dir = TempDir("vaq_paged_count");
+  const std::string path = dir + "/t.pgd";
+  ASSERT_TRUE(WritePagedTable(MakeTable(100, 5), path).ok());
+  PageCache cache(8, 4096);
+  auto paged = std::move(PagedScoreTable::Open(path, &cache)).value();
+  paged->SortedRow(0);
+  paged->ReverseRow(0);
+  paged->RandomScore(5);
+  std::vector<double> out;
+  paged->RangeScores(2, 11, &out);
+  EXPECT_EQ(paged->counter().sorted_accesses, 1);
+  EXPECT_EQ(paged->counter().reverse_accesses, 1);
+  EXPECT_EQ(paged->counter().random_accesses, 1);
+  EXPECT_EQ(paged->counter().range_scans, 1);
+  EXPECT_EQ(paged->counter().range_rows, 10);
+}
+
+TEST(PagedTableTest, CacheExploitsSequentialLocality) {
+  const std::string dir = TempDir("vaq_paged_locality");
+  const std::string path = dir + "/t.pgd";
+  const int64_t n = 4096;
+  ASSERT_TRUE(WritePagedTable(MakeTable(n, 7), path).ok());
+  PageCache cache(/*capacity_pages=*/4, /*page_size=*/4096);
+
+  // Sequential sorted scan: ~16 bytes/row -> ~256 rows per page; fetches
+  // stay near n/256 even with a tiny cache.
+  {
+    auto paged = std::move(PagedScoreTable::Open(path, &cache)).value();
+    cache.ResetStats();
+    for (int64_t rank = 0; rank < n; ++rank) paged->SortedRow(rank);
+    EXPECT_LE(cache.fetches(), n / 200);
+    EXPECT_GT(cache.hits(), n / 2);
+  }
+  // Scattered random access with a tiny cache: mostly misses.
+  {
+    cache.Clear();
+    auto paged = std::move(PagedScoreTable::Open(path, &cache)).value();
+    cache.ResetStats();
+    Rng rng(11);
+    for (int i = 0; i < 512; ++i) {
+      paged->RandomScore(
+          static_cast<ClipIndex>(rng.UniformInt(static_cast<uint64_t>(n))));
+    }
+    EXPECT_GT(cache.fetches(), 200);  // ~512 scattered reads over 64 pages, 4-page cache.
+  }
+}
+
+TEST(PagedTableTest, LargerCacheReducesFetches) {
+  const std::string dir = TempDir("vaq_paged_cachesize");
+  const std::string path = dir + "/t.pgd";
+  const int64_t n = 4096;
+  ASSERT_TRUE(WritePagedTable(MakeTable(n, 9), path).ok());
+
+  auto scattered_fetches = [&](int64_t capacity) {
+    PageCache cache(capacity, 4096);
+    auto paged = std::move(PagedScoreTable::Open(path, &cache)).value();
+    Rng rng(13);
+    for (int i = 0; i < 4000; ++i) {
+      paged->RandomScore(
+          static_cast<ClipIndex>(rng.UniformInt(static_cast<uint64_t>(n))));
+    }
+    return cache.fetches();
+  };
+  const int64_t small = scattered_fetches(2);
+  const int64_t large = scattered_fetches(64);
+  EXPECT_GT(small, 4 * large);  // The whole by-clip region fits in 64 pages.
+}
+
+TEST(PagedTableTest, OpenErrors) {
+  PageCache cache(4, 4096);
+  EXPECT_FALSE(PagedScoreTable::Open("/no/such/file.pgd", &cache).ok());
+  const std::string dir = TempDir("vaq_paged_bad");
+  const std::string path = dir + "/bad.pgd";
+  std::ofstream(path, std::ios::binary) << "garbage";
+  EXPECT_EQ(PagedScoreTable::Open(path, &cache).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PagedTableTest, RvaqRunsDirectlyOffDisk) {
+  // End to end: bind a query to three paged tables and verify RVAQ gets
+  // the same answer it gets from memory.
+  const std::string dir = TempDir("vaq_paged_rvaq");
+  std::vector<ScoreTable> memory;
+  for (uint64_t t = 0; t < 3; ++t) memory.push_back(MakeTable(200, 20 + t));
+  PageCache cache(32, 4096);
+  std::vector<std::unique_ptr<PagedScoreTable>> paged;
+  for (size_t t = 0; t < 3; ++t) {
+    const std::string path = dir + "/t" + std::to_string(t) + ".pgd";
+    ASSERT_TRUE(WritePagedTable(memory[t], path).ok());
+    paged.push_back(std::move(PagedScoreTable::Open(path, &cache)).value());
+  }
+  IntervalSet pq = IntervalSet::FromIntervals(
+      {Interval(10, 25), Interval(60, 80), Interval(120, 127),
+       Interval(150, 170)});
+
+  auto make_tables = [&](bool use_paged) {
+    offline::QueryTables tables;
+    tables.num_clips = 200;
+    for (size_t t = 0; t < 3; ++t) {
+      tables.tables.push_back(use_paged
+                                  ? static_cast<const ScoreTableView*>(
+                                        paged[t].get())
+                                  : &memory[t]);
+      tables.sequences.push_back(&pq);
+    }
+    tables.schema.num_objects = 2;
+    tables.schema.has_action = true;
+    tables.schema.clauses = {{0}, {1}, {2}};
+    return tables;
+  };
+  offline::PaperScoring scoring;
+  offline::RvaqOptions options;
+  options.k = 2;
+  const offline::QueryTables mem_tables = make_tables(false);
+  const offline::QueryTables disk_tables = make_tables(true);
+  const offline::TopKResult expected =
+      offline::Rvaq(&mem_tables, &scoring, options).Run();
+  const offline::TopKResult actual =
+      offline::Rvaq(&disk_tables, &scoring, options).Run();
+  ASSERT_EQ(actual.top.size(), expected.top.size());
+  for (size_t i = 0; i < actual.top.size(); ++i) {
+    EXPECT_EQ(actual.top[i].clips, expected.top[i].clips);
+    EXPECT_DOUBLE_EQ(actual.top[i].exact_score, expected.top[i].exact_score);
+  }
+  EXPECT_GT(cache.fetches() + cache.hits(), 0);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vaq

@@ -1,0 +1,184 @@
+#include "storage/catalog.h"
+#include "storage/score_table.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vaq {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScoreTable MakeTable(std::vector<double> scores) {
+  std::vector<ScoreTable::Row> rows;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    rows.push_back({static_cast<ClipIndex>(i), scores[i]});
+  }
+  auto table = ScoreTable::Build(std::move(rows));
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+std::string TempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(ScoreTableTest, BuildValidatesRows) {
+  EXPECT_FALSE(ScoreTable::Build({{0, 1.0}, {0, 2.0}}).ok());  // Duplicate.
+  EXPECT_FALSE(ScoreTable::Build({{1, 1.0}}).ok());  // Gap (id 0 missing).
+  EXPECT_FALSE(ScoreTable::Build({{-1, 1.0}}).ok());
+  EXPECT_TRUE(ScoreTable::Build({}).ok());
+}
+
+TEST(ScoreTableTest, SortedOrderIsDescendingWithStableTies) {
+  const ScoreTable table = MakeTable({3.0, 9.0, 3.0, 7.0});
+  EXPECT_EQ(table.SortedRow(0).clip, 1);
+  EXPECT_EQ(table.SortedRow(1).clip, 3);
+  EXPECT_EQ(table.SortedRow(2).clip, 0);  // Tie: lower clip id first.
+  EXPECT_EQ(table.SortedRow(3).clip, 2);
+  EXPECT_EQ(table.ReverseRow(0).clip, 2);
+  EXPECT_EQ(table.ReverseRow(3).clip, 1);
+}
+
+TEST(ScoreTableTest, AccessCounting) {
+  const ScoreTable table = MakeTable({1, 2, 3, 4, 5});
+  table.SortedRow(0);
+  table.SortedRow(1);
+  table.ReverseRow(0);
+  table.RandomScore(3);
+  std::vector<double> out;
+  table.RangeScores(1, 3, &out);
+  EXPECT_EQ(table.counter().sorted_accesses, 2);
+  EXPECT_EQ(table.counter().reverse_accesses, 1);
+  EXPECT_EQ(table.counter().random_accesses, 1);
+  EXPECT_EQ(table.counter().range_scans, 1);
+  EXPECT_EQ(table.counter().range_rows, 3);
+  EXPECT_EQ(table.counter().seeks(), 2);
+  EXPECT_EQ(table.counter().sequential_rows(), 6);
+  table.ResetCounter();
+  EXPECT_EQ(table.counter().total(), 0);
+  // Peek is never counted.
+  table.PeekScore(0);
+  EXPECT_EQ(table.counter().total(), 0);
+}
+
+TEST(ScoreTableTest, RangeScoresReturnsByClipOrder) {
+  const ScoreTable table = MakeTable({5, 1, 4, 2});
+  std::vector<double> out;
+  table.RangeScores(0, 3, &out);
+  EXPECT_EQ(out, (std::vector<double>{5, 1, 4, 2}));
+}
+
+TEST(ScoreTableTest, FileRoundTrip) {
+  const std::string dir = TempDir("vaq_tbl_test");
+  Rng rng(5);
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) scores.push_back(rng.UniformDouble(0, 100));
+  const ScoreTable table = MakeTable(scores);
+  const std::string path = dir + "/t.tbl";
+  ASSERT_TRUE(table.WriteTo(path).ok());
+  auto loaded = ScoreTable::ReadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rows(), table.num_rows());
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_EQ(loaded->PeekScore(i), table.PeekScore(i));
+  }
+  EXPECT_EQ(loaded->SortedRow(0).clip, table.SortedRow(0).clip);
+}
+
+TEST(ScoreTableTest, ReadErrors) {
+  EXPECT_EQ(ScoreTable::ReadFrom("/nonexistent/file.tbl").status().code(),
+            StatusCode::kIoError);
+  const std::string dir = TempDir("vaq_tbl_bad");
+  const std::string path = dir + "/bad.tbl";
+  std::ofstream(path, std::ios::binary) << "garbage";
+  EXPECT_EQ(ScoreTable::ReadFrom(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+VideoIndex MakeIndex() {
+  VideoIndex index;
+  index.video_id = 42;
+  index.num_clips = 6;
+  TypeIndex car;
+  car.type_id = 0;
+  car.type_name = "car";
+  car.table = MakeTable({1, 6, 3, 2, 9, 0});
+  car.sequences = IntervalSet::FromIntervals({Interval(1, 2), Interval(4, 4)});
+  index.objects.push_back(std::move(car));
+  TypeIndex jump;
+  jump.type_id = 0;
+  jump.type_name = "jumping";
+  jump.table = MakeTable({0, 5, 5, 1, 8, 2});
+  jump.sequences = IntervalSet::FromIntervals({Interval(1, 4)});
+  index.actions.push_back(std::move(jump));
+  return index;
+}
+
+TEST(VideoIndexTest, Lookups) {
+  const VideoIndex index = MakeIndex();
+  EXPECT_NE(index.FindObject(0), nullptr);
+  EXPECT_EQ(index.FindObject(9), nullptr);
+  EXPECT_NE(index.FindObjectByName("car"), nullptr);
+  EXPECT_EQ(index.FindObjectByName("boat"), nullptr);
+  EXPECT_NE(index.FindActionByName("jumping"), nullptr);
+}
+
+TEST(VideoIndexTest, AccessAggregation) {
+  const VideoIndex index = MakeIndex();
+  index.objects[0].table.RandomScore(0);
+  index.actions[0].table.SortedRow(0);
+  const AccessCounter total = index.TotalAccesses();
+  EXPECT_EQ(total.random_accesses, 1);
+  EXPECT_EQ(total.sorted_accesses, 1);
+  index.ResetAccessCounters();
+  EXPECT_EQ(index.TotalAccesses().total(), 0);
+}
+
+TEST(CatalogTest, SaveLoadRoundTrip) {
+  const Catalog catalog(TempDir("vaq_catalog_test"));
+  ASSERT_TRUE(catalog.Save("movie_a", MakeIndex()).ok());
+  EXPECT_TRUE(catalog.Contains("movie_a"));
+  EXPECT_FALSE(catalog.Contains("movie_b"));
+  auto loaded = catalog.Load("movie_a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->video_id, 42);
+  EXPECT_EQ(loaded->num_clips, 6);
+  ASSERT_EQ(loaded->objects.size(), 1u);
+  EXPECT_EQ(loaded->objects[0].type_name, "car");
+  EXPECT_EQ(loaded->objects[0].sequences,
+            IntervalSet::FromIntervals({Interval(1, 2), Interval(4, 4)}));
+  EXPECT_EQ(loaded->objects[0].table.PeekScore(4), 9);
+  EXPECT_EQ(loaded->actions[0].table.PeekScore(1), 5);
+  EXPECT_EQ(catalog.ListVideos(), std::vector<std::string>{"movie_a"});
+}
+
+TEST(CatalogTest, DeleteRemovesVideoAndFiles) {
+  const Catalog catalog(TempDir("vaq_catalog_delete"));
+  ASSERT_TRUE(catalog.Save("a", MakeIndex()).ok());
+  ASSERT_TRUE(catalog.Save("b", MakeIndex()).ok());
+  ASSERT_TRUE(catalog.Delete("a").ok());
+  EXPECT_FALSE(catalog.Contains("a"));
+  EXPECT_TRUE(catalog.Contains("b"));
+  EXPECT_EQ(catalog.ListVideos(), std::vector<std::string>{"b"});
+  EXPECT_EQ(catalog.Delete("a").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, LoadMissingVideoFails) {
+  const Catalog catalog(TempDir("vaq_catalog_empty"));
+  EXPECT_EQ(catalog.Load("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(catalog.ListVideos().empty());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vaq

@@ -1,0 +1,206 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace synth {
+namespace {
+
+ScenarioSpec BasicSpec(uint64_t seed = 5) {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.minutes = 10;
+  spec.fps = 30;
+  spec.seed = seed;
+  ActionTrackSpec action;
+  action.name = "jumping";
+  action.duty = 0.3;
+  action.mean_len_frames = 900;
+  spec.actions.push_back(action);
+  ObjectTrackSpec obj;
+  obj.name = "car";
+  obj.background_duty = 0.1;
+  obj.mean_len_frames = 600;
+  obj.coupled_action = "jumping";
+  obj.cover_action_prob = 0.9;
+  obj.mean_instances = 1.5;
+  spec.objects.push_back(obj);
+  return spec;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Vocabulary v1;
+  Vocabulary v2;
+  const GroundTruth a = Generate(BasicSpec(), v1);
+  const GroundTruth b = Generate(BasicSpec(), v2);
+  ASSERT_EQ(a.objects().size(), b.objects().size());
+  EXPECT_EQ(a.ObjectFrames(0), b.ObjectFrames(0));
+  EXPECT_EQ(a.ActionFrames(0), b.ActionFrames(0));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  Vocabulary v1;
+  Vocabulary v2;
+  const GroundTruth a = Generate(BasicSpec(1), v1);
+  const GroundTruth b = Generate(BasicSpec(2), v2);
+  EXPECT_FALSE(a.ActionFrames(0) == b.ActionFrames(0));
+}
+
+TEST(GeneratorTest, ActionDutyApproximatelyMet) {
+  Vocabulary vocab;
+  ScenarioSpec spec = BasicSpec();
+  spec.minutes = 60;  // Long video for a tight estimate.
+  const GroundTruth truth = Generate(spec, vocab);
+  const double duty = static_cast<double>(truth.ActionFrames(0).TotalLength()) /
+                      static_cast<double>(spec.NumFrames());
+  EXPECT_NEAR(duty, 0.3, 0.08);
+}
+
+TEST(GeneratorTest, CouplingCoversActionOccurrences) {
+  Vocabulary vocab;
+  const GroundTruth truth = Generate(BasicSpec(), vocab);
+  const IntervalSet& action = truth.ActionFrames(0);
+  const IntervalSet& object = truth.ObjectFrames(0);
+  // With cover probability 0.9, most action mass is covered by the object.
+  const double covered =
+      static_cast<double>(action.Intersect(object).TotalLength()) /
+      static_cast<double>(action.TotalLength());
+  EXPECT_GT(covered, 0.6);
+}
+
+TEST(GeneratorTest, InstancesWithinBoundsAndCoverPresence) {
+  Vocabulary vocab;
+  const GroundTruth truth = Generate(BasicSpec(), vocab);
+  const ObjectTruth& obj = truth.objects().front();
+  ASSERT_FALSE(obj.instances.empty());
+  IntervalSet instance_union;
+  std::vector<Interval> all;
+  for (const TruthInstance& inst : obj.instances) {
+    EXPECT_FALSE(inst.frames.empty());
+    all.push_back(inst.frames);
+  }
+  instance_union = IntervalSet::FromIntervals(all);
+  EXPECT_EQ(instance_union, obj.frames);  // Union of instances = presence.
+  // Instance ids unique.
+  std::vector<int64_t> ids;
+  for (const TruthInstance& inst : obj.instances) ids.push_back(inst.instance_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(GeneratorTest, DriftProfileShiftsMass) {
+  Vocabulary vocab;
+  ScenarioSpec spec = BasicSpec();
+  spec.minutes = 60;
+  spec.objects[0].coupled_action.clear();
+  spec.objects[0].cover_action_prob = 0;
+  spec.objects[0].background_duty = 0.1;
+  spec.objects[0].drift.multipliers = {0.2, 4.0};  // Sparse half, dense half.
+  const GroundTruth truth = Generate(spec, vocab);
+  const int64_t mid = spec.NumFrames() / 2;
+  const IntervalSet first_half = truth.ObjectFrames(0).Intersect(
+      IntervalSet::FromIntervals({Interval(0, mid - 1)}));
+  const IntervalSet second_half = truth.ObjectFrames(0).Intersect(
+      IntervalSet::FromIntervals({Interval(mid, spec.NumFrames() - 1)}));
+  EXPECT_GT(second_half.TotalLength(), 3 * first_half.TotalLength());
+}
+
+TEST(DriftProfileTest, AtSelectsSegments) {
+  DriftProfile drift;
+  EXPECT_DOUBLE_EQ(drift.At(50, 100), 1.0);  // Flat by default.
+  drift.multipliers = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(drift.At(0, 99), 1.0);
+  EXPECT_DOUBLE_EQ(drift.At(40, 99), 2.0);
+  EXPECT_DOUBLE_EQ(drift.At(98, 99), 3.0);
+}
+
+TEST(GroundTruthTest, QueryTruthIsIntersection) {
+  Vocabulary vocab;
+  ScenarioSpec spec = BasicSpec();
+  const GroundTruth truth = Generate(spec, vocab);
+  QuerySpec query;
+  query.action = 0;
+  query.objects = {0};
+  const IntervalSet expect =
+      truth.ActionFrames(0).Intersect(truth.ObjectFrames(0));
+  EXPECT_EQ(truth.QueryTruthFrames(query), expect);
+  // Clip truth covers the frame truth.
+  const IntervalSet clips = truth.QueryTruthClips(query);
+  EXPECT_EQ(truth.layout().ClipsToFrames(clips).Intersect(expect), expect);
+}
+
+TEST(GroundTruthTest, ActionShotsRequireMajorityCoverage) {
+  GroundTruth truth(1, VideoLayout(100, 10, 2));
+  ActionTruth at;
+  at.type = 0;
+  // Covers 6 frames of shot 0 (>=50%) and 4 frames of shot 1 (<50%).
+  at.frames = IntervalSet::FromIntervals({Interval(4, 13)});
+  truth.AddActionTruth(at);
+  const IntervalSet shots = truth.ActionShots(0);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0], Interval(0, 0));
+}
+
+TEST(ScenarioTest, YouTubePresetsMatchTableOne) {
+  // Spot-check lengths (Table 1) and query contents for a few presets.
+  const Scenario q1 = Scenario::YouTube(1);
+  EXPECT_EQ(q1.spec().minutes, 57);
+  EXPECT_EQ(q1.query().num_object_predicates(), 2);
+  EXPECT_TRUE(q1.query().has_action());
+  EXPECT_NE(q1.vocab().FindObjectType("faucet"), kInvalidTypeId);
+  EXPECT_NE(q1.vocab().FindObjectType("oven"), kInvalidTypeId);
+  EXPECT_NE(q1.vocab().FindActionType("washing dishes"), kInvalidTypeId);
+
+  const Scenario q12 = Scenario::YouTube(12);
+  EXPECT_EQ(q12.spec().minutes, 156);
+  EXPECT_EQ(q12.query().num_object_predicates(), 1);
+  EXPECT_NE(q12.vocab().FindObjectType("sunglasses"), kInvalidTypeId);
+}
+
+TEST(ScenarioTest, MoviePresetsMatchTableTwo) {
+  const Scenario coffee = Scenario::Movie(MovieId::kCoffeeAndCigarettes);
+  EXPECT_EQ(coffee.spec().minutes, 96);
+  EXPECT_NE(coffee.vocab().FindActionType("smoking"), kInvalidTypeId);
+  EXPECT_NE(coffee.vocab().FindObjectType("wine glass"), kInvalidTypeId);
+  const Scenario titanic = Scenario::Movie(MovieId::kTitanic);
+  EXPECT_EQ(titanic.spec().minutes, 194);
+  EXPECT_NE(titanic.vocab().FindActionType("kissing"), kInvalidTypeId);
+}
+
+TEST(ScenarioTest, TruthHasPluralResultSequences) {
+  for (int i : {1, 2, 5}) {
+    const Scenario sc = Scenario::YouTube(i);
+    const IntervalSet truth = sc.TruthClips();
+    EXPECT_GE(truth.size(), 3u) << "q" << i;
+    EXPECT_GT(truth.TotalLength(), 20) << "q" << i;
+  }
+}
+
+TEST(ScenarioTest, WithClipFramesKeepsFrameLevelTruth) {
+  const Scenario base = Scenario::YouTube(2);
+  const Scenario resized = base.WithClipFrames(200);
+  // Frame-level ground truth is unchanged; only the segmentation differs.
+  EXPECT_EQ(base.truth().QueryTruthFrames(base.query()),
+            resized.truth().QueryTruthFrames(resized.query()));
+  EXPECT_EQ(resized.layout().frames_per_clip(), 200);
+}
+
+TEST(ScenarioTest, WithQuerySwapsPredicates) {
+  const Scenario base = Scenario::YouTube(2);
+  auto modified = base.WithQuery("blowing leaves", {"person"});
+  ASSERT_TRUE(modified.ok());
+  EXPECT_EQ(modified->query().num_object_predicates(), 1);
+  EXPECT_FALSE(base.WithQuery("no such action", {}).ok());
+}
+
+TEST(ScenarioTest, DistractorTypesAreRegistered) {
+  const Scenario sc = Scenario::YouTube(3);
+  EXPECT_NE(sc.vocab().FindObjectType("person"), kInvalidTypeId);
+  EXPECT_GE(sc.vocab().num_object_types(), 5);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace vaq

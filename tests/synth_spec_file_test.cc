@@ -1,0 +1,113 @@
+#include "synth/spec_file.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace synth {
+namespace {
+
+constexpr char kSample[] = R"(
+# A crossroad camera.
+name = crossroad-cam
+minutes = 30
+fps = 10
+seed = 7
+frames_per_shot = 10
+shots_per_clip = 10
+
+[action]
+name = loitering
+duty = 0.06
+mean_len_frames = 1200
+drift = 1, 6, 6, 1
+
+[object]
+name = truck
+background_duty = 0.05
+mean_len_frames = 900
+coupled_action = loitering
+cover_action_prob = 0.9
+mean_instances = 1.4
+)";
+
+TEST(SpecFileTest, ParsesEveryField) {
+  auto spec = ParseScenarioSpec(kSample);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "crossroad-cam");
+  EXPECT_DOUBLE_EQ(spec->minutes, 30);
+  EXPECT_DOUBLE_EQ(spec->fps, 10);
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->frames_per_shot, 10);
+  EXPECT_EQ(spec->shots_per_clip, 10);
+  ASSERT_EQ(spec->actions.size(), 1u);
+  EXPECT_EQ(spec->actions[0].name, "loitering");
+  EXPECT_DOUBLE_EQ(spec->actions[0].duty, 0.06);
+  EXPECT_EQ(spec->actions[0].drift.multipliers,
+            (std::vector<double>{1, 6, 6, 1}));
+  ASSERT_EQ(spec->objects.size(), 1u);
+  EXPECT_EQ(spec->objects[0].name, "truck");
+  EXPECT_EQ(spec->objects[0].coupled_action, "loitering");
+  EXPECT_DOUBLE_EQ(spec->objects[0].cover_action_prob, 0.9);
+}
+
+TEST(SpecFileTest, RoundTripsThroughFormat) {
+  auto spec = ParseScenarioSpec(kSample);
+  ASSERT_TRUE(spec.ok());
+  const std::string text = FormatScenarioSpec(*spec);
+  auto again = ParseScenarioSpec(text);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << text;
+  EXPECT_EQ(again->name, spec->name);
+  EXPECT_EQ(again->seed, spec->seed);
+  EXPECT_EQ(again->actions.size(), spec->actions.size());
+  EXPECT_EQ(again->objects.size(), spec->objects.size());
+  EXPECT_EQ(again->actions[0].drift.multipliers,
+            spec->actions[0].drift.multipliers);
+  // Identical generated ground truth.
+  Vocabulary v1;
+  Vocabulary v2;
+  EXPECT_EQ(Generate(*spec, v1).ActionFrames(0),
+            Generate(*again, v2).ActionFrames(0));
+}
+
+TEST(SpecFileTest, ParseErrors) {
+  EXPECT_FALSE(ParseScenarioSpec("minutes = abc").ok());
+  EXPECT_FALSE(ParseScenarioSpec("mystery = 1").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[weird]\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("just a line").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[action]\nduty = 0.1").ok());  // No name.
+  EXPECT_FALSE(ParseScenarioSpec(
+                   "minutes = 1\n[object]\nname = x\ncoupled_action = ghost")
+                   .ok());
+  EXPECT_FALSE(ParseScenarioSpec("minutes = 0").ok());  // No frames.
+  EXPECT_FALSE(ParseScenarioSpec("[action]\nname = a\ndrift = ").ok());
+}
+
+TEST(SpecFileTest, LoadFromDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "vaq_specfile";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "cam.spec").string();
+  std::ofstream(path) << kSample;
+  auto spec = LoadScenarioSpec(path);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "crossroad-cam");
+  EXPECT_FALSE(LoadScenarioSpec("/no/such/file.spec").ok());
+}
+
+TEST(SpecFileTest, ScenarioBuildsFromParsedSpec) {
+  auto spec = ParseScenarioSpec(kSample);
+  ASSERT_TRUE(spec.ok());
+  const Scenario scenario =
+      Scenario::FromSpec(*spec, "loitering", {"truck"});
+  EXPECT_EQ(scenario.layout().num_frames(), spec->NumFrames());
+  EXPECT_TRUE(scenario.query().has_action());
+  EXPECT_GT(scenario.TruthClips().TotalLength(), 0);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace vaq

@@ -1,0 +1,107 @@
+#include "video/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "video/query_spec.h"
+#include "video/vocabulary.h"
+
+namespace vaq {
+namespace {
+
+TEST(VideoLayoutTest, ExactDivision) {
+  const VideoLayout layout(100, 10, 2);  // 10 shots, 5 clips.
+  EXPECT_EQ(layout.frames_per_clip(), 20);
+  EXPECT_EQ(layout.NumShots(), 10);
+  EXPECT_EQ(layout.NumClips(), 5);
+  EXPECT_EQ(layout.FrameToShot(0), 0);
+  EXPECT_EQ(layout.FrameToShot(99), 9);
+  EXPECT_EQ(layout.FrameToClip(19), 0);
+  EXPECT_EQ(layout.FrameToClip(20), 1);
+  EXPECT_EQ(layout.ShotToClip(1), 0);
+  EXPECT_EQ(layout.ShotToClip(2), 1);
+  EXPECT_EQ(layout.ShotFrameRange(3), Interval(30, 39));
+  EXPECT_EQ(layout.ClipFrameRange(4), Interval(80, 99));
+  EXPECT_EQ(layout.ClipShotRange(4), Interval(8, 9));
+}
+
+TEST(VideoLayoutTest, PartialTail) {
+  const VideoLayout layout(105, 10, 2);  // Trailing 5-frame shot.
+  EXPECT_EQ(layout.NumShots(), 11);
+  EXPECT_EQ(layout.NumClips(), 6);
+  EXPECT_EQ(layout.ShotFrameRange(10), Interval(100, 104));
+  EXPECT_EQ(layout.ClipFrameRange(5), Interval(100, 104));
+  EXPECT_EQ(layout.ClipShotRange(5), Interval(10, 10));
+}
+
+TEST(VideoLayoutTest, MakeValidates) {
+  EXPECT_TRUE(VideoLayout::Make(100, 10, 5).ok());
+  EXPECT_FALSE(VideoLayout::Make(-1, 10, 5).ok());
+  EXPECT_FALSE(VideoLayout::Make(100, 0, 5).ok());
+  EXPECT_FALSE(VideoLayout::Make(100, 10, 0).ok());
+}
+
+TEST(VideoLayoutTest, FramesToClipsAndBack) {
+  const VideoLayout layout(200, 10, 2);  // 20-frame clips, 10 clips.
+  const IntervalSet frames =
+      IntervalSet::FromIntervals({Interval(5, 25), Interval(100, 119)});
+  const IntervalSet clips = layout.FramesToClips(frames);
+  ASSERT_EQ(clips.size(), 2u);
+  EXPECT_EQ(clips[0], Interval(0, 1));  // Frames 5..25 touch clips 0,1.
+  EXPECT_EQ(clips[1], Interval(5, 5));  // Frames 100..119 = clip 5 exactly.
+  const IntervalSet expanded = layout.ClipsToFrames(clips);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0], Interval(0, 39));
+  EXPECT_EQ(expanded[1], Interval(100, 119));
+}
+
+TEST(VideoLayoutTest, ClipsToFramesOfSetCoversOriginal) {
+  const VideoLayout layout(1000, 10, 5);
+  const IntervalSet frames =
+      IntervalSet::FromIntervals({Interval(123, 456), Interval(800, 801)});
+  const IntervalSet roundtrip =
+      layout.ClipsToFrames(layout.FramesToClips(frames));
+  EXPECT_EQ(roundtrip.Intersect(frames), frames);  // Superset of original.
+}
+
+TEST(VocabularyTest, RegistrationAndLookup) {
+  Vocabulary vocab;
+  const ObjectTypeId car = vocab.AddObjectType("car");
+  const ObjectTypeId person = vocab.AddObjectType("person");
+  EXPECT_EQ(vocab.AddObjectType("car"), car);  // Idempotent.
+  EXPECT_EQ(vocab.num_object_types(), 2);
+  EXPECT_EQ(vocab.FindObjectType("person"), person);
+  EXPECT_EQ(vocab.FindObjectType("boat"), kInvalidTypeId);
+  EXPECT_EQ(vocab.ObjectTypeName(car), "car");
+
+  const ActionTypeId jump = vocab.AddActionType("jumping");
+  EXPECT_EQ(vocab.num_action_types(), 1);
+  EXPECT_EQ(vocab.FindActionType("jumping"), jump);
+  EXPECT_FALSE(vocab.GetActionType("dancing").ok());
+  EXPECT_TRUE(vocab.GetObjectType("car").ok());
+}
+
+TEST(QuerySpecTest, FromNamesResolvesInOrder) {
+  Vocabulary vocab;
+  vocab.AddObjectType("car");
+  vocab.AddObjectType("human");
+  vocab.AddActionType("jumping");
+  auto spec = QuerySpec::FromNames(vocab, "jumping", {"human", "car"});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->has_action());
+  EXPECT_EQ(spec->num_object_predicates(), 2);
+  EXPECT_EQ(spec->num_predicates(), 3);
+  EXPECT_EQ(spec->objects[0], vocab.FindObjectType("human"));
+  EXPECT_EQ(spec->ToString(vocab), "{a=jumping; o1=human; o2=car}");
+}
+
+TEST(QuerySpecTest, ErrorsOnUnknownNamesAndEmptyQuery) {
+  Vocabulary vocab;
+  vocab.AddActionType("jumping");
+  EXPECT_FALSE(QuerySpec::FromNames(vocab, "dancing", {}).ok());
+  EXPECT_FALSE(QuerySpec::FromNames(vocab, "jumping", {"ghost"}).ok());
+  EXPECT_FALSE(QuerySpec::FromNames(vocab, "", {}).ok());
+  EXPECT_TRUE(QuerySpec::FromNames(vocab, "jumping", {}).ok());
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,98 @@
+#include "video/sequence_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vaq {
+namespace {
+
+IntervalSet Set(std::vector<Interval> ivs) {
+  return IntervalSet::FromIntervals(std::move(ivs));
+}
+
+TEST(DropShortSequencesTest, FiltersByLength) {
+  const IntervalSet in = Set({{0, 0}, {5, 7}, {10, 20}});
+  EXPECT_EQ(DropShortSequences(in, 0), in);
+  EXPECT_EQ(DropShortSequences(in, 2), Set({{5, 7}, {10, 20}}));
+  EXPECT_EQ(DropShortSequences(in, 4), Set({{10, 20}}));
+  EXPECT_TRUE(DropShortSequences(in, 100).empty());
+}
+
+TEST(MergeGapsTest, BridgesSmallGapsOnly) {
+  const IntervalSet in = Set({{0, 2}, {5, 6}, {8, 9}, {30, 31}});
+  // Gaps: 2 (0..2 to 5..6), 1 (5..6 to 8..9), 20.
+  EXPECT_EQ(MergeGaps(in, 0), in);
+  EXPECT_EQ(MergeGaps(in, 1), Set({{0, 2}, {5, 9}, {30, 31}}));
+  EXPECT_EQ(MergeGaps(in, 2), Set({{0, 9}, {30, 31}}));
+  EXPECT_EQ(MergeGaps(in, 20), Set({{0, 31}}));
+  EXPECT_TRUE(MergeGaps(IntervalSet(), 3).empty());
+}
+
+TEST(MergeGapsTest, ChainedBridging) {
+  // Bridging is transitive left to right: three pieces with 1-gaps all
+  // fuse at tolerance 1.
+  const IntervalSet in = Set({{0, 0}, {2, 2}, {4, 4}});
+  EXPECT_EQ(MergeGaps(in, 1), Set({{0, 4}}));
+}
+
+TEST(PadSequencesTest, PadsAndClamps) {
+  const IntervalSet in = Set({{0, 1}, {10, 12}, {18, 19}});
+  EXPECT_EQ(PadSequences(in, 0, 20), in);
+  // Pad 2: [0,3], [8,14], [16,19] — no merges yet.
+  EXPECT_EQ(PadSequences(in, 2, 20), Set({{0, 3}, {8, 14}, {16, 19}}));
+  // Pad 3: [0,4], [7,15], [15,19] -> last two merge; ends clamp.
+  EXPECT_EQ(PadSequences(in, 3, 20), Set({{0, 4}, {7, 19}}));
+}
+
+TEST(ClampToWindowTest, CutsAtBothEnds) {
+  const IntervalSet in = Set({{0, 5}, {10, 15}, {20, 25}});
+  EXPECT_EQ(ClampToWindow(in, Interval(3, 22)),
+            Set({{3, 5}, {10, 15}, {20, 22}}));
+  EXPECT_TRUE(ClampToWindow(in, Interval(6, 9)).empty());
+}
+
+TEST(ToTimeRangesTest, ConvertsClipSpansToSeconds) {
+  const VideoLayout layout(3000, 10, 10);  // 100-frame clips.
+  const IntervalSet in = Set({{0, 0}, {5, 9}});
+  const std::vector<TimeRange> ranges = ToTimeRanges(in, layout, 25.0);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranges[0].begin_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(ranges[0].end_seconds, 4.0);    // 100 frames @ 25fps.
+  EXPECT_DOUBLE_EQ(ranges[1].begin_seconds, 20.0);  // Frame 500.
+  EXPECT_DOUBLE_EQ(ranges[1].end_seconds, 40.0);    // Frame 1000.
+}
+
+TEST(SequenceOpsPropertyTest, OperatorsPreserveCanonicalForm) {
+  Rng rng(5);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Interval> ivs;
+    int64_t cursor = 0;
+    while (cursor < 90) {
+      const int64_t lo = cursor + 1 + static_cast<int64_t>(rng.UniformInt(4ul));
+      const int64_t hi = lo + static_cast<int64_t>(rng.UniformInt(6ul));
+      if (hi >= 100) break;
+      ivs.push_back(Interval(lo, hi));
+      cursor = hi + 1;
+    }
+    const IntervalSet in = Set(std::move(ivs));
+    for (const IntervalSet& out :
+         {DropShortSequences(in, 2), MergeGaps(in, 2),
+          PadSequences(in, 2, 100), ClampToWindow(in, Interval(10, 80))}) {
+      for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_LE(out[i].lo, out[i].hi);
+        if (i > 0) {
+          EXPECT_GT(out[i].lo, out[i - 1].hi + 1);
+        }
+      }
+    }
+    // Containment relations.
+    EXPECT_EQ(DropShortSequences(in, 2).Intersect(in),
+              DropShortSequences(in, 2));
+    EXPECT_EQ(in.Intersect(MergeGaps(in, 3)), in);       // Superset.
+    EXPECT_EQ(in.Intersect(PadSequences(in, 2, 100)), in);
+  }
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,287 @@
+// vaqctl — command-line front end for VAQ video repositories.
+//
+//   vaqctl ingest --catalog DIR --name NAME --scenario SPEC [options]
+//       Generate a scenario, run the ingestion phase and persist it.
+//       SPEC: youtube:<1..12> | coffee | ironman | starwars | titanic
+//             | file:<scenario-spec-path> (synth/spec_file.h format)
+//       options: --models maskrcnn|yolo|ideal   --seed N
+//
+//   vaqctl ls --catalog DIR
+//       List ingested videos with their type inventories.
+//
+//   vaqctl rm --catalog DIR --name NAME
+//       Delete an ingested video and its table files.
+//
+//   vaqctl topk --catalog DIR --action NAME [--objects a,b,...] [--k N]
+//       Repository-wide ranked retrieval (RVAQ per video, merged).
+//
+//   vaqctl sql --catalog DIR "SELECT ... ORDER BY RANK(...) LIMIT K"
+//       Run an offline statement of the paper's dialect against a video
+//       registered under its catalog name.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vaq/vaq.h"
+
+namespace vaq {
+namespace {
+
+// Minimal --flag value parser: flags precede or follow positionals.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[arg.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(arg);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const std::string piece = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+StatusOr<synth::Scenario> MakeScenario(const std::string& spec,
+                                       uint64_t seed) {
+  if (spec.rfind("file:", 0) == 0) {
+    // A scenario spec file (synth/spec_file.h format). The query defaults
+    // to the first action plus the first object; override at query time.
+    VAQ_ASSIGN_OR_RETURN(synth::ScenarioSpec parsed,
+                         synth::LoadScenarioSpec(spec.substr(5)));
+    if (seed != 0) parsed.seed = seed;
+    if (parsed.actions.empty()) {
+      return Status::InvalidArgument("spec file declares no actions");
+    }
+    std::vector<std::string> objects;
+    if (!parsed.objects.empty()) objects.push_back(parsed.objects[0].name);
+    return synth::Scenario::FromSpec(parsed, parsed.actions[0].name,
+                                     objects);
+  }
+  if (spec.rfind("youtube:", 0) == 0) {
+    const int index = std::atoi(spec.c_str() + 8);
+    if (index < 1 || index > 12) {
+      return Status::InvalidArgument("youtube index must be 1..12");
+    }
+    return synth::Scenario::YouTube(index, seed);
+  }
+  if (spec == "coffee") {
+    return synth::Scenario::Movie(synth::MovieId::kCoffeeAndCigarettes, seed);
+  }
+  if (spec == "ironman") {
+    return synth::Scenario::Movie(synth::MovieId::kIronMan, seed);
+  }
+  if (spec == "starwars") {
+    return synth::Scenario::Movie(synth::MovieId::kStarWars3, seed);
+  }
+  if (spec == "titanic") {
+    return synth::Scenario::Movie(synth::MovieId::kTitanic, seed);
+  }
+  return Status::InvalidArgument("unknown scenario spec: " + spec);
+}
+
+int CmdIngest(const Args& args) {
+  const std::string catalog_dir = args.Get("catalog");
+  const std::string name = args.Get("name");
+  const std::string spec = args.Get("scenario");
+  if (catalog_dir.empty() || name.empty() || spec.empty()) {
+    std::fprintf(stderr,
+                 "ingest requires --catalog, --name and --scenario\n");
+    return 2;
+  }
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  auto scenario = MakeScenario(spec, seed);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const std::string models = args.Get("models", "maskrcnn");
+  detect::ModelBundle bundle =
+      models == "yolo" ? detect::ModelBundle::YoloI3d(scenario->truth(), seed)
+      : models == "ideal"
+          ? detect::ModelBundle::Ideal(scenario->truth(), seed)
+          : detect::ModelBundle::MaskRcnnI3d(scenario->truth(), seed);
+
+  offline::PaperScoring scoring;
+  offline::Ingestor ingestor(&scenario->vocab(), &scoring,
+                             offline::IngestOptions{});
+  std::printf("ingesting '%s' (%lld clips) with %s models...\n",
+              scenario->name().c_str(),
+              static_cast<long long>(scenario->layout().NumClips()),
+              models.c_str());
+  const storage::VideoIndex index =
+      ingestor.Ingest(scenario->truth(), bundle);
+  const storage::Catalog catalog(catalog_dir);
+  const Status status = catalog.Save(name, index);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %zu object + %zu action tables as '%s' in %s\n",
+              index.objects.size(), index.actions.size(), name.c_str(),
+              catalog_dir.c_str());
+  return 0;
+}
+
+int CmdLs(const Args& args) {
+  const std::string catalog_dir = args.Get("catalog");
+  if (catalog_dir.empty()) {
+    std::fprintf(stderr, "ls requires --catalog\n");
+    return 2;
+  }
+  const storage::Catalog catalog(catalog_dir);
+  const std::vector<std::string> names = catalog.ListVideos();
+  if (names.empty()) {
+    std::printf("(no ingested videos in %s)\n", catalog_dir.c_str());
+    return 0;
+  }
+  for (const std::string& name : names) {
+    auto index = catalog.Load(name);
+    if (!index.ok()) {
+      std::printf("%-20s  <unreadable: %s>\n", name.c_str(),
+                  index.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-20s  %6lld clips  objects:", name.c_str(),
+                static_cast<long long>(index->num_clips));
+    for (const auto& t : index->objects) std::printf(" %s", t.type_name.c_str());
+    std::printf("  actions:");
+    for (const auto& t : index->actions) std::printf(" %s", t.type_name.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdRm(const Args& args) {
+  const std::string catalog_dir = args.Get("catalog");
+  const std::string name = args.Get("name");
+  if (catalog_dir.empty() || name.empty()) {
+    std::fprintf(stderr, "rm requires --catalog and --name\n");
+    return 2;
+  }
+  const storage::Catalog catalog(catalog_dir);
+  const Status status = catalog.Delete(name);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("deleted '%s'\n", name.c_str());
+  return 0;
+}
+
+int CmdTopK(const Args& args) {
+  const std::string catalog_dir = args.Get("catalog");
+  const std::string action = args.Get("action");
+  if (catalog_dir.empty() || (action.empty() && args.Get("objects").empty())) {
+    std::fprintf(stderr,
+                 "topk requires --catalog and --action and/or --objects\n");
+    return 2;
+  }
+  offline::Repository repository;
+  const storage::Catalog catalog(catalog_dir);
+  const Status load = repository.AddFromCatalog(catalog);
+  if (!load.ok()) {
+    std::fprintf(stderr, "%s\n", load.ToString().c_str());
+    return 1;
+  }
+  offline::PaperScoring scoring;
+  offline::RvaqOptions options;
+  options.k = std::atoll(args.Get("k", "5").c_str());
+  auto result = repository.TopK(action, SplitCommas(args.Get("objects")),
+                                scoring, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("queried %lld videos (%lld without the types), %lld candidate "
+              "sequences\n",
+              static_cast<long long>(result->videos_queried),
+              static_cast<long long>(result->videos_skipped),
+              static_cast<long long>(result->candidate_sequences));
+  for (size_t i = 0; i < result->top.size(); ++i) {
+    const auto& entry = result->top[i];
+    std::printf("#%zu  %-16s clips [%lld, %lld]  score %.1f\n", i + 1,
+                entry.video.c_str(),
+                static_cast<long long>(entry.sequence.clips.lo),
+                static_cast<long long>(entry.sequence.clips.hi),
+                entry.sequence.exact_score);
+  }
+  std::printf("accesses: %s\n", result->accesses.ToString().c_str());
+  return 0;
+}
+
+int CmdSql(const Args& args) {
+  const std::string catalog_dir = args.Get("catalog");
+  if (catalog_dir.empty() || args.positional.size() < 2) {
+    std::fprintf(stderr, "sql requires --catalog and a statement\n");
+    return 2;
+  }
+  query::Session session;
+  const storage::Catalog catalog(catalog_dir);
+  for (const std::string& name : catalog.ListVideos()) {
+    auto index = catalog.Load(name);
+    if (index.ok()) session.RegisterRepository(name, std::move(*index));
+  }
+  auto result = session.Execute(args.positional[1]);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < result->ranked.size(); ++i) {
+    std::printf("#%zu  clips [%lld, %lld]  score %.1f\n", i + 1,
+                static_cast<long long>(result->ranked[i].clips.lo),
+                static_cast<long long>(result->ranked[i].clips.hi),
+                result->ranked[i].exact_score);
+  }
+  std::printf("accesses: %s\n", result->accesses.ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vaqctl <ingest|ls|rm|topk|sql> [--flags]\n"
+               "see the header of tools/vaqctl.cc for details\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace vaq
+
+int main(int argc, char** argv) {
+  if (argc < 2) return vaq::Usage();
+  const vaq::Args args = vaq::Args::Parse(argc, argv);
+  const std::string command = argv[1];
+  if (command == "ingest") return vaq::CmdIngest(args);
+  if (command == "ls") return vaq::CmdLs(args);
+  if (command == "rm") return vaq::CmdRm(args);
+  if (command == "topk") return vaq::CmdTopK(args);
+  if (command == "sql") return vaq::CmdSql(args);
+  return vaq::Usage();
+}
