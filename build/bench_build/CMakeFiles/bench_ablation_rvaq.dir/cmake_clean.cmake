@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rvaq"
+  "../bench/bench_ablation_rvaq.pdb"
+  "CMakeFiles/bench_ablation_rvaq.dir/bench_ablation_rvaq.cc.o"
+  "CMakeFiles/bench_ablation_rvaq.dir/bench_ablation_rvaq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rvaq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

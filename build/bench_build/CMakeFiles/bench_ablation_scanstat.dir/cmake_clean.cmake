@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scanstat"
+  "../bench/bench_ablation_scanstat.pdb"
+  "CMakeFiles/bench_ablation_scanstat.dir/bench_ablation_scanstat.cc.o"
+  "CMakeFiles/bench_ablation_scanstat.dir/bench_ablation_scanstat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scanstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

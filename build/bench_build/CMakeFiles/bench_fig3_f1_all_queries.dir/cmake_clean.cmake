@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_f1_all_queries"
+  "../bench/bench_fig3_f1_all_queries.pdb"
+  "CMakeFiles/bench_fig3_f1_all_queries.dir/bench_fig3_f1_all_queries.cc.o"
+  "CMakeFiles/bench_fig3_f1_all_queries.dir/bench_fig3_f1_all_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_f1_all_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_clip_size_sequences"
+  "../bench/bench_fig4_clip_size_sequences.pdb"
+  "CMakeFiles/bench_fig4_clip_size_sequences.dir/bench_fig4_clip_size_sequences.cc.o"
+  "CMakeFiles/bench_fig4_clip_size_sequences.dir/bench_fig4_clip_size_sequences.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_clip_size_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_runtime_online"
+  "../bench/bench_runtime_online.pdb"
+  "CMakeFiles/bench_runtime_online.dir/bench_runtime_online.cc.o"
+  "CMakeFiles/bench_runtime_online.dir/bench_runtime_online.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_models"
+  "../bench/bench_tab4_models.pdb"
+  "CMakeFiles/bench_tab4_models.dir/bench_tab4_models.cc.o"
+  "CMakeFiles/bench_tab4_models.dir/bench_tab4_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

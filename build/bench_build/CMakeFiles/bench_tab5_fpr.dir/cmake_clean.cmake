@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab5_fpr"
+  "../bench/bench_tab5_fpr.pdb"
+  "CMakeFiles/bench_tab5_fpr.dir/bench_tab5_fpr.cc.o"
+  "CMakeFiles/bench_tab5_fpr.dir/bench_tab5_fpr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

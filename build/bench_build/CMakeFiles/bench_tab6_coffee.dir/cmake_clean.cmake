@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab6_coffee"
+  "../bench/bench_tab6_coffee.pdb"
+  "CMakeFiles/bench_tab6_coffee.dir/bench_tab6_coffee.cc.o"
+  "CMakeFiles/bench_tab6_coffee.dir/bench_tab6_coffee.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_coffee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

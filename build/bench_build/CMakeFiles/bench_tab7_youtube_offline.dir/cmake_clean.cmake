@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab7_youtube_offline"
+  "../bench/bench_tab7_youtube_offline.pdb"
+  "CMakeFiles/bench_tab7_youtube_offline.dir/bench_tab7_youtube_offline.cc.o"
+  "CMakeFiles/bench_tab7_youtube_offline.dir/bench_tab7_youtube_offline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_youtube_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

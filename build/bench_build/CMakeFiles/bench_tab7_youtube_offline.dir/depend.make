@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab7_youtube_offline.
+# This may be replaced when dependencies are built.

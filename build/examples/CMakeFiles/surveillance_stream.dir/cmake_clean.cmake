@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_stream.dir/surveillance_stream.cpp.o"
+  "CMakeFiles/surveillance_stream.dir/surveillance_stream.cpp.o.d"
+  "surveillance_stream"
+  "surveillance_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/model_profile.cc" "src/detect/CMakeFiles/vaq_detect.dir/model_profile.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/model_profile.cc.o.d"
+  "/root/repo/src/detect/models.cc" "src/detect/CMakeFiles/vaq_detect.dir/models.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/models.cc.o.d"
+  "/root/repo/src/detect/relationship.cc" "src/detect/CMakeFiles/vaq_detect.dir/relationship.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/relationship.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_detect.dir/model_profile.cc.o"
+  "CMakeFiles/vaq_detect.dir/model_profile.cc.o.d"
+  "CMakeFiles/vaq_detect.dir/models.cc.o"
+  "CMakeFiles/vaq_detect.dir/models.cc.o.d"
+  "CMakeFiles/vaq_detect.dir/relationship.cc.o"
+  "CMakeFiles/vaq_detect.dir/relationship.cc.o.d"
+  "libvaq_detect.a"
+  "libvaq_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

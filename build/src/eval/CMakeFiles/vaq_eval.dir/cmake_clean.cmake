@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_eval.dir/metrics.cc.o"
+  "CMakeFiles/vaq_eval.dir/metrics.cc.o.d"
+  "libvaq_eval.a"
+  "libvaq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/baselines.cc" "src/offline/CMakeFiles/vaq_offline.dir/baselines.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/baselines.cc.o.d"
+  "/root/repo/src/offline/ingest.cc" "src/offline/CMakeFiles/vaq_offline.dir/ingest.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/ingest.cc.o.d"
+  "/root/repo/src/offline/query_view.cc" "src/offline/CMakeFiles/vaq_offline.dir/query_view.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/query_view.cc.o.d"
+  "/root/repo/src/offline/repository.cc" "src/offline/CMakeFiles/vaq_offline.dir/repository.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/repository.cc.o.d"
+  "/root/repo/src/offline/rvaq.cc" "src/offline/CMakeFiles/vaq_offline.dir/rvaq.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/rvaq.cc.o.d"
+  "/root/repo/src/offline/scoring.cc" "src/offline/CMakeFiles/vaq_offline.dir/scoring.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/scoring.cc.o.d"
+  "/root/repo/src/offline/tbclip.cc" "src/offline/CMakeFiles/vaq_offline.dir/tbclip.cc.o" "gcc" "src/offline/CMakeFiles/vaq_offline.dir/tbclip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/online/CMakeFiles/vaq_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vaq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/vaq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanstat/CMakeFiles/vaq_scanstat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_offline.dir/baselines.cc.o"
+  "CMakeFiles/vaq_offline.dir/baselines.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/ingest.cc.o"
+  "CMakeFiles/vaq_offline.dir/ingest.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/query_view.cc.o"
+  "CMakeFiles/vaq_offline.dir/query_view.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/repository.cc.o"
+  "CMakeFiles/vaq_offline.dir/repository.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/rvaq.cc.o"
+  "CMakeFiles/vaq_offline.dir/rvaq.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/scoring.cc.o"
+  "CMakeFiles/vaq_offline.dir/scoring.cc.o.d"
+  "CMakeFiles/vaq_offline.dir/tbclip.cc.o"
+  "CMakeFiles/vaq_offline.dir/tbclip.cc.o.d"
+  "libvaq_offline.a"
+  "libvaq_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

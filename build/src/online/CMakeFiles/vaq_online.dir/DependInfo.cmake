@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/clip_evaluator.cc" "src/online/CMakeFiles/vaq_online.dir/clip_evaluator.cc.o" "gcc" "src/online/CMakeFiles/vaq_online.dir/clip_evaluator.cc.o.d"
+  "/root/repo/src/online/cnf_engine.cc" "src/online/CMakeFiles/vaq_online.dir/cnf_engine.cc.o" "gcc" "src/online/CMakeFiles/vaq_online.dir/cnf_engine.cc.o.d"
+  "/root/repo/src/online/streaming.cc" "src/online/CMakeFiles/vaq_online.dir/streaming.cc.o" "gcc" "src/online/CMakeFiles/vaq_online.dir/streaming.cc.o.d"
+  "/root/repo/src/online/svaq.cc" "src/online/CMakeFiles/vaq_online.dir/svaq.cc.o" "gcc" "src/online/CMakeFiles/vaq_online.dir/svaq.cc.o.d"
+  "/root/repo/src/online/svaqd.cc" "src/online/CMakeFiles/vaq_online.dir/svaqd.cc.o" "gcc" "src/online/CMakeFiles/vaq_online.dir/svaqd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/vaq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanstat/CMakeFiles/vaq_scanstat.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

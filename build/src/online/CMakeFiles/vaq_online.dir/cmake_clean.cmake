@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_online.dir/clip_evaluator.cc.o"
+  "CMakeFiles/vaq_online.dir/clip_evaluator.cc.o.d"
+  "CMakeFiles/vaq_online.dir/cnf_engine.cc.o"
+  "CMakeFiles/vaq_online.dir/cnf_engine.cc.o.d"
+  "CMakeFiles/vaq_online.dir/streaming.cc.o"
+  "CMakeFiles/vaq_online.dir/streaming.cc.o.d"
+  "CMakeFiles/vaq_online.dir/svaq.cc.o"
+  "CMakeFiles/vaq_online.dir/svaq.cc.o.d"
+  "CMakeFiles/vaq_online.dir/svaqd.cc.o"
+  "CMakeFiles/vaq_online.dir/svaqd.cc.o.d"
+  "libvaq_online.a"
+  "libvaq_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

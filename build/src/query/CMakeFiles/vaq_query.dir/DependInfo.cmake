@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/vaq_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/vaq_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/vaq_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/vaq_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/vaq_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/vaq_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/session.cc" "src/query/CMakeFiles/vaq_query.dir/session.cc.o" "gcc" "src/query/CMakeFiles/vaq_query.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/offline/CMakeFiles/vaq_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/vaq_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vaq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanstat/CMakeFiles/vaq_scanstat.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/vaq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

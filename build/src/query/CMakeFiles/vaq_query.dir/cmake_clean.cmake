@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_query.dir/ast.cc.o"
+  "CMakeFiles/vaq_query.dir/ast.cc.o.d"
+  "CMakeFiles/vaq_query.dir/lexer.cc.o"
+  "CMakeFiles/vaq_query.dir/lexer.cc.o.d"
+  "CMakeFiles/vaq_query.dir/parser.cc.o"
+  "CMakeFiles/vaq_query.dir/parser.cc.o.d"
+  "CMakeFiles/vaq_query.dir/session.cc.o"
+  "CMakeFiles/vaq_query.dir/session.cc.o.d"
+  "libvaq_query.a"
+  "libvaq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

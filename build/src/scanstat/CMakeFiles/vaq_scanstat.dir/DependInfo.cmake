@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanstat/binomial.cc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/binomial.cc.o" "gcc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/binomial.cc.o.d"
+  "/root/repo/src/scanstat/critical_value.cc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/critical_value.cc.o" "gcc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/critical_value.cc.o.d"
+  "/root/repo/src/scanstat/kernel_estimator.cc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/kernel_estimator.cc.o" "gcc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/kernel_estimator.cc.o.d"
+  "/root/repo/src/scanstat/markov.cc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/markov.cc.o" "gcc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/markov.cc.o.d"
+  "/root/repo/src/scanstat/naus.cc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/naus.cc.o" "gcc" "src/scanstat/CMakeFiles/vaq_scanstat.dir/naus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_scanstat.dir/binomial.cc.o"
+  "CMakeFiles/vaq_scanstat.dir/binomial.cc.o.d"
+  "CMakeFiles/vaq_scanstat.dir/critical_value.cc.o"
+  "CMakeFiles/vaq_scanstat.dir/critical_value.cc.o.d"
+  "CMakeFiles/vaq_scanstat.dir/kernel_estimator.cc.o"
+  "CMakeFiles/vaq_scanstat.dir/kernel_estimator.cc.o.d"
+  "CMakeFiles/vaq_scanstat.dir/markov.cc.o"
+  "CMakeFiles/vaq_scanstat.dir/markov.cc.o.d"
+  "CMakeFiles/vaq_scanstat.dir/naus.cc.o"
+  "CMakeFiles/vaq_scanstat.dir/naus.cc.o.d"
+  "libvaq_scanstat.a"
+  "libvaq_scanstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_scanstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

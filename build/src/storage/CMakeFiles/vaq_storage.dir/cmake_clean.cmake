@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_storage.dir/catalog.cc.o"
+  "CMakeFiles/vaq_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/vaq_storage.dir/paged_table.cc.o"
+  "CMakeFiles/vaq_storage.dir/paged_table.cc.o.d"
+  "CMakeFiles/vaq_storage.dir/score_table.cc.o"
+  "CMakeFiles/vaq_storage.dir/score_table.cc.o.d"
+  "libvaq_storage.a"
+  "libvaq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/vaq_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/vaq_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/ground_truth.cc" "src/synth/CMakeFiles/vaq_synth.dir/ground_truth.cc.o" "gcc" "src/synth/CMakeFiles/vaq_synth.dir/ground_truth.cc.o.d"
+  "/root/repo/src/synth/scenario.cc" "src/synth/CMakeFiles/vaq_synth.dir/scenario.cc.o" "gcc" "src/synth/CMakeFiles/vaq_synth.dir/scenario.cc.o.d"
+  "/root/repo/src/synth/spec_file.cc" "src/synth/CMakeFiles/vaq_synth.dir/spec_file.cc.o" "gcc" "src/synth/CMakeFiles/vaq_synth.dir/spec_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_synth.dir/generator.cc.o"
+  "CMakeFiles/vaq_synth.dir/generator.cc.o.d"
+  "CMakeFiles/vaq_synth.dir/ground_truth.cc.o"
+  "CMakeFiles/vaq_synth.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vaq_synth.dir/scenario.cc.o"
+  "CMakeFiles/vaq_synth.dir/scenario.cc.o.d"
+  "CMakeFiles/vaq_synth.dir/spec_file.cc.o"
+  "CMakeFiles/vaq_synth.dir/spec_file.cc.o.d"
+  "libvaq_synth.a"
+  "libvaq_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/cnf_query.cc" "src/video/CMakeFiles/vaq_video.dir/cnf_query.cc.o" "gcc" "src/video/CMakeFiles/vaq_video.dir/cnf_query.cc.o.d"
+  "/root/repo/src/video/layout.cc" "src/video/CMakeFiles/vaq_video.dir/layout.cc.o" "gcc" "src/video/CMakeFiles/vaq_video.dir/layout.cc.o.d"
+  "/root/repo/src/video/query_spec.cc" "src/video/CMakeFiles/vaq_video.dir/query_spec.cc.o" "gcc" "src/video/CMakeFiles/vaq_video.dir/query_spec.cc.o.d"
+  "/root/repo/src/video/sequence_ops.cc" "src/video/CMakeFiles/vaq_video.dir/sequence_ops.cc.o" "gcc" "src/video/CMakeFiles/vaq_video.dir/sequence_ops.cc.o.d"
+  "/root/repo/src/video/vocabulary.cc" "src/video/CMakeFiles/vaq_video.dir/vocabulary.cc.o" "gcc" "src/video/CMakeFiles/vaq_video.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

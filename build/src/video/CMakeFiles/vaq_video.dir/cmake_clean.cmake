@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_video.dir/cnf_query.cc.o"
+  "CMakeFiles/vaq_video.dir/cnf_query.cc.o.d"
+  "CMakeFiles/vaq_video.dir/layout.cc.o"
+  "CMakeFiles/vaq_video.dir/layout.cc.o.d"
+  "CMakeFiles/vaq_video.dir/query_spec.cc.o"
+  "CMakeFiles/vaq_video.dir/query_spec.cc.o.d"
+  "CMakeFiles/vaq_video.dir/sequence_ops.cc.o"
+  "CMakeFiles/vaq_video.dir/sequence_ops.cc.o.d"
+  "CMakeFiles/vaq_video.dir/vocabulary.cc.o"
+  "CMakeFiles/vaq_video.dir/vocabulary.cc.o.d"
+  "libvaq_video.a"
+  "libvaq_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

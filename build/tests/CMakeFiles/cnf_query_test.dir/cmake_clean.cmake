@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnf_query_test.dir/cnf_query_test.cc.o"
+  "CMakeFiles/cnf_query_test.dir/cnf_query_test.cc.o.d"
+  "cnf_query_test"
+  "cnf_query_test.pdb"
+  "cnf_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnf_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

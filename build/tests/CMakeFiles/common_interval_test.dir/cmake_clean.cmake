@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_interval_test.dir/common_interval_test.cc.o"
+  "CMakeFiles/common_interval_test.dir/common_interval_test.cc.o.d"
+  "common_interval_test"
+  "common_interval_test.pdb"
+  "common_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

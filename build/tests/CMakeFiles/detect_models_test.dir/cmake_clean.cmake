@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_models_test.dir/detect_models_test.cc.o"
+  "CMakeFiles/detect_models_test.dir/detect_models_test.cc.o.d"
+  "detect_models_test"
+  "detect_models_test.pdb"
+  "detect_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

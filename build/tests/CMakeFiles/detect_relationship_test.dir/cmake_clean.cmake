@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_relationship_test.dir/detect_relationship_test.cc.o"
+  "CMakeFiles/detect_relationship_test.dir/detect_relationship_test.cc.o.d"
+  "detect_relationship_test"
+  "detect_relationship_test.pdb"
+  "detect_relationship_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_relationship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_repository_test.dir/offline_repository_test.cc.o"
+  "CMakeFiles/offline_repository_test.dir/offline_repository_test.cc.o.d"
+  "offline_repository_test"
+  "offline_repository_test.pdb"
+  "offline_repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

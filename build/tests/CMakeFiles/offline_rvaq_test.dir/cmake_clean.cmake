@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_rvaq_test.dir/offline_rvaq_test.cc.o"
+  "CMakeFiles/offline_rvaq_test.dir/offline_rvaq_test.cc.o.d"
+  "offline_rvaq_test"
+  "offline_rvaq_test.pdb"
+  "offline_rvaq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_rvaq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

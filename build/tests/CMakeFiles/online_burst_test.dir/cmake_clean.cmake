@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_burst_test.dir/online_burst_test.cc.o"
+  "CMakeFiles/online_burst_test.dir/online_burst_test.cc.o.d"
+  "online_burst_test"
+  "online_burst_test.pdb"
+  "online_burst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_burst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanstat_critical_value_test.dir/scanstat_critical_value_test.cc.o"
+  "CMakeFiles/scanstat_critical_value_test.dir/scanstat_critical_value_test.cc.o.d"
+  "scanstat_critical_value_test"
+  "scanstat_critical_value_test.pdb"
+  "scanstat_critical_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanstat_critical_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

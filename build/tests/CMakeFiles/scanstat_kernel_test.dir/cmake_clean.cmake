@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanstat_kernel_test.dir/scanstat_kernel_test.cc.o"
+  "CMakeFiles/scanstat_kernel_test.dir/scanstat_kernel_test.cc.o.d"
+  "scanstat_kernel_test"
+  "scanstat_kernel_test.pdb"
+  "scanstat_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanstat_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanstat_markov_test.dir/scanstat_markov_test.cc.o"
+  "CMakeFiles/scanstat_markov_test.dir/scanstat_markov_test.cc.o.d"
+  "scanstat_markov_test"
+  "scanstat_markov_test.pdb"
+  "scanstat_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanstat_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

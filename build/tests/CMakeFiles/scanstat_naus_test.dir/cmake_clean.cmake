@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanstat_naus_test.dir/scanstat_naus_test.cc.o"
+  "CMakeFiles/scanstat_naus_test.dir/scanstat_naus_test.cc.o.d"
+  "scanstat_naus_test"
+  "scanstat_naus_test.pdb"
+  "scanstat_naus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanstat_naus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scanstat_naus_test.
+# This may be replaced when dependencies are built.

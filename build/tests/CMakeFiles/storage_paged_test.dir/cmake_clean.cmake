@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_paged_test.dir/storage_paged_test.cc.o"
+  "CMakeFiles/storage_paged_test.dir/storage_paged_test.cc.o.d"
+  "storage_paged_test"
+  "storage_paged_test.pdb"
+  "storage_paged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_paged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_spec_file_test.dir/synth_spec_file_test.cc.o"
+  "CMakeFiles/synth_spec_file_test.dir/synth_spec_file_test.cc.o.d"
+  "synth_spec_file_test"
+  "synth_spec_file_test.pdb"
+  "synth_spec_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_spec_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

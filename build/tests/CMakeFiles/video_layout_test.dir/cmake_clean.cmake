@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_layout_test.dir/video_layout_test.cc.o"
+  "CMakeFiles/video_layout_test.dir/video_layout_test.cc.o.d"
+  "video_layout_test"
+  "video_layout_test.pdb"
+  "video_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

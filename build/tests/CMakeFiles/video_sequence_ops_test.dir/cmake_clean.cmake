@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_sequence_ops_test.dir/video_sequence_ops_test.cc.o"
+  "CMakeFiles/video_sequence_ops_test.dir/video_sequence_ops_test.cc.o.d"
+  "video_sequence_ops_test"
+  "video_sequence_ops_test.pdb"
+  "video_sequence_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_sequence_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

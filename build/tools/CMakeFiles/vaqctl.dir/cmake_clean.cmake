@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaqctl.dir/vaqctl.cc.o"
+  "CMakeFiles/vaqctl.dir/vaqctl.cc.o.d"
+  "vaqctl"
+  "vaqctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaqctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
