@@ -28,7 +28,7 @@ struct OfflineFixture {
         detect::ModelBundle::MaskRcnnI3d(scenario.truth(), model_seed);
     offline::Ingestor ingestor(&scenario.vocab(), &scoring,
                                offline::IngestOptions{});
-    index = ingestor.Ingest(scenario.truth(), models);
+    index = std::move(ingestor.Ingest(scenario.truth(), models)).value();
     auto tables_or = offline::QueryTables::Bind(index, scenario.query(),
                                                 scenario.vocab());
     VAQ_CHECK(tables_or.ok()) << tables_or.status().ToString();

@@ -217,8 +217,10 @@ bench_build/CMakeFiles/bench_ablation_rvaq.dir/bench_ablation_rvaq.cc.o: \
  /root/repo/src/offline/query_view.h /root/repo/src/offline/scoring.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/score_table.h \
  /root/repo/src/video/cnf_query.h /root/repo/src/offline/rvaq.h \
- /root/repo/src/offline/ingest.h /root/repo/src/online/svaqd.h \
- /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/offline/ingest.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/online/svaqd.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/sim_clock.h /root/repo/src/online/svaq.h \
+ /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h

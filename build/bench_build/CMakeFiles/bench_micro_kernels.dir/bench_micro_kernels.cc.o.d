@@ -249,5 +249,5 @@ bench_build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o: \
  /root/repo/src/scanstat/critical_value.h /root/repo/src/scanstat/naus.h \
  /root/repo/src/storage/paged_table.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/score_table.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/storage/score_table.h \
  /root/repo/src/storage/access_counter.h /root/repo/src/synth/generator.h

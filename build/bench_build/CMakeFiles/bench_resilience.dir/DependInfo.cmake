@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_resilience.cc" "bench_build/CMakeFiles/bench_resilience.dir/bench_resilience.cc.o" "gcc" "bench_build/CMakeFiles/bench_resilience.dir/bench_resilience.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/online/CMakeFiles/vaq_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/vaq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vaq_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanstat/CMakeFiles/vaq_scanstat.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

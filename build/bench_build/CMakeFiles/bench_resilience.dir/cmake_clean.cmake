@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resilience"
+  "../bench/bench_resilience.pdb"
+  "CMakeFiles/bench_resilience.dir/bench_resilience.cc.o"
+  "CMakeFiles/bench_resilience.dir/bench_resilience.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -216,6 +216,8 @@ bench_build/CMakeFiles/bench_tab3_predicates.dir/bench_tab3_predicates.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/eval/metrics.h \
  /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/fault/sim_clock.h \
  /root/repo/src/scanstat/critical_value.h /root/repo/src/online/svaqd.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h

@@ -223,6 +223,8 @@ bench_build/CMakeFiles/bench_tab4_models.dir/bench_tab4_models.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/video/query_spec.h \
  /root/repo/src/video/vocabulary.h /root/repo/src/eval/metrics.h \
  /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/fault/sim_clock.h \
  /root/repo/src/scanstat/critical_value.h /root/repo/src/online/svaqd.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h

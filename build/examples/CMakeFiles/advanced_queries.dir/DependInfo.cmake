@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/offline/CMakeFiles/vaq_offline.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/vaq_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vaq_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
   )
 

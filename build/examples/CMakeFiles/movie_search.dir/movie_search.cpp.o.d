@@ -253,8 +253,9 @@ examples/CMakeFiles/movie_search.dir/movie_search.cpp.o: \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/score_table.h \
  /root/repo/src/storage/access_counter.h /root/repo/src/video/cnf_query.h \
  /root/repo/src/offline/rvaq.h /root/repo/src/offline/ingest.h \
- /root/repo/src/online/svaqd.h /root/repo/src/online/svaq.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/online/svaqd.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/fault/sim_clock.h \
+ /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/offline/repository.h /usr/include/c++/12/map \

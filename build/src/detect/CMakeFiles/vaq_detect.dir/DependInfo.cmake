@@ -11,12 +11,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/detect/model_profile.cc" "src/detect/CMakeFiles/vaq_detect.dir/model_profile.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/model_profile.cc.o.d"
   "/root/repo/src/detect/models.cc" "src/detect/CMakeFiles/vaq_detect.dir/models.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/models.cc.o.d"
   "/root/repo/src/detect/relationship.cc" "src/detect/CMakeFiles/vaq_detect.dir/relationship.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/relationship.cc.o.d"
+  "/root/repo/src/detect/resilient.cc" "src/detect/CMakeFiles/vaq_detect.dir/resilient.cc.o" "gcc" "src/detect/CMakeFiles/vaq_detect.dir/resilient.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vaq_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
   )
 

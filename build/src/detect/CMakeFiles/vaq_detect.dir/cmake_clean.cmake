@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vaq_detect.dir/models.cc.o.d"
   "CMakeFiles/vaq_detect.dir/relationship.cc.o"
   "CMakeFiles/vaq_detect.dir/relationship.cc.o.d"
+  "CMakeFiles/vaq_detect.dir/resilient.cc.o"
+  "CMakeFiles/vaq_detect.dir/resilient.cc.o.d"
   "libvaq_detect.a"
   "libvaq_detect.pdb"
 )

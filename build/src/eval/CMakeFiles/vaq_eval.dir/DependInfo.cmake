@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vaq_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_fault.dir/fault_plan.cc.o"
+  "CMakeFiles/vaq_fault.dir/fault_plan.cc.o.d"
+  "libvaq_fault.a"
+  "libvaq_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -212,4 +212,5 @@ src/online/CMakeFiles/vaq_online.dir/clip_evaluator.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/fault/sim_clock.h

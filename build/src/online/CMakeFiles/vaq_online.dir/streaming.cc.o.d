@@ -207,17 +207,19 @@ src/online/CMakeFiles/vaq_online.dir/streaming.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/online/svaqd.h \
- /root/repo/src/online/svaq.h /root/repo/src/common/interval.h \
- /root/repo/src/detect/models.h /root/repo/src/detect/model_profile.h \
- /root/repo/src/synth/ground_truth.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/online/svaqd.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/detect/models.h \
+ /root/repo/src/detect/model_profile.h \
+ /root/repo/src/synth/ground_truth.h /root/repo/src/common/interval.h \
  /root/repo/src/video/layout.h /root/repo/src/common/logging.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/video/query_spec.h /root/repo/src/video/vocabulary.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/video/query_spec.h \
+ /root/repo/src/video/vocabulary.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/fault/sim_clock.h /root/repo/src/online/svaq.h \
  /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \

@@ -212,7 +212,8 @@ src/online/CMakeFiles/vaq_online.dir/svaq.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/online/clip_evaluator.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/fault/sim_clock.h \
  /root/repo/src/scanstat/critical_value.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \

@@ -207,7 +207,7 @@ src/storage/CMakeFiles/vaq_storage.dir/paged_table.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/fault/fault_plan.h \
  /root/repo/src/storage/score_table.h \
  /root/repo/src/storage/access_counter.h /root/repo/src/video/layout.h \
  /root/repo/src/common/interval.h /root/repo/src/common/logging.h \
@@ -219,6 +219,13 @@ src/storage/CMakeFiles/vaq_storage.dir/paged_table.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
  /usr/include/linux/falloc.h /usr/include/x86_64-linux-gnu/bits/stat.h \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/interval.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/interval.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/interval.cc.o.d"
+  "/root/repo/src/common/rng.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/rng.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/status.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/common/status.cc.o.d"
+  "/root/repo/src/detect/model_profile.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/model_profile.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/model_profile.cc.o.d"
+  "/root/repo/src/detect/models.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/models.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/models.cc.o.d"
+  "/root/repo/src/detect/relationship.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/relationship.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/relationship.cc.o.d"
+  "/root/repo/src/detect/resilient.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/resilient.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/detect/resilient.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/eval/metrics.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/eval/metrics.cc.o.d"
+  "/root/repo/src/fault/fault_plan.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/fault/fault_plan.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/fault/fault_plan.cc.o.d"
+  "/root/repo/src/online/clip_evaluator.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/clip_evaluator.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/clip_evaluator.cc.o.d"
+  "/root/repo/src/online/cnf_engine.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/cnf_engine.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/cnf_engine.cc.o.d"
+  "/root/repo/src/online/streaming.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/streaming.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/streaming.cc.o.d"
+  "/root/repo/src/online/svaq.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/svaq.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/svaq.cc.o.d"
+  "/root/repo/src/online/svaqd.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/svaqd.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/online/svaqd.cc.o.d"
+  "/root/repo/src/scanstat/binomial.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/binomial.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/binomial.cc.o.d"
+  "/root/repo/src/scanstat/critical_value.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/critical_value.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/critical_value.cc.o.d"
+  "/root/repo/src/scanstat/kernel_estimator.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/kernel_estimator.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/kernel_estimator.cc.o.d"
+  "/root/repo/src/scanstat/markov.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/markov.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/markov.cc.o.d"
+  "/root/repo/src/scanstat/naus.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/naus.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/scanstat/naus.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/generator.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/generator.cc.o.d"
+  "/root/repo/src/synth/ground_truth.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/ground_truth.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/ground_truth.cc.o.d"
+  "/root/repo/src/synth/scenario.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/scenario.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/scenario.cc.o.d"
+  "/root/repo/src/synth/spec_file.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/spec_file.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/synth/spec_file.cc.o.d"
+  "/root/repo/src/video/cnf_query.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/cnf_query.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/cnf_query.cc.o.d"
+  "/root/repo/src/video/layout.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/layout.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/layout.cc.o.d"
+  "/root/repo/src/video/query_spec.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/query_spec.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/query_spec.cc.o.d"
+  "/root/repo/src/video/sequence_ops.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/sequence_ops.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/sequence_ops.cc.o.d"
+  "/root/repo/src/video/vocabulary.cc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/vocabulary.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/__/src/video/vocabulary.cc.o.d"
+  "/root/repo/tests/fault_plan_test.cc" "tests/CMakeFiles/fault_plan_test_san.dir/fault_plan_test.cc.o" "gcc" "tests/CMakeFiles/fault_plan_test_san.dir/fault_plan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -303,9 +303,10 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/synth/ground_truth.h /root/repo/src/video/layout.h \
  /root/repo/src/common/logging.h /root/repo/src/common/status.h \
  /root/repo/src/video/query_spec.h /root/repo/src/video/vocabulary.h \
- /root/repo/src/offline/ingest.h /root/repo/src/offline/scoring.h \
- /root/repo/src/online/svaqd.h /root/repo/src/online/svaq.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/offline/ingest.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/offline/scoring.h /root/repo/src/online/svaqd.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/fault/sim_clock.h \
+ /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/score_table.h \

@@ -329,7 +329,9 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o: \
  /root/repo/src/video/layout.h /root/repo/src/common/status.h \
  /root/repo/src/video/query_spec.h /root/repo/src/video/vocabulary.h \
  /root/repo/src/online/cnf_engine.h /root/repo/src/online/svaqd.h \
- /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/detect/resilient.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/fault/sim_clock.h /root/repo/src/online/svaq.h \
+ /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/video/cnf_query.h /root/repo/src/storage/catalog.h \

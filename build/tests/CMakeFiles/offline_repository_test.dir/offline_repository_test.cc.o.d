@@ -306,8 +306,10 @@ tests/CMakeFiles/offline_repository_test.dir/offline_repository_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/detect/models.h /root/repo/src/detect/model_profile.h \
  /root/repo/src/synth/ground_truth.h /root/repo/src/offline/baselines.h \
- /root/repo/src/offline/ingest.h /root/repo/src/online/svaqd.h \
- /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/offline/ingest.h /root/repo/src/fault/fault_plan.h \
+ /root/repo/src/online/svaqd.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/sim_clock.h /root/repo/src/online/svaq.h \
+ /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h

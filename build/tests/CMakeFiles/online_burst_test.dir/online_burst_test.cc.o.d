@@ -298,8 +298,9 @@ tests/CMakeFiles/online_burst_test.dir/online_burst_test.cc.o: \
  /root/repo/src/video/layout.h /root/repo/src/common/logging.h \
  /root/repo/src/common/status.h /root/repo/src/video/query_spec.h \
  /root/repo/src/video/vocabulary.h /root/repo/src/eval/metrics.h \
- /root/repo/src/online/svaqd.h /root/repo/src/online/svaq.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/online/svaqd.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/fault/sim_clock.h \
+ /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_resilience_test.dir/online_resilience_test.cc.o"
+  "CMakeFiles/online_resilience_test.dir/online_resilience_test.cc.o.d"
+  "online_resilience_test"
+  "online_resilience_test.pdb"
+  "online_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -212,7 +212,8 @@ tests/CMakeFiles/online_svaq_test.dir/online_svaq_test.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/online/clip_evaluator.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/fault/sim_clock.h \
  /root/repo/src/scanstat/critical_value.h /root/repo/src/online/svaqd.h \
  /root/repo/src/scanstat/kernel_estimator.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \

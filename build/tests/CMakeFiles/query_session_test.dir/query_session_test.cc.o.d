@@ -219,8 +219,9 @@ tests/CMakeFiles/query_session_test.dir/query_session_test.cc.o: \
  /root/repo/src/offline/query_view.h /root/repo/src/offline/scoring.h \
  /root/repo/src/storage/catalog.h /root/repo/src/storage/score_table.h \
  /root/repo/src/storage/access_counter.h /root/repo/src/video/cnf_query.h \
- /root/repo/src/online/svaqd.h /root/repo/src/online/svaq.h \
- /root/repo/src/online/clip_evaluator.h \
+ /root/repo/src/online/svaqd.h /root/repo/src/detect/resilient.h \
+ /root/repo/src/fault/fault_plan.h /root/repo/src/fault/sim_clock.h \
+ /root/repo/src/online/svaq.h /root/repo/src/online/clip_evaluator.h \
  /root/repo/src/scanstat/critical_value.h \
  /root/repo/src/scanstat/kernel_estimator.h /root/repo/src/query/ast.h \
  /root/repo/src/synth/scenario.h /root/repo/src/synth/generator.h \

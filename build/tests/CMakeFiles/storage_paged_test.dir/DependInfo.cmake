@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/online/CMakeFiles/vaq_online.dir/DependInfo.cmake"
   "/root/repo/build/src/scanstat/CMakeFiles/vaq_scanstat.dir/DependInfo.cmake"
   "/root/repo/build/src/detect/CMakeFiles/vaq_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vaq_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/vaq_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/video/CMakeFiles/vaq_video.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"

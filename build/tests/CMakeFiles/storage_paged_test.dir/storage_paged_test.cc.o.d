@@ -207,7 +207,7 @@ tests/CMakeFiles/storage_paged_test.dir/storage_paged_test.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/fault/fault_plan.h \
  /root/repo/src/storage/score_table.h \
  /root/repo/src/storage/access_counter.h /root/repo/src/video/layout.h \
  /root/repo/src/common/interval.h /root/repo/src/common/logging.h \

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
         detect::ModelBundle::MaskRcnnI3d(movie.truth(), 7);
     offline::Ingestor ingestor(&movie.vocab(), &scoring,
                                offline::IngestOptions{});
-    const storage::VideoIndex index = ingestor.Ingest(movie.truth(), models);
+    const storage::VideoIndex index =
+        std::move(ingestor.Ingest(movie.truth(), models)).value();
     VAQ_CHECK_OK(catalog.Save("coffee", index));
     std::printf("ingested %zu object types + %zu action types into %s\n",
                 index.objects.size(), index.actions.size(),

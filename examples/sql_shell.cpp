@@ -67,8 +67,9 @@ int main(int argc, char** argv) {
     offline::PaperScoring scoring;
     offline::Ingestor ingestor(&movie.vocab(), &scoring,
                                offline::IngestOptions{});
-    session.RegisterRepository("movieRepo",
-                               ingestor.Ingest(movie.truth(), models));
+    session.RegisterRepository(
+        "movieRepo",
+        std::move(ingestor.Ingest(movie.truth(), models)).value());
   }
   std::printf("registered repository 'movieRepo' (%s, ingested)\n",
               movie.name().c_str());

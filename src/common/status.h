@@ -26,6 +26,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // Transient outage; retrying later may succeed.
+  kDeadlineExceeded,   // The operation ran past its time budget.
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +76,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,6 +31,15 @@ struct ModelStats {
   int64_t inferences = 0;    // Distinct OUs run through the network.
   int64_t type_queries = 0;  // (type, OU) score lookups served.
   double simulated_ms = 0;   // inferences × profile.inference_ms.
+
+  // Resilience accounting, populated by the detect::Resilient* wrappers
+  // and the engines' degradation policies (all zero when fault injection
+  // is off; see src/fault/).
+  int64_t faults_injected = 0;  // Attempts that failed or returned garbage.
+  int64_t retries = 0;          // Extra attempts after a failed one.
+  int64_t failures = 0;         // Observations abandoned after the budget.
+  int64_t fallbacks = 0;        // Observations filled by a missing-obs policy.
+  int64_t breaker_trips = 0;    // Circuit-breaker open transitions.
 };
 
 // Simulated object detector. Reports max S_o^(v): the maximum detection
@@ -52,6 +61,9 @@ class ObjectDetector {
 
   const ModelProfile& profile() const { return profile_; }
   const ModelStats& stats() const { return stats_; }
+  // Resilience wrappers account their fault/retry counters here so the
+  // existing stats plumbing surfaces them unchanged.
+  ModelStats& mutable_stats() { return stats_; }
   void ResetStats() {
     stats_ = ModelStats();
     std::fill(frame_seen_.begin(), frame_seen_.end(), false);
@@ -80,6 +92,7 @@ class ActionRecognizer {
 
   const ModelProfile& profile() const { return profile_; }
   const ModelStats& stats() const { return stats_; }
+  ModelStats& mutable_stats() { return stats_; }
   void ResetStats() {
     stats_ = ModelStats();
     std::fill(shot_seen_.begin(), shot_seen_.end(), false);

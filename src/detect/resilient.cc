@@ -1,0 +1,58 @@
+#include "detect/resilient.h"
+
+#include <limits>
+
+namespace vaq {
+namespace detect {
+namespace internal_detect {
+
+double ResilientCore::Corrupt(double score, fault::FaultKind kind) {
+  switch (kind) {
+    case fault::FaultKind::kNanScore:
+      return std::numeric_limits<double>::quiet_NaN();
+    case fault::FaultKind::kOutOfRangeScore:
+      return 1e6 * (score + 1.0);  // Far outside [0, 1].
+    default:
+      return score;
+  }
+}
+
+double ResilientCore::Pow(double base, int64_t exp) {
+  double out = 1.0;
+  for (int64_t i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace internal_detect
+
+ResilientObjectDetector::ResilientObjectDetector(ObjectDetector* inner,
+                                                 const fault::FaultPlan* plan,
+                                                 ResilienceOptions options,
+                                                 fault::SimClock* clock)
+    : inner_(inner),
+      plan_(plan),
+      core_(plan, fault::FaultDomain::kDetector, options, clock) {}
+
+StatusOr<double> ResilientObjectDetector::MaxScore(ObjectTypeId type,
+                                                   FrameIndex frame) {
+  return core_.Observe(frame, inner_->profile().inference_ms,
+                       &inner_->mutable_stats(),
+                       [&] { return inner_->MaxScore(type, frame); });
+}
+
+ResilientActionRecognizer::ResilientActionRecognizer(
+    ActionRecognizer* inner, const fault::FaultPlan* plan,
+    ResilienceOptions options, fault::SimClock* clock)
+    : inner_(inner),
+      plan_(plan),
+      core_(plan, fault::FaultDomain::kRecognizer, options, clock) {}
+
+StatusOr<double> ResilientActionRecognizer::Score(ActionTypeId type,
+                                                  ShotIndex shot) {
+  return core_.Observe(shot, inner_->profile().inference_ms,
+                       &inner_->mutable_stats(),
+                       [&] { return inner_->Score(type, shot); });
+}
+
+}  // namespace detect
+}  // namespace vaq

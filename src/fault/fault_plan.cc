@@ -1,0 +1,80 @@
+#include "fault/fault_plan.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vaq {
+namespace fault {
+namespace {
+
+// Salts separating the plan's independent randomness streams.
+constexpr uint64_t kCrashSalt = 0x6b7c8d9e1f2a3b4cULL;
+constexpr uint64_t kCallSalt = 0x1a2b3c4d5e6f7081ULL;
+constexpr uint64_t kDropSalt = 0x9d8c7b6a594837f2ULL;
+constexpr uint64_t kPageSalt = 0x31415926535897e1ULL;
+
+// Stateless uniform in [0, 1) from a coordinate tuple.
+double UniformAt(uint64_t seed, uint64_t salt, uint64_t a, uint64_t b) {
+  uint64_t s = MixSeed(MixSeed(seed, salt ^ a), b);
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "None";
+    case FaultKind::kTimeout:
+      return "Timeout";
+    case FaultKind::kCrash:
+      return "Crash";
+    case FaultKind::kNanScore:
+      return "NanScore";
+    case FaultKind::kOutOfRangeScore:
+      return "OutOfRangeScore";
+  }
+  return "Unknown";
+}
+
+FaultPlan::FaultPlan(FaultSpec spec, uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  VAQ_CHECK_GT(spec_.crash_len_units, 0);
+}
+
+bool FaultPlan::CrashActive(FaultDomain domain, int64_t unit) const {
+  if (spec_.crash_rate <= 0.0) return false;
+  const int64_t window = unit / spec_.crash_len_units;
+  return UniformAt(seed_, kCrashSalt, static_cast<uint64_t>(domain),
+                   static_cast<uint64_t>(window)) < spec_.crash_rate;
+}
+
+FaultKind FaultPlan::ProbeCall(FaultDomain domain, int64_t unit,
+                               int64_t attempt) const {
+  if (CrashActive(domain, unit)) return FaultKind::kCrash;
+  const double u = UniformAt(
+      seed_, kCallSalt, static_cast<uint64_t>(domain),
+      static_cast<uint64_t>(unit) * 0x10001ULL + static_cast<uint64_t>(attempt));
+  double bar = spec_.timeout_rate;
+  if (u < bar) return FaultKind::kTimeout;
+  bar += spec_.nan_score_rate;
+  if (u < bar) return FaultKind::kNanScore;
+  bar += spec_.out_of_range_score_rate;
+  if (u < bar) return FaultKind::kOutOfRangeScore;
+  return FaultKind::kNone;
+}
+
+bool FaultPlan::DropClip(int64_t clip) const {
+  if (spec_.drop_clip_rate <= 0.0) return false;
+  return UniformAt(seed_, kDropSalt, static_cast<uint64_t>(FaultDomain::kStream),
+                   static_cast<uint64_t>(clip)) < spec_.drop_clip_rate;
+}
+
+bool FaultPlan::PageReadFails(int64_t page, int64_t attempt) const {
+  if (spec_.page_error_rate <= 0.0) return false;
+  return UniformAt(seed_, kPageSalt, static_cast<uint64_t>(page),
+                   static_cast<uint64_t>(attempt)) < spec_.page_error_rate;
+}
+
+}  // namespace fault
+}  // namespace vaq

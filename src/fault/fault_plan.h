@@ -1,0 +1,113 @@
+// Deterministic, seeded fault injection.
+//
+// Production deployments of VAQ spend >98% of their runtime inside a
+// black-box perception service (§5.2) that times out, crashes and
+// occasionally returns garbage, and serve score tables from storage that
+// can lose pages. `FaultPlan` is the single source of truth for *when*
+// such faults happen: every decision is a pure function of
+// (seed, domain, coordinate), so a plan can be consulted from any layer,
+// in any order, any number of times, and always yields the identical
+// fault schedule — the same property the simulated models rely on.
+//
+// Two constructions matter:
+//
+//  * Decisions are threshold tests `uniform(hash) < rate`, so raising a
+//    rate strictly *adds* faults to the schedule of a lower rate with the
+//    same seed. Fault-rate sweeps (bench_resilience) are therefore
+//    monotone by construction, not just in expectation.
+//  * Outages ("crashes") are block-structured: the occurrence-unit axis
+//    is divided into `crash_len_units`-sized windows and a whole window
+//    is down with probability `crash_rate`. The expected fraction of
+//    units inside an outage equals `crash_rate`.
+//
+// Per-attempt faults (timeouts, garbage scores, page-read errors) take an
+// attempt nonce supplied by the caller, so a retry of the same logical
+// read draws a fresh fault decision while staying deterministic for the
+// run as a whole.
+#ifndef VAQ_FAULT_FAULT_PLAN_H_
+#define VAQ_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace vaq {
+namespace fault {
+
+// Independent fault streams of one plan; a detector outage says nothing
+// about the recognizer or storage.
+enum class FaultDomain : uint64_t {
+  kDetector = 1,
+  kRecognizer = 2,
+  kTracker = 3,
+  kStorage = 4,
+  kStream = 5,
+};
+
+// What happened to one model-call attempt.
+enum class FaultKind {
+  kNone = 0,
+  kTimeout,          // The attempt exceeds its deadline budget.
+  kCrash,            // The model is inside an outage window.
+  kNanScore,         // The attempt returns NaN.
+  kOutOfRangeScore,  // The attempt returns a score outside [0, 1].
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// Fault rates; all default to zero (an empty plan injects nothing).
+struct FaultSpec {
+  // Per-attempt probability that a model call times out.
+  double timeout_rate = 0.0;
+  // Fraction of occurrence units covered by outage windows.
+  double crash_rate = 0.0;
+  // Outage window length in occurrence units (frames for the detector,
+  // shots for the recognizer).
+  int64_t crash_len_units = 256;
+  // Per-attempt probabilities of garbage scores.
+  double nan_score_rate = 0.0;
+  double out_of_range_score_rate = 0.0;
+  // Per-clip probability that the clip's observations are lost entirely
+  // (e.g. the camera feed dropped the segment).
+  double drop_clip_rate = 0.0;
+  // Per-attempt probability that a storage page read fails.
+  double page_error_rate = 0.0;
+
+  bool any() const {
+    return timeout_rate > 0.0 || crash_rate > 0.0 || nan_score_rate > 0.0 ||
+           out_of_range_score_rate > 0.0 || drop_clip_rate > 0.0 ||
+           page_error_rate > 0.0;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(FaultSpec spec, uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+  uint64_t seed() const { return seed_; }
+
+  // True when `unit` lies inside an outage window of `domain`. Pure
+  // position-based: retries during an outage keep failing.
+  bool CrashActive(FaultDomain domain, int64_t unit) const;
+
+  // Fault decision for one model-call attempt at `unit`. `attempt` is a
+  // caller-maintained monotone nonce (fresh per retry). Outages dominate;
+  // the per-attempt faults are drawn from one coupled uniform so raising
+  // any rate only adds faults.
+  FaultKind ProbeCall(FaultDomain domain, int64_t unit,
+                      int64_t attempt) const;
+
+  // True when clip `clip`'s observations are dropped wholesale.
+  bool DropClip(int64_t clip) const;
+
+  // True when the `attempt`-th read of storage page `page` fails.
+  bool PageReadFails(int64_t page, int64_t attempt) const;
+
+ private:
+  FaultSpec spec_;
+  uint64_t seed_;
+};
+
+}  // namespace fault
+}  // namespace vaq
+
+#endif  // VAQ_FAULT_FAULT_PLAN_H_

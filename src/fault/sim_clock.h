@@ -1,0 +1,33 @@
+// Simulated wall clock for deterministic resilience tests.
+//
+// Deadlines, retry backoff and circuit-breaker cool-downs all need a
+// notion of elapsed time, but tying them to the real clock would make
+// fault-injection runs irreproducible. `SimClock` is a monotone virtual
+// clock advanced explicitly by whoever incurs simulated latency (model
+// inference, timeouts, backoff sleeps); everything downstream reads the
+// same deterministic timeline.
+#ifndef VAQ_FAULT_SIM_CLOCK_H_
+#define VAQ_FAULT_SIM_CLOCK_H_
+
+namespace vaq {
+namespace fault {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  double now_ms() const { return now_ms_; }
+
+  // Advances the clock; negative advances are ignored (time is monotone).
+  void Advance(double ms) {
+    if (ms > 0.0) now_ms_ += ms;
+  }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace fault
+}  // namespace vaq
+
+#endif  // VAQ_FAULT_SIM_CLOCK_H_

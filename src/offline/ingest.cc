@@ -7,6 +7,39 @@
 
 namespace vaq {
 namespace offline {
+namespace {
+
+// Simulated materialization of one score table through faulty storage
+// (mirrors PageCache's read-retry discipline on the write side): each
+// 4096-byte page write may fail per the plan and is retried with a fresh
+// attempt nonce; three consecutive failures abort the ingest. Tables get
+// disjoint page-id ranges so their fault streams are independent.
+Status MaterializeTable(const fault::FaultPlan* plan, int64_t table_ordinal,
+                        int64_t num_rows) {
+  if (plan == nullptr || plan->spec().page_error_rate <= 0.0) {
+    return Status::OK();
+  }
+  constexpr int64_t kPageBytes = 4096;
+  constexpr int64_t kRowBytes = 24;  // Sorted row + by-clip projection.
+  constexpr int64_t kMaxAttempts = 3;
+  const int64_t pages = 1 + (num_rows * kRowBytes + kPageBytes - 1) / kPageBytes;
+  for (int64_t p = 0; p < pages; ++p) {
+    const int64_t page_id = table_ordinal * (int64_t{1} << 32) + p;
+    int64_t failed = 0;
+    while (failed < kMaxAttempts && plan->PageReadFails(page_id, failed)) {
+      ++failed;
+    }
+    if (failed == kMaxAttempts) {
+      return Status::Unavailable(
+          "storage fault persisted while materializing table " +
+          std::to_string(table_ordinal) + " (page " + std::to_string(p) +
+          ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Ingestor::Ingestor(const Vocabulary* vocab, const ScoringModel* scoring,
                    IngestOptions options)
@@ -15,13 +48,20 @@ Ingestor::Ingestor(const Vocabulary* vocab, const ScoringModel* scoring,
   VAQ_CHECK(scoring != nullptr);
 }
 
-storage::VideoIndex Ingestor::Ingest(const synth::GroundTruth& truth,
-                                     const detect::ModelBundle& models) const {
+StatusOr<storage::VideoIndex> Ingestor::Ingest(
+    const synth::GroundTruth& truth,
+    const detect::ModelBundle& models) const {
   const VideoLayout& layout = truth.layout();
   const int64_t num_clips = layout.NumClips();
   storage::VideoIndex index;
   index.video_id = truth.video_id();
   index.num_clips = num_clips;
+
+  online::SvaqdOptions indicator_options = options_.indicator_options;
+  if (options_.fault_plan != nullptr) {
+    indicator_options.fault_plan = options_.fault_plan;
+  }
+  int64_t table_ordinal = 0;
 
   // --- Object types: tracker-scored tables + SVAQD individual sequences.
   for (ObjectTypeId type = 0; type < vocab_->num_object_types(); ++type) {
@@ -47,14 +87,15 @@ storage::VideoIndex Ingestor::Ingest(const synth::GroundTruth& truth,
       rows[static_cast<size_t>(c)] = {c,
                                       scoring_->AggregateTypeScores(scores)};
     }
-    auto table = storage::ScoreTable::Build(std::move(rows));
-    VAQ_CHECK(table.ok()) << table.status().ToString();
-    entry.table = std::move(table).value();
+    VAQ_ASSIGN_OR_RETURN(entry.table,
+                         storage::ScoreTable::Build(std::move(rows)));
+    VAQ_RETURN_IF_ERROR(
+        MaterializeTable(options_.fault_plan, table_ordinal++, num_clips));
 
     // Individual sequences via a single-predicate SVAQD run (§4.2).
     QuerySpec single;
     single.objects = {type};
-    online::Svaqd svaqd(single, layout, options_.indicator_options);
+    online::Svaqd svaqd(single, layout, indicator_options);
     entry.sequences =
         svaqd.Run(models.detector.get(), /*recognizer=*/nullptr).sequences;
     index.objects.push_back(std::move(entry));
@@ -79,13 +120,14 @@ storage::VideoIndex Ingestor::Ingest(const synth::GroundTruth& truth,
       rows[static_cast<size_t>(c)] = {c,
                                       scoring_->AggregateTypeScores(scores)};
     }
-    auto table = storage::ScoreTable::Build(std::move(rows));
-    VAQ_CHECK(table.ok()) << table.status().ToString();
-    entry.table = std::move(table).value();
+    VAQ_ASSIGN_OR_RETURN(entry.table,
+                         storage::ScoreTable::Build(std::move(rows)));
+    VAQ_RETURN_IF_ERROR(
+        MaterializeTable(options_.fault_plan, table_ordinal++, num_clips));
 
     QuerySpec single;
     single.action = type;
-    online::Svaqd svaqd(single, layout, options_.indicator_options);
+    online::Svaqd svaqd(single, layout, indicator_options);
     entry.sequences =
         svaqd.Run(/*detector=*/nullptr, models.recognizer.get()).sequences;
     index.actions.push_back(std::move(entry));

@@ -16,7 +16,9 @@
 #ifndef VAQ_OFFLINE_INGEST_H_
 #define VAQ_OFFLINE_INGEST_H_
 
+#include "common/status.h"
 #include "detect/models.h"
+#include "fault/fault_plan.h"
 #include "offline/scoring.h"
 #include "online/svaqd.h"
 #include "storage/catalog.h"
@@ -32,6 +34,13 @@ struct IngestOptions {
   // Only tracker detections scoring at least the tracker threshold enter
   // the object tables (standard detector post-filtering, §2).
   bool threshold_object_scores = true;
+  // Fault injection (see src/fault/). When non-null, the per-type SVAQD
+  // runs inherit this plan (model faults degrade individual sequences
+  // gracefully) and the materialization of each score table goes through
+  // simulated faulty storage: every page write may fail per the plan's
+  // page_error_rate and is retried twice; a persistent fault aborts the
+  // ingest with kUnavailable. Not owned; null (default) disables.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 class Ingestor {
@@ -42,9 +51,11 @@ class Ingestor {
            IngestOptions options);
 
   // Processes one video with the given models. This is the expensive,
-  // inference-heavy pass (once per video).
-  storage::VideoIndex Ingest(const synth::GroundTruth& truth,
-                             const detect::ModelBundle& models) const;
+  // inference-heavy pass (once per video). Fails only for injected
+  // storage faults (kUnavailable) or malformed score rows.
+  StatusOr<storage::VideoIndex> Ingest(
+      const synth::GroundTruth& truth,
+      const detect::ModelBundle& models) const;
 
  private:
   const Vocabulary* vocab_;

@@ -26,6 +26,7 @@ ClipEvaluation ClipEvaluator::Evaluate(
   VAQ_CHECK_EQ(kcrit_objects.size(), query_.objects.size());
   ClipEvaluation eval;
   eval.object_counts.assign(query_.objects.size(), -1);
+  eval.object_missing.assign(query_.objects.size(), 0);
   const Interval frames = layout_.ClipFrameRange(clip);
   const Interval shots = layout_.ClipShotRange(clip);
   eval.frames_in_clip = frames.length();
@@ -56,6 +57,100 @@ ClipEvaluation ClipEvaluator::Evaluate(
     }
     eval.action_count = count;
     if (count < kcrit_action) all_positive = false;
+  }
+  eval.positive = all_positive;
+  return eval;
+}
+
+ClipEvaluation ClipEvaluator::EvaluateResilient(
+    ClipIndex clip, const std::vector<int64_t>& kcrit_objects,
+    int64_t kcrit_action, bool short_circuit,
+    detect::ResilientObjectDetector* detector,
+    detect::ResilientActionRecognizer* recognizer,
+    const fault::FaultPlan* plan,
+    const std::vector<double>& object_fallback,
+    double action_fallback) const {
+  VAQ_CHECK_EQ(kcrit_objects.size(), query_.objects.size());
+  VAQ_CHECK_EQ(object_fallback.size(), query_.objects.size());
+  VAQ_CHECK(plan != nullptr);
+  ClipEvaluation eval;
+  eval.object_counts.assign(query_.objects.size(), -1);
+  eval.object_missing.assign(query_.objects.size(), 0);
+  const Interval frames = layout_.ClipFrameRange(clip);
+  const Interval shots = layout_.ClipShotRange(clip);
+  eval.frames_in_clip = frames.length();
+  eval.shots_in_clip = shots.length();
+
+  if (plan->DropClip(clip)) {
+    // The segment never arrived: every unit of every predicate is missing
+    // and the indicators are pure policy decisions.
+    eval.dropped = true;
+    bool all_positive = true;
+    for (size_t i = 0; i < query_.objects.size(); ++i) {
+      eval.object_counts[i] = 0;
+      eval.object_missing[i] = eval.frames_in_clip;
+      if (detector != nullptr) detector->CountFallbacks(eval.frames_in_clip);
+      const double effective =
+          static_cast<double>(eval.frames_in_clip) * object_fallback[i];
+      if (effective < static_cast<double>(kcrit_objects[i])) {
+        all_positive = false;
+      }
+    }
+    if (query_.has_action()) {
+      eval.action_count = 0;
+      eval.action_missing = eval.shots_in_clip;
+      if (recognizer != nullptr) recognizer->CountFallbacks(eval.shots_in_clip);
+      const double effective =
+          static_cast<double>(eval.shots_in_clip) * action_fallback;
+      if (effective < static_cast<double>(kcrit_action)) all_positive = false;
+    }
+    eval.positive = all_positive;
+    return eval;
+  }
+
+  bool all_positive = true;
+  for (size_t i = 0; i < query_.objects.size(); ++i) {
+    const ObjectTypeId type = query_.objects[i];
+    int64_t count = 0;
+    int64_t missing = 0;
+    for (FrameIndex v = frames.lo; v <= frames.hi; ++v) {
+      const StatusOr<bool> positive = detector->IsPositive(type, v);
+      if (!positive.ok()) {
+        ++missing;
+      } else if (*positive) {
+        ++count;
+      }
+    }
+    eval.object_counts[i] = count;
+    eval.object_missing[i] = missing;
+    if (missing > 0) detector->CountFallbacks(missing);
+    const double effective = static_cast<double>(count) +
+                             static_cast<double>(missing) * object_fallback[i];
+    if (effective < static_cast<double>(kcrit_objects[i])) {
+      all_positive = false;
+      if (short_circuit) {
+        eval.positive = false;
+        return eval;
+      }
+    }
+  }
+  if (query_.has_action()) {
+    int64_t count = 0;
+    int64_t missing = 0;
+    for (ShotIndex s = shots.lo; s <= shots.hi; ++s) {
+      const StatusOr<bool> positive = recognizer->IsPositive(query_.action, s);
+      if (!positive.ok()) {
+        ++missing;
+      } else if (*positive) {
+        ++count;
+      }
+    }
+    eval.action_count = count;
+    eval.action_missing = missing;
+    if (missing > 0) recognizer->CountFallbacks(missing);
+    const double effective = static_cast<double>(count) +
+                             static_cast<double>(missing) * action_fallback;
+    if (effective < static_cast<double>(kcrit_action)) all_positive = false;
   }
   eval.positive = all_positive;
   return eval;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "detect/models.h"
+#include "detect/resilient.h"
+#include "fault/fault_plan.h"
 #include "video/layout.h"
 #include "video/query_spec.h"
 
@@ -32,8 +34,23 @@ struct ClipEvaluation {
   int64_t frames_in_clip = 0;
   int64_t shots_in_clip = 0;
 
+  // Occurrence units whose observation failed (resilient path; all zero
+  // otherwise). Counts above cover only the successfully observed units.
+  std::vector<int64_t> object_missing;
+  int64_t action_missing = 0;
+  // The whole clip's observations were lost (drop-clip fault): every unit
+  // of every predicate is missing and no model was invoked.
+  bool dropped = false;
+
   bool ObjectEvaluated(size_t i) const { return object_counts[i] >= 0; }
   bool ActionEvaluated() const { return action_count >= 0; }
+  bool Degraded() const {
+    if (dropped || action_missing > 0) return true;
+    for (const int64_t m : object_missing) {
+      if (m > 0) return true;
+    }
+    return false;
+  }
 };
 
 // Stateless evaluator bound to a query, a layout and the deployed models.
@@ -53,6 +70,26 @@ class ClipEvaluator {
   ClipEvaluation Evaluate(ClipIndex clip,
                           const std::vector<int64_t>& kcrit_objects,
                           int64_t kcrit_action, bool short_circuit) const;
+
+  // Fault-tolerant variant: observations are routed through the resilient
+  // wrappers; a failed occurrence unit is counted in
+  // object_missing/action_missing instead of aborting the clip, and its
+  // indicator contribution is filled by the engine's missing-observation
+  // policy as an expected positive probability (`object_fallback[i]` /
+  // `action_fallback`, in [0, 1]). A predicate fires when
+  //   observed_count + missing * fallback >= kcrit.
+  // If `plan->DropClip(clip)` the clip is lost wholesale: no model is
+  // invoked, every unit is missing, and the indicators are decided purely
+  // from the fallback rates. With no missing units the result is
+  // bit-identical to Evaluate().
+  ClipEvaluation EvaluateResilient(
+      ClipIndex clip, const std::vector<int64_t>& kcrit_objects,
+      int64_t kcrit_action, bool short_circuit,
+      detect::ResilientObjectDetector* detector,
+      detect::ResilientActionRecognizer* recognizer,
+      const fault::FaultPlan* plan,
+      const std::vector<double>& object_fallback,
+      double action_fallback) const;
 
   const QuerySpec& query() const { return query_; }
   const VideoLayout& layout() const { return layout_; }

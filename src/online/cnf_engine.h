@@ -25,7 +25,9 @@ namespace online {
 
 struct CnfEngineOptions {
   // Estimation / significance parameters (alpha, p0, bandwidths, gate,
-  // probe period) are shared with the conjunctive SVAQD.
+  // probe period) are shared with the conjunctive SVAQD. The fault-
+  // injection fields (fault_plan, resilience, missing_policy) are ignored
+  // here: the CNF engine evaluates literals on the raw model path.
   SvaqdOptions svaqd;
   // false: keep the initial critical values for the whole stream
   // (SVAQ-style); true: adapt them online (SVAQD-style).

@@ -22,6 +22,9 @@ struct PredicateState {
   bool burst_aware = false;
   double p_at_last_compute = -1.0;
   int64_t kcrit = 0;
+  // Positive rate in the most recent clip with successful observations;
+  // feeds MissingObsPolicy::kCarryLast during detector outages.
+  double last_observed_rate = 0.0;
   // Exponentially-weighted moments of background clip counts, used to
   // estimate the burstiness (design effect) when burst_aware is set.
   double count_weight = 0.0;

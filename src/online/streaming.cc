@@ -1,6 +1,7 @@
 #include "online/streaming.h"
 
 #include "common/logging.h"
+#include "fault/sim_clock.h"
 #include "online/clip_evaluator.h"
 #include "online/predicate_state.h"
 
@@ -9,10 +10,17 @@ namespace online {
 
 using internal_online::PredicateState;
 
-// All per-predicate adaptive state, mirroring Svaqd::Run's locals.
+// All per-predicate adaptive state, mirroring Svaqd::Run's locals, plus
+// the resilience state (clock, wrappers) which must persist across
+// PushClip calls so retries/breaker/backoff evolve exactly as in a batch
+// run.
 struct StreamingSvaqd::State {
   std::vector<PredicateState> objects;
   std::unique_ptr<PredicateState> action;
+
+  fault::SimClock clock;
+  std::unique_ptr<detect::ResilientObjectDetector> rdetector;
+  std::unique_ptr<detect::ResilientActionRecognizer> rrecognizer;
 };
 
 StreamingSvaqd::StreamingSvaqd(QuerySpec query, VideoLayout layout,
@@ -43,13 +51,19 @@ StreamingSvaqd::StreamingSvaqd(QuerySpec query, VideoLayout layout,
 
 StreamingSvaqd::~StreamingSvaqd() = default;
 
-bool StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
-                              detect::ActionRecognizer* recognizer) {
-  VAQ_CHECK(!finished_) << "PushClip after Finish";
-  VAQ_CHECK_LT(next_clip_, layout_.NumClips())
-      << "stream exceeds the layout's design horizon";
+StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
+                                        detect::ActionRecognizer* recognizer) {
+  if (finished_) {
+    return Status::FailedPrecondition("PushClip after Finish");
+  }
+  if (next_clip_ >= layout_.NumClips()) {
+    return Status::OutOfRange(
+        "stream exceeds the layout's design horizon of " +
+        std::to_string(layout_.NumClips()) + " clips");
+  }
   const ClipIndex clip = next_clip_++;
   const SvaqOptions& base = options_.base;
+  const fault::FaultPlan* plan = options_.fault_plan;
 
   ClipEvaluator evaluator(query_, layout_, detector, recognizer);
   std::vector<int64_t> kcrit_objects(state_->objects.size());
@@ -60,42 +74,60 @@ bool StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
       state_->action != nullptr ? state_->action->kcrit : 0;
   const bool probe =
       options_.probe_period > 0 && clip % options_.probe_period == 0;
-  const ClipEvaluation eval = evaluator.Evaluate(
-      clip, kcrit_objects, kcrit_action, base.short_circuit && !probe);
 
-  // Background updates, identical to Svaqd::Run.
-  const bool clip_gate =
-      options_.update_policy == UpdatePolicy::kAllClips ||
-      options_.update_policy == UpdatePolicy::kSelfExcluding ||
-      (options_.update_policy == UpdatePolicy::kNegativeClipsOnly &&
-       !eval.positive) ||
-      (options_.update_policy == UpdatePolicy::kPositiveClipsOnly &&
-       eval.positive);
-  if (clip_gate) {
-    const bool self_excluding =
-        options_.update_policy == UpdatePolicy::kSelfExcluding;
-    for (size_t i = 0; i < state_->objects.size(); ++i) {
-      if (!eval.ObjectEvaluated(i)) continue;
-      if (self_excluding &&
-          8 * eval.object_counts[i] >= eval.frames_in_clip) {
-        continue;
+  ClipEvaluation eval;
+  if (plan != nullptr) {
+    state_->clock.Advance(options_.resilience.clip_interval_ms);
+    // The wrappers are bound to the models seen on the first push; the
+    // retry nonces and breaker state are meaningless across instances.
+    if (detector != nullptr) {
+      if (state_->rdetector == nullptr) {
+        state_->rdetector = std::make_unique<detect::ResilientObjectDetector>(
+            detector, plan, options_.resilience, &state_->clock);
+      } else if (state_->rdetector->inner() != detector) {
+        return Status::InvalidArgument(
+            "PushClip called with a different detector instance");
       }
-      state_->objects[i].estimator.ObserveBatch(eval.frames_in_clip,
-                                                eval.object_counts[i]);
-      state_->objects[i].ObserveCount(eval.object_counts[i],
-                                      eval.frames_in_clip);
-      state_->objects[i].MaybeRecompute(options_.recompute_rel_tol);
     }
-    if (state_->action != nullptr && eval.ActionEvaluated()) {
-      if (!(self_excluding &&
-            8 * eval.action_count >= eval.shots_in_clip)) {
-        state_->action->estimator.ObserveBatch(eval.shots_in_clip,
-                                               eval.action_count);
-        state_->action->ObserveCount(eval.action_count, eval.shots_in_clip);
-        state_->action->MaybeRecompute(options_.recompute_rel_tol);
+    if (recognizer != nullptr) {
+      if (state_->rrecognizer == nullptr) {
+        state_->rrecognizer =
+            std::make_unique<detect::ResilientActionRecognizer>(
+                recognizer, plan, options_.resilience, &state_->clock);
+      } else if (state_->rrecognizer->inner() != recognizer) {
+        return Status::InvalidArgument(
+            "PushClip called with a different recognizer instance");
       }
+    }
+    std::vector<double> object_fallback(state_->objects.size(), 0.0);
+    for (size_t i = 0; i < state_->objects.size(); ++i) {
+      object_fallback[i] = internal_online::FallbackRate(
+          options_.missing_policy, state_->objects[i]);
+    }
+    const double action_fallback =
+        state_->action != nullptr
+            ? internal_online::FallbackRate(options_.missing_policy,
+                                            *state_->action)
+            : 0.0;
+    eval = evaluator.EvaluateResilient(
+        clip, kcrit_objects, kcrit_action, base.short_circuit && !probe,
+        state_->rdetector.get(), state_->rrecognizer.get(), plan,
+        object_fallback, action_fallback);
+  } else {
+    eval = evaluator.Evaluate(clip, kcrit_objects, kcrit_action,
+                              base.short_circuit && !probe);
+  }
+  if (eval.Degraded()) {
+    ++degraded_clips_;
+    if (callback_) {
+      callback_({SequenceEvent::Kind::kGap, Interval(clip, clip), clip});
     }
   }
+  if (eval.dropped) ++dropped_clips_;
+
+  // Background updates, identical to Svaqd::Run.
+  internal_online::UpdateAdaptiveState(options_, eval, &state_->objects,
+                                       state_->action.get());
 
   // Incremental sequence maintenance + events.
   if (eval.positive) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "online/svaqd.h"
 
 namespace vaq {
@@ -35,6 +36,9 @@ struct SequenceEvent {
     kOpened,    // A new sequence started at `sequence.lo` (== clip).
     kExtended,  // The open sequence grew to include `clip`.
     kClosed,    // The sequence [sequence.lo, sequence.hi] is final.
+    kGap,       // `clip` had missing observations (fault injection):
+                // indicators around it are degraded-confidence. Emitted
+                // before the clip's open/extend/close event, if any.
   };
   Kind kind = Kind::kOpened;
   Interval sequence;
@@ -55,13 +59,21 @@ class StreamingSvaqd {
   StreamingSvaqd& operator=(const StreamingSvaqd&) = delete;
 
   // Processes the next clip of the stream (clip indices advance
-  // implicitly). Returns the clip's query indicator. Must not be called
-  // after Finish() or past the layout's clip count.
-  bool PushClip(detect::ObjectDetector* detector,
-                detect::ActionRecognizer* recognizer);
+  // implicitly). Returns the clip's query indicator, or
+  // kFailedPrecondition after Finish() / kOutOfRange past the layout's
+  // clip count (the stream state is untouched in either case). With fault
+  // injection enabled, the same model instances must be passed on every
+  // call (the resilience state is bound to them).
+  StatusOr<bool> PushClip(detect::ObjectDetector* detector,
+                          detect::ActionRecognizer* recognizer);
 
   // Ends the stream, closing any open sequence.
   void Finish();
+
+  // Clips processed with at least one missing observation / lost
+  // wholesale (nonzero only under fault injection).
+  int64_t degraded_clips() const { return degraded_clips_; }
+  int64_t dropped_clips() const { return dropped_clips_; }
 
   // Clips pushed so far; the next PushClip processes this index.
   ClipIndex next_clip() const { return next_clip_; }
@@ -81,6 +93,8 @@ class StreamingSvaqd {
   ClipIndex next_clip_ = 0;
   ClipIndex open_start_ = -1;  // Start of the currently open run, or -1.
   bool finished_ = false;
+  int64_t degraded_clips_ = 0;
+  int64_t dropped_clips_ = 0;
 };
 
 }  // namespace online

@@ -52,6 +52,10 @@ struct OnlineResult {
   // Model invocation accounting for the §5.2 runtime analysis.
   detect::ModelStats detector_stats;
   detect::ModelStats recognizer_stats;
+  // Degradation accounting (nonzero only under fault injection): clips
+  // with at least one missing observation, and clips lost wholesale.
+  int64_t degraded_clips = 0;
+  int64_t dropped_clips = 0;
   // Wall-clock time spent in the algorithm itself (excludes the simulated
   // inference cost, which is detector_stats/recognizer_stats.simulated_ms).
   double algorithm_wall_ms = 0.0;

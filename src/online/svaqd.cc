@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
+
+#include "fault/sim_clock.h"
 
 #include "common/logging.h"
 #include "online/predicate_state.h"
@@ -13,6 +16,79 @@ namespace vaq {
 namespace online {
 
 using internal_online::PredicateState;
+
+namespace internal_online {
+
+double FallbackRate(MissingObsPolicy policy, const PredicateState& state) {
+  switch (policy) {
+    case MissingObsPolicy::kAssumeNegative:
+      return 0.0;
+    case MissingObsPolicy::kCarryLast:
+      return state.last_observed_rate;
+    case MissingObsPolicy::kBackgroundPrior:
+      return state.estimator.rate();
+  }
+  return 0.0;
+}
+
+void UpdateAdaptiveState(const SvaqdOptions& options,
+                         const ClipEvaluation& eval,
+                         std::vector<PredicateState>* objects,
+                         PredicateState* action) {
+  // Carry-last tracking: each predicate's most recent observed rate.
+  for (size_t i = 0; i < objects->size(); ++i) {
+    if (!eval.ObjectEvaluated(i)) continue;
+    const int64_t observed = eval.frames_in_clip - eval.object_missing[i];
+    if (observed > 0) {
+      (*objects)[i].last_observed_rate =
+          static_cast<double>(eval.object_counts[i]) /
+          static_cast<double>(observed);
+    }
+  }
+  if (action != nullptr && eval.ActionEvaluated()) {
+    const int64_t observed = eval.shots_in_clip - eval.action_missing;
+    if (observed > 0) {
+      action->last_observed_rate = static_cast<double>(eval.action_count) /
+                                   static_cast<double>(observed);
+    }
+  }
+
+  // Feed the background estimators according to the update policy; only
+  // successfully observed units count.
+  const bool clip_gate =
+      options.update_policy == UpdatePolicy::kAllClips ||
+      options.update_policy == UpdatePolicy::kSelfExcluding ||
+      (options.update_policy == UpdatePolicy::kNegativeClipsOnly &&
+       !eval.positive) ||
+      (options.update_policy == UpdatePolicy::kPositiveClipsOnly &&
+       eval.positive);
+  if (!clip_gate) return;
+  const bool self_excluding =
+      options.update_policy == UpdatePolicy::kSelfExcluding;
+  for (size_t i = 0; i < objects->size(); ++i) {
+    if (!eval.ObjectEvaluated(i)) continue;
+    const int64_t observed = eval.frames_in_clip - eval.object_missing[i];
+    if (observed <= 0) continue;
+    if (self_excluding && 8 * eval.object_counts[i] >= observed) {
+      continue;  // Predicate plainly satisfied: not background.
+    }
+    PredicateState& state = (*objects)[i];
+    state.estimator.ObserveBatch(observed, eval.object_counts[i]);
+    state.ObserveCount(eval.object_counts[i], observed);
+    state.MaybeRecompute(options.recompute_rel_tol);
+  }
+  if (action != nullptr && eval.ActionEvaluated()) {
+    const int64_t observed = eval.shots_in_clip - eval.action_missing;
+    if (observed > 0 &&
+        !(self_excluding && 8 * eval.action_count >= observed)) {
+      action->estimator.ObserveBatch(observed, eval.action_count);
+      action->ObserveCount(eval.action_count, observed);
+      action->MaybeRecompute(options.recompute_rel_tol);
+    }
+  }
+}
+
+}  // namespace internal_online
 
 Svaqd::Svaqd(QuerySpec query, VideoLayout layout, SvaqdOptions options)
     : query_(std::move(query)),
@@ -51,6 +127,25 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
   const int64_t num_clips = layout_.NumClips();
   result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
 
+  // Fault injection: wrap the models once for the whole run. The wrapper
+  // state (retry nonces, breaker, simulated clock) evolves clip by clip in
+  // push order, exactly as StreamingSvaqd's does.
+  const fault::FaultPlan* plan = options_.fault_plan;
+  fault::SimClock clock;
+  std::unique_ptr<detect::ResilientObjectDetector> rdetector;
+  std::unique_ptr<detect::ResilientActionRecognizer> rrecognizer;
+  if (plan != nullptr) {
+    if (detector != nullptr) {
+      rdetector = std::make_unique<detect::ResilientObjectDetector>(
+          detector, plan, options_.resilience, &clock);
+    }
+    if (recognizer != nullptr) {
+      rrecognizer = std::make_unique<detect::ResilientActionRecognizer>(
+          recognizer, plan, options_.resilience, &clock);
+    }
+  }
+  std::vector<double> object_fallback(objects.size(), 0.0);
+
   for (ClipIndex c = 0; c < num_clips; ++c) {
     std::vector<int64_t> kcrit_objects(objects.size());
     for (size_t i = 0; i < objects.size(); ++i) {
@@ -59,44 +154,32 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
     const int64_t kcrit_action = action != nullptr ? action->kcrit : 0;
     const bool probe =
         options_.probe_period > 0 && c % options_.probe_period == 0;
-    const ClipEvaluation eval = evaluator.Evaluate(
-        c, kcrit_objects, kcrit_action,
-        base.short_circuit && !probe);
+    ClipEvaluation eval;
+    if (plan != nullptr) {
+      clock.Advance(options_.resilience.clip_interval_ms);
+      for (size_t i = 0; i < objects.size(); ++i) {
+        object_fallback[i] =
+            internal_online::FallbackRate(options_.missing_policy, objects[i]);
+      }
+      const double action_fallback =
+          action != nullptr
+              ? internal_online::FallbackRate(options_.missing_policy, *action)
+              : 0.0;
+      eval = evaluator.EvaluateResilient(
+          c, kcrit_objects, kcrit_action, base.short_circuit && !probe,
+          rdetector.get(), rrecognizer.get(), plan, object_fallback,
+          action_fallback);
+    } else {
+      eval = evaluator.Evaluate(c, kcrit_objects, kcrit_action,
+                                base.short_circuit && !probe);
+    }
     result.clip_indicator[static_cast<size_t>(c)] = eval.positive;
     ++result.clips_processed;
+    if (eval.Degraded()) ++result.degraded_clips;
+    if (eval.dropped) ++result.dropped_clips;
 
-    // Feed the background estimators according to the update policy.
-    const bool clip_gate =
-        options_.update_policy == UpdatePolicy::kAllClips ||
-        options_.update_policy == UpdatePolicy::kSelfExcluding ||
-        (options_.update_policy == UpdatePolicy::kNegativeClipsOnly &&
-         !eval.positive) ||
-        (options_.update_policy == UpdatePolicy::kPositiveClipsOnly &&
-         eval.positive);
-    if (clip_gate) {
-      const bool self_excluding =
-          options_.update_policy == UpdatePolicy::kSelfExcluding;
-      for (size_t i = 0; i < objects.size(); ++i) {
-        if (!eval.ObjectEvaluated(i)) continue;
-        if (self_excluding &&
-            8 * eval.object_counts[i] >= eval.frames_in_clip) {
-          continue;  // Predicate plainly satisfied: not background.
-        }
-        objects[i].estimator.ObserveBatch(eval.frames_in_clip,
-                                          eval.object_counts[i]);
-        objects[i].ObserveCount(eval.object_counts[i], eval.frames_in_clip);
-        objects[i].MaybeRecompute(options_.recompute_rel_tol);
-      }
-      if (action != nullptr && eval.ActionEvaluated()) {
-        if (!(self_excluding &&
-              8 * eval.action_count >= eval.shots_in_clip)) {
-          action->estimator.ObserveBatch(eval.shots_in_clip,
-                                         eval.action_count);
-          action->ObserveCount(eval.action_count, eval.shots_in_clip);
-          action->MaybeRecompute(options_.recompute_rel_tol);
-        }
-      }
-    }
+    internal_online::UpdateAdaptiveState(options_, eval, &objects,
+                                         action.get());
   }
 
   result.sequences = IntervalSet::FromIndicators(result.clip_indicator);

@@ -15,11 +15,35 @@
 #include <cstdint>
 #include <vector>
 
+#include "detect/resilient.h"
+#include "fault/fault_plan.h"
 #include "online/svaq.h"
 #include "scanstat/kernel_estimator.h"
 
 namespace vaq {
 namespace online {
+
+// What a failed (or dropped) observation contributes to a predicate's
+// clip count. Each missing occurrence unit is filled with an expected
+// positive probability; the predicate fires when
+// observed_count + missing * fallback >= k_crit. A detector outage thus
+// degrades F1 smoothly instead of hard-flipping every affected clip to
+// negative (or fabricating positives).
+enum class MissingObsPolicy {
+  // Fallback 0: a missing unit never contributes. Conservative — recall
+  // collapses during long outages, precision is protected.
+  kAssumeNegative,
+  // Fallback = the predicate's positive rate in the most recent clip with
+  // successful observations. Tracks the local signal level; best when
+  // outages are short relative to sequences.
+  kCarryLast,
+  // Fallback = the kernel estimator's current background rate (the same
+  // p̂ that drives the critical values). The principled neutral choice:
+  // a missing unit behaves like background, so outages neither open
+  // spurious sequences nor veto clips whose observed units already carry
+  // the evidence.
+  kBackgroundPrior,
+};
 
 // Which clips feed the background estimators.
 enum class UpdatePolicy {
@@ -71,7 +95,37 @@ struct SvaqdOptions {
   // p0 forever). Costs a bounded amount of extra inference; 0 disables
   // probing.
   int64_t probe_period = 8;
+
+  // --- Fault injection & graceful degradation (see src/fault/) ----------
+  // When non-null, every model call is routed through a detect::Resilient*
+  // wrapper driven by this plan (deadlines, retries, circuit breaker) and
+  // failed observations are filled by `missing_policy`. Not owned; must
+  // outlive the engine. Null (the default) keeps the original zero-
+  // overhead path — outputs are bit-identical to a fault-free build.
+  const fault::FaultPlan* fault_plan = nullptr;
+  detect::ResilienceOptions resilience;
+  MissingObsPolicy missing_policy = MissingObsPolicy::kBackgroundPrior;
 };
+
+namespace internal_online {
+
+struct PredicateState;
+
+// Fallback positive probability for one predicate's missing observations
+// under `policy`.
+double FallbackRate(MissingObsPolicy policy, const PredicateState& state);
+
+// Post-clip adaptive-state update (carry-last tracking, background
+// estimator feeding, lazy critical-value recomputation) shared verbatim by
+// Svaqd::Run and StreamingSvaqd::PushClip. Only successfully observed
+// occurrence units reach the estimators, so injected faults cannot bias
+// the background rate.
+void UpdateAdaptiveState(const SvaqdOptions& options,
+                         const ClipEvaluation& eval,
+                         std::vector<PredicateState>* objects,
+                         PredicateState* action);
+
+}  // namespace internal_online
 
 // SVAQD per Algorithm 3.
 class Svaqd {

@@ -136,6 +136,8 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
     result.sequences = std::move(online_result.sequences);
     result.detector_stats = online_result.detector_stats;
     result.recognizer_stats = online_result.recognizer_stats;
+    result.degraded_clips = online_result.degraded_clips;
+    result.dropped_clips = online_result.dropped_clips;
     return result;
   }
   // General CNF statement (footnotes 3-4): the disjunction-aware engine.

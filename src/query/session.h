@@ -36,9 +36,14 @@ struct QueryResult {
   std::vector<offline::RankedSequence> ranked;
   // Offline: access accounting of the run.
   storage::AccessCounter accesses;
-  // Online: model invocation stats.
+  // Online: model invocation stats, including fault/retry/fallback
+  // counters when the stream runs with fault injection.
   detect::ModelStats detector_stats;
   detect::ModelStats recognizer_stats;
+  // Online: clips answered with at least one missing observation, and
+  // clips lost wholesale (nonzero only under fault injection).
+  int64_t degraded_clips = 0;
+  int64_t dropped_clips = 0;
 };
 
 class Session {

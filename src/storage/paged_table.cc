@@ -3,8 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -12,12 +15,16 @@ namespace vaq {
 namespace storage {
 namespace {
 
-constexpr uint64_t kPagedMagic = 0x5641515f50474431ULL;  // "VAQ_PGD1"
+constexpr uint64_t kPagedMagic = 0x5641515f50474432ULL;  // "VAQ_PGD2"
 constexpr int64_t kHeaderBytes = 4096;
 constexpr int64_t kRowBytes =
     static_cast<int64_t>(sizeof(int64_t) + sizeof(double));
+// Integrity pages are a fixed 4096 bytes regardless of the cache's page
+// size: checksums are a property of the file, not of the reader.
+constexpr int64_t kIntegrityPageBytes = 4096;
 
-// Layout: [header page][num_rows sorted rows][num_rows by-clip doubles].
+// Layout: [header page][num_rows sorted rows][num_rows by-clip doubles]
+// [zero pad to an integrity-page boundary][per-page uint64 checksums].
 int64_t SortedRowOffset(int64_t rank) {
   return kHeaderBytes + rank * kRowBytes;
 }
@@ -25,6 +32,52 @@ int64_t ByClipOffset(int64_t num_rows, ClipIndex cid) {
   return kHeaderBytes + num_rows * kRowBytes +
          cid * static_cast<int64_t>(sizeof(double));
 }
+int64_t DataEnd(int64_t num_rows) {
+  return kHeaderBytes +
+         num_rows * (kRowBytes + static_cast<int64_t>(sizeof(double)));
+}
+int64_t PaddedDataEnd(int64_t num_rows) {
+  const int64_t end = DataEnd(num_rows);
+  return (end + kIntegrityPageBytes - 1) / kIntegrityPageBytes *
+         kIntegrityPageBytes;
+}
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Accumulates a byte stream into fixed-size integrity-page checksums.
+class PageChecksummer {
+ public:
+  void Append(const char* data, int64_t size) {
+    while (size > 0) {
+      const int64_t take =
+          std::min(size, kIntegrityPageBytes -
+                             static_cast<int64_t>(buffer_.size()));
+      buffer_.insert(buffer_.end(), data, data + take);
+      data += take;
+      size -= take;
+      if (static_cast<int64_t>(buffer_.size()) == kIntegrityPageBytes) {
+        sums_.push_back(Fnv1a64(buffer_.data(), buffer_.size()));
+        buffer_.clear();
+      }
+    }
+  }
+  // Checksums so far; the stream must end on a page boundary.
+  const std::vector<uint64_t>& sums() const {
+    VAQ_CHECK(buffer_.empty()) << "stream not page-aligned";
+    return sums_;
+  }
+
+ private:
+  std::vector<char> buffer_;
+  std::vector<uint64_t> sums_;
+};
 
 }  // namespace
 
@@ -44,6 +97,23 @@ StatusOr<const std::vector<char>*> PageCache::Get(int fd,
     return &lru_.front().bytes;
   }
   ++fetches_;
+  if (fault_plan_ != nullptr) {
+    // Retry a failed physical read twice with fresh attempt nonces; only
+    // a fault persisting across all three attempts surfaces to the
+    // caller (probability rate^3 per miss).
+    constexpr int64_t kMaxAttempts = 3;
+    int64_t failed = 0;
+    while (failed < kMaxAttempts &&
+           fault_plan_->PageReadFails(page_index, failed)) {
+      ++injected_read_faults_;
+      ++failed;
+    }
+    read_retries_ += std::min(failed, kMaxAttempts - 1);
+    if (failed == kMaxAttempts) {
+      return Status::Unavailable("injected read fault persisted for page " +
+                                 std::to_string(page_index));
+    }
+  }
   Entry entry;
   entry.key = key;
   entry.bytes.assign(static_cast<size_t>(page_size_), 0);
@@ -73,24 +143,38 @@ void PageCache::Clear() {
 Status WritePagedTable(const ScoreTable& table, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);
+  PageChecksummer checksums;
+  const auto emit = [&out, &checksums](const void* data, int64_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    checksums.Append(static_cast<const char*>(data), size);
+  };
   // Header page.
   std::vector<char> header(static_cast<size_t>(kHeaderBytes), 0);
   const uint64_t magic = kPagedMagic;
   const int64_t num_rows = table.num_rows();
   std::memcpy(header.data(), &magic, sizeof(magic));
   std::memcpy(header.data() + sizeof(magic), &num_rows, sizeof(num_rows));
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  emit(header.data(), kHeaderBytes);
   // Sorted rows (score order).
   for (int64_t rank = 0; rank < num_rows; ++rank) {
     const ScoreRow row = table.SortedRow(rank);
-    out.write(reinterpret_cast<const char*>(&row.clip), sizeof(row.clip));
-    out.write(reinterpret_cast<const char*>(&row.score), sizeof(row.score));
+    emit(&row.clip, sizeof(row.clip));
+    emit(&row.score, sizeof(row.score));
   }
   // By-clip projection.
   for (ClipIndex cid = 0; cid < num_rows; ++cid) {
     const double score = table.PeekScore(cid);
-    out.write(reinterpret_cast<const char*>(&score), sizeof(score));
+    emit(&score, sizeof(score));
   }
+  // Pad the data region to an integrity-page boundary, then append the
+  // per-page checksum trailer.
+  const std::vector<char> pad(
+      static_cast<size_t>(PaddedDataEnd(num_rows) - DataEnd(num_rows)), 0);
+  if (!pad.empty()) emit(pad.data(), static_cast<int64_t>(pad.size()));
+  const std::vector<uint64_t>& sums = checksums.sums();
+  out.write(reinterpret_cast<const char*>(sums.data()),
+            static_cast<std::streamsize>(sums.size() * sizeof(uint64_t)));
   table.ResetCounter();  // The export scan is not part of any query.
   if (!out) return Status::IoError("short write: " + path);
   return Status::OK();
@@ -121,6 +205,33 @@ StatusOr<std::unique_ptr<PagedScoreTable>> PagedScoreTable::Open(
   if (magic != kPagedMagic || num_rows < 0) {
     ::close(fd);
     return Status::Corruption("bad paged table header: " + path);
+  }
+  // One-time integrity scan: verify every data page (direct reads, not
+  // through the cache) against the checksum trailer.
+  const int64_t padded_end = PaddedDataEnd(num_rows);
+  const int64_t num_pages = padded_end / kIntegrityPageBytes;
+  std::vector<uint64_t> expected(static_cast<size_t>(num_pages), 0);
+  const int64_t trailer_bytes =
+      num_pages * static_cast<int64_t>(sizeof(uint64_t));
+  if (::pread(fd, expected.data(), static_cast<size_t>(trailer_bytes),
+              padded_end) != static_cast<ssize_t>(trailer_bytes)) {
+    ::close(fd);
+    return Status::Corruption("truncated checksum trailer: " + path);
+  }
+  std::vector<char> page(static_cast<size_t>(kIntegrityPageBytes), 0);
+  for (int64_t p = 0; p < num_pages; ++p) {
+    if (::pread(fd, page.data(), page.size(), p * kIntegrityPageBytes) !=
+        static_cast<ssize_t>(page.size())) {
+      ::close(fd);
+      return Status::Corruption("truncated page " + std::to_string(p) + ": " +
+                                path);
+    }
+    if (Fnv1a64(page.data(), page.size()) !=
+        expected[static_cast<size_t>(p)]) {
+      ::close(fd);
+      return Status::Corruption("checksum mismatch on page " +
+                                std::to_string(p) + ": " + path);
+    }
   }
   return std::unique_ptr<PagedScoreTable>(
       new PagedScoreTable(fd, num_rows, cache));

@@ -12,6 +12,14 @@
 // the usual AccessCounter; physical I/O shows up as page fetches vs cache
 // hits, letting benches and tests demonstrate locality: sorted scans and
 // range scans hit mostly-cached pages, scattered random lookups miss.
+//
+// Integrity: the file ends with a trailer of per-page FNV-1a checksums
+// (4096-byte integrity pages, data zero-padded to a page boundary).
+// `PagedScoreTable::Open` verifies every page against the trailer and
+// returns kCorruption on any mismatch, so bit rot or torn writes are
+// caught before a query reads a single row. `PageCache` optionally routes
+// physical reads through a fault::FaultPlan (bounded retries, then
+// kUnavailable) so storage-fault handling can be tested deterministically.
 #ifndef VAQ_STORAGE_PAGED_TABLE_H_
 #define VAQ_STORAGE_PAGED_TABLE_H_
 
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_plan.h"
 #include "storage/score_table.h"
 
 namespace vaq {
@@ -52,6 +61,15 @@ class PageCache {
   // Drops every cached page (stats are kept).
   void Clear();
 
+  // Fault injection (see src/fault/): when a plan with a nonzero
+  // page_error_rate is installed, each cache miss's physical read may
+  // fail per the plan; a failed read is retried (fresh attempt nonce) up
+  // to two times before Get gives up with kUnavailable. Null (default)
+  // disables injection. Not owned; must outlive the cache or be unset.
+  void set_fault_plan(const fault::FaultPlan* plan) { fault_plan_ = plan; }
+  int64_t injected_read_faults() const { return injected_read_faults_; }
+  int64_t read_retries() const { return read_retries_; }
+
  private:
   struct Key {
     int fd;
@@ -76,6 +94,9 @@ class PageCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   int64_t fetches_ = 0;
   int64_t hits_ = 0;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  int64_t injected_read_faults_ = 0;
+  int64_t read_retries_ = 0;
 };
 
 // Converts an in-memory table to the paged on-disk format.

@@ -205,7 +205,7 @@ struct OfflineCnfFixture {
         detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 31);
     offline::Ingestor ingestor(&scenario.vocab(), &paper_scoring,
                                offline::IngestOptions{});
-    index = ingestor.Ingest(scenario.truth(), models);
+    index = std::move(ingestor.Ingest(scenario.truth(), models)).value();
   }
 };
 

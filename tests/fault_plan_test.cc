@@ -1,0 +1,146 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vaq {
+namespace fault {
+namespace {
+
+FaultSpec AllFaultsSpec() {
+  FaultSpec spec;
+  spec.timeout_rate = 0.05;
+  spec.crash_rate = 0.1;
+  spec.crash_len_units = 64;
+  spec.nan_score_rate = 0.02;
+  spec.out_of_range_score_rate = 0.02;
+  spec.drop_clip_rate = 0.03;
+  spec.page_error_rate = 0.04;
+  return spec;
+}
+
+TEST(FaultPlanTest, SameSeedYieldsIdenticalSchedule) {
+  const FaultSpec spec = AllFaultsSpec();
+  const FaultPlan a(spec, 42);
+  const FaultPlan b(spec, 42);
+  for (int64_t unit = 0; unit < 2000; ++unit) {
+    EXPECT_EQ(a.CrashActive(FaultDomain::kDetector, unit),
+              b.CrashActive(FaultDomain::kDetector, unit));
+    EXPECT_EQ(a.ProbeCall(FaultDomain::kDetector, unit, unit % 3),
+              b.ProbeCall(FaultDomain::kDetector, unit, unit % 3));
+    EXPECT_EQ(a.DropClip(unit), b.DropClip(unit));
+    EXPECT_EQ(a.PageReadFails(unit, unit % 3), b.PageReadFails(unit, unit % 3));
+  }
+  // Repeated consultation of the same coordinate never disagrees with
+  // itself (the plan is a pure function, not a stateful stream).
+  EXPECT_EQ(a.ProbeCall(FaultDomain::kRecognizer, 17, 0),
+            a.ProbeCall(FaultDomain::kRecognizer, 17, 0));
+}
+
+TEST(FaultPlanTest, DifferentSeedsYieldDifferentSchedules) {
+  const FaultSpec spec = AllFaultsSpec();
+  const FaultPlan a(spec, 1);
+  const FaultPlan b(spec, 2);
+  int disagreements = 0;
+  for (int64_t unit = 0; unit < 5000; ++unit) {
+    if (a.ProbeCall(FaultDomain::kDetector, unit, 0) !=
+        b.ProbeCall(FaultDomain::kDetector, unit, 0)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 100);
+}
+
+TEST(FaultPlanTest, DomainsAreIndependentStreams) {
+  const FaultSpec spec = AllFaultsSpec();
+  const FaultPlan plan(spec, 7);
+  int disagreements = 0;
+  for (int64_t unit = 0; unit < 5000; ++unit) {
+    if (plan.ProbeCall(FaultDomain::kDetector, unit, 0) !=
+        plan.ProbeCall(FaultDomain::kRecognizer, unit, 0)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 100);
+}
+
+TEST(FaultPlanTest, EmptySpecInjectsNothing) {
+  const FaultPlan plan(FaultSpec{}, 9);
+  EXPECT_FALSE(FaultSpec{}.any());
+  for (int64_t unit = 0; unit < 1000; ++unit) {
+    EXPECT_FALSE(plan.CrashActive(FaultDomain::kDetector, unit));
+    EXPECT_EQ(plan.ProbeCall(FaultDomain::kDetector, unit, 0),
+              FaultKind::kNone);
+    EXPECT_FALSE(plan.DropClip(unit));
+    EXPECT_FALSE(plan.PageReadFails(unit, 0));
+  }
+}
+
+TEST(FaultPlanTest, RaisingARateOnlyAddsFaults) {
+  // Coupled uniforms: with the same seed, the fault set at a lower rate
+  // is a subset of the fault set at a higher rate. This is what makes
+  // bench_resilience's rate sweep monotone by construction.
+  FaultSpec lo;
+  lo.crash_rate = 0.05;
+  lo.timeout_rate = 0.03;
+  lo.drop_clip_rate = 0.02;
+  lo.page_error_rate = 0.02;
+  FaultSpec hi = lo;
+  hi.crash_rate = 0.2;
+  hi.timeout_rate = 0.12;
+  hi.drop_clip_rate = 0.08;
+  hi.page_error_rate = 0.08;
+  const FaultPlan plan_lo(lo, 33);
+  const FaultPlan plan_hi(hi, 33);
+  for (int64_t unit = 0; unit < 4000; ++unit) {
+    if (plan_lo.CrashActive(FaultDomain::kDetector, unit)) {
+      EXPECT_TRUE(plan_hi.CrashActive(FaultDomain::kDetector, unit)) << unit;
+    }
+    if (plan_lo.ProbeCall(FaultDomain::kDetector, unit, 0) !=
+        FaultKind::kNone) {
+      EXPECT_NE(plan_hi.ProbeCall(FaultDomain::kDetector, unit, 0),
+                FaultKind::kNone)
+          << unit;
+    }
+    if (plan_lo.DropClip(unit)) {
+      EXPECT_TRUE(plan_hi.DropClip(unit)) << unit;
+    }
+    if (plan_lo.PageReadFails(unit, 0)) {
+      EXPECT_TRUE(plan_hi.PageReadFails(unit, 0)) << unit;
+    }
+  }
+}
+
+TEST(FaultPlanTest, CrashesAreBlockStructuredWithExpectedCoverage) {
+  FaultSpec spec;
+  spec.crash_rate = 0.1;
+  spec.crash_len_units = 128;
+  const FaultPlan plan(spec, 55);
+  const int64_t units = 200 * spec.crash_len_units;
+  int64_t down_units = 0;
+  for (int64_t window = 0; window < 200; ++window) {
+    const int64_t base = window * spec.crash_len_units;
+    const bool down = plan.CrashActive(FaultDomain::kDetector, base);
+    // Constant within the window: an outage covers whole windows.
+    for (int64_t u = 0; u < spec.crash_len_units; u += 17) {
+      EXPECT_EQ(plan.CrashActive(FaultDomain::kDetector, base + u), down);
+    }
+    if (down) down_units += spec.crash_len_units;
+  }
+  const double fraction =
+      static_cast<double>(down_units) / static_cast<double>(units);
+  EXPECT_NEAR(fraction, spec.crash_rate, 0.06);  // 200 Bernoulli windows.
+}
+
+TEST(FaultPlanTest, FaultKindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNone), "None");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTimeout), "Timeout");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCrash), "Crash");
+  EXPECT_STREQ(FaultKindName(FaultKind::kNanScore), "NanScore");
+  EXPECT_STREQ(FaultKindName(FaultKind::kOutOfRangeScore), "OutOfRangeScore");
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace vaq

@@ -35,7 +35,8 @@ TEST(IntegrationTest, OnlineResultAndOfflinePqAgree) {
   detect::ModelBundle m2 = detect::ModelBundle::MaskRcnnI3d(sc.truth(), 55);
   offline::PaperScoring scoring;
   offline::Ingestor ingestor(&sc.vocab(), &scoring, offline::IngestOptions{});
-  const storage::VideoIndex index = ingestor.Ingest(sc.truth(), m2);
+  const storage::VideoIndex index =
+      std::move(ingestor.Ingest(sc.truth(), m2)).value();
   auto tables = offline::QueryTables::Bind(index, sc.query(), sc.vocab());
   ASSERT_TRUE(tables.ok());
   const IntervalSet pq = tables->ComputePq();
@@ -76,7 +77,8 @@ TEST(IntegrationTest, CatalogToPagedTablesToRvaq) {
       detect::ModelBundle::MaskRcnnI3d(sc.truth(), 55);
   offline::PaperScoring scoring;
   offline::Ingestor ingestor(&sc.vocab(), &scoring, offline::IngestOptions{});
-  const storage::VideoIndex index = ingestor.Ingest(sc.truth(), models);
+  const storage::VideoIndex index =
+      std::move(ingestor.Ingest(sc.truth(), models)).value();
 
   auto memory_tables =
       offline::QueryTables::Bind(index, sc.query(), sc.vocab());
@@ -139,7 +141,8 @@ TEST(IntegrationTest, RepositorySqlAndTopKAgree) {
       detect::ModelBundle::MaskRcnnI3d(sc.truth(), 55);
   offline::PaperScoring scoring;
   offline::Ingestor ingestor(&sc.vocab(), &scoring, offline::IngestOptions{});
-  storage::VideoIndex index = ingestor.Ingest(sc.truth(), models);
+  storage::VideoIndex index =
+      std::move(ingestor.Ingest(sc.truth(), models)).value();
 
   offline::Repository repo;
   repo.Add("video", index);

@@ -25,7 +25,7 @@ struct Fixture {
       : scenario(MakeScenario()),
         models(detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 17)) {
     Ingestor ingestor(&scenario.vocab(), &scoring, IngestOptions{});
-    index = ingestor.Ingest(scenario.truth(), models);
+    index = std::move(ingestor.Ingest(scenario.truth(), models)).value();
   }
 
   static synth::Scenario MakeScenario() {
@@ -146,6 +146,38 @@ TEST(IngestTest, RvaqOverIngestedIndexMatchesBruteForce) {
   for (size_t i = 0; i < rvaq.top.size(); ++i) {
     EXPECT_EQ(rvaq.top[i].clips, expected.top[i].clips);
     EXPECT_DOUBLE_EQ(rvaq.top[i].exact_score, expected.top[i].exact_score);
+  }
+}
+
+TEST(IngestTest, InjectedStorageFaultsPropagateStatus) {
+  const Fixture& f = GetFixture();
+  // A certain page fault makes every materialization attempt fail: the
+  // ingest must surface kUnavailable instead of returning a bad index.
+  fault::FaultSpec spec;
+  spec.page_error_rate = 1.0;
+  const fault::FaultPlan plan(spec, /*seed=*/7);
+  IngestOptions options;
+  options.fault_plan = &plan;
+  Ingestor faulty(&f.scenario.vocab(), &f.scoring, options);
+  const auto result = faulty.Ingest(f.scenario.truth(), f.models);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+
+  // A zero-rate plan is inert: the ingest succeeds and matches the
+  // fault-free fixture index.
+  fault::FaultSpec none;
+  const fault::FaultPlan inert(none, /*seed=*/7);
+  IngestOptions clean_options;
+  clean_options.fault_plan = &inert;
+  Ingestor clean(&f.scenario.vocab(), &f.scoring, clean_options);
+  detect::ModelBundle models =
+      detect::ModelBundle::MaskRcnnI3d(f.scenario.truth(), 17);
+  const auto clean_result = clean.Ingest(f.scenario.truth(), models);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status();
+  EXPECT_EQ(clean_result->num_clips, f.index.num_clips);
+  for (size_t t = 0; t < f.index.objects.size(); ++t) {
+    EXPECT_EQ(clean_result->objects[t].sequences,
+              f.index.objects[t].sequences);
   }
 }
 

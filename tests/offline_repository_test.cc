@@ -53,7 +53,7 @@ struct Fixture {
     detect::ModelBundle models =
         detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7);
     Ingestor ingestor(&scenario.vocab(), &scoring, IngestOptions{});
-    repo.Add(name, ingestor.Ingest(scenario.truth(), models));
+    repo.Add(name, std::move(ingestor.Ingest(scenario.truth(), models)).value());
     scenarios.emplace(name, std::move(scenario));
   }
 };

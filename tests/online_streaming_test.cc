@@ -46,11 +46,36 @@ TEST(StreamingSvaqdTest, ReproducesBatchSvaqdExactly) {
   std::vector<bool> indicators;
   for (ClipIndex c = 0; c < sc.layout().NumClips(); ++c) {
     indicators.push_back(
-        stream.PushClip(m2.detector.get(), m2.recognizer.get()));
+        *stream.PushClip(m2.detector.get(), m2.recognizer.get()));
   }
   stream.Finish();
   EXPECT_EQ(stream.sequences(), expected.sequences);
   EXPECT_EQ(indicators, expected.clip_indicator);
+}
+
+TEST(StreamingSvaqdTest, PushClipFailsCleanlyAfterFinishAndPastHorizon) {
+  const synth::Scenario& sc = StreamScenario();
+  detect::ModelBundle models = detect::ModelBundle::MaskRcnnI3d(sc.truth(), 3);
+  // Past the design horizon: every in-range push succeeds, the next one
+  // reports kOutOfRange and leaves the stream usable (Finish still works).
+  StreamingSvaqd stream(sc.query(), sc.layout(), SvaqdOptions{}, nullptr);
+  for (ClipIndex c = 0; c < sc.layout().NumClips(); ++c) {
+    ASSERT_TRUE(
+        stream.PushClip(models.detector.get(), models.recognizer.get()).ok())
+        << c;
+  }
+  const auto past =
+      stream.PushClip(models.detector.get(), models.recognizer.get());
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(stream.next_clip(), sc.layout().NumClips());  // State untouched.
+  stream.Finish();
+  // After Finish: kFailedPrecondition, again without state damage.
+  const auto after =
+      stream.PushClip(models.detector.get(), models.recognizer.get());
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(stream.finished());
 }
 
 TEST(StreamingSvaqdTest, EventsAreConsistentAndTimely) {
@@ -62,7 +87,8 @@ TEST(StreamingSvaqdTest, EventsAreConsistentAndTimely) {
                           events.push_back(event);
                         });
   for (ClipIndex c = 0; c < sc.layout().NumClips(); ++c) {
-    stream.PushClip(models.detector.get(), models.recognizer.get());
+    ASSERT_TRUE(
+        stream.PushClip(models.detector.get(), models.recognizer.get()).ok());
   }
   stream.Finish();
 
@@ -93,6 +119,9 @@ TEST(StreamingSvaqdTest, EventsAreConsistentAndTimely) {
         EXPECT_LE(event.clip, event.sequence.hi + 1);  // One-clip latency.
         from_events.Add(event.sequence);
         break;
+      case SequenceEvent::Kind::kGap:
+        ADD_FAILURE() << "gap event without fault injection";
+        break;
     }
   }
   EXPECT_FALSE(open);  // Finish closed everything.
@@ -108,7 +137,7 @@ TEST(StreamingSvaqdTest, FinishClosesOpenSequence) {
   ClipIndex pushed = 0;
   bool in_run = false;
   for (; pushed < sc.layout().NumClips(); ++pushed) {
-    in_run = stream.PushClip(models.detector.get(), models.recognizer.get());
+    in_run = *stream.PushClip(models.detector.get(), models.recognizer.get());
     if (in_run && pushed > 5) break;
   }
   ASSERT_TRUE(in_run);
@@ -129,7 +158,7 @@ TEST(StreamingSvaqdTest, PartialStreamMatchesPrefixSemantics) {
   std::vector<bool> full_indicators;
   for (ClipIndex c = 0; c < prefix; ++c) {
     full_indicators.push_back(
-        full.PushClip(m1.detector.get(), m1.recognizer.get()));
+        *full.PushClip(m1.detector.get(), m1.recognizer.get()));
   }
   full.Finish();
   // Same prefix re-fed to a fresh engine gives the same answer
@@ -138,7 +167,7 @@ TEST(StreamingSvaqdTest, PartialStreamMatchesPrefixSemantics) {
   StreamingSvaqd again(sc.query(), sc.layout(), SvaqdOptions{}, nullptr);
   for (ClipIndex c = 0; c < prefix; ++c) {
     const bool indicator =
-        again.PushClip(m2.detector.get(), m2.recognizer.get());
+        *again.PushClip(m2.detector.get(), m2.recognizer.get());
     EXPECT_EQ(indicator, full_indicators[static_cast<size_t>(c)]) << c;
   }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
+#include "fault/fault_plan.h"
 #include "offline/ingest.h"
 
 namespace vaq {
@@ -43,8 +44,9 @@ class SessionTest : public ::testing::Test {
     offline::PaperScoring scoring;
     offline::Ingestor ingestor(&scenario_->vocab(), &scoring,
                                offline::IngestOptions{});
-    session_->RegisterRepository("repoVideo",
-                                 ingestor.Ingest(scenario_->truth(), models));
+    session_->RegisterRepository(
+        "repoVideo",
+        std::move(ingestor.Ingest(scenario_->truth(), models)).value());
   }
 
   static synth::Scenario* scenario_;
@@ -131,6 +133,38 @@ TEST_F(SessionTest, ModelSelectionViaUsingClause) {
   const auto f1 = eval::SequenceF1(
       ideal->sequences, scenario_->truth().QueryTruthClips(*spec), 0.5);
   EXPECT_DOUBLE_EQ(f1.f1, 1.0) << f1.ToString();
+}
+
+TEST_F(SessionTest, FaultCountersSurfaceInQueryResult) {
+  // A stream registered with a fault plan reports degradation accounting
+  // through QueryResult alongside the model stats.
+  static const fault::FaultPlan plan(
+      [] {
+        fault::FaultSpec spec;
+        spec.crash_rate = 0.15;
+        spec.crash_len_units = 600;
+        spec.drop_clip_rate = 0.1;
+        return spec;
+      }(),
+      9);
+  online::SvaqdOptions options;
+  options.fault_plan = &plan;
+  Session session;
+  session.RegisterStream("faultyVideo", *scenario_, /*model_seed=*/7,
+                         options);
+  auto result = session.Execute(
+      "SELECT MERGE(clipID) AS Sequence "
+      "FROM (PROCESS faultyVideo PRODUCE clipID, act, obj) "
+      "WHERE act='jumping' AND obj.include('car', 'human')");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->degraded_clips, 0);
+  EXPECT_GT(result->dropped_clips, 0);
+  EXPECT_GT(result->detector_stats.faults_injected +
+                result->recognizer_stats.faults_injected,
+            0);
+  EXPECT_GT(result->detector_stats.fallbacks +
+                result->recognizer_stats.fallbacks,
+            0);
 }
 
 }  // namespace

@@ -136,8 +136,12 @@ int CmdIngest(const Args& args) {
               scenario->name().c_str(),
               static_cast<long long>(scenario->layout().NumClips()),
               models.c_str());
-  const storage::VideoIndex index =
-      ingestor.Ingest(scenario->truth(), bundle);
+  auto index_or = ingestor.Ingest(scenario->truth(), bundle);
+  if (!index_or.ok()) {
+    std::fprintf(stderr, "%s\n", index_or.status().ToString().c_str());
+    return 1;
+  }
+  const storage::VideoIndex index = std::move(index_or).value();
   const storage::Catalog catalog(catalog_dir);
   const Status status = catalog.Save(name, index);
   if (!status.ok()) {
