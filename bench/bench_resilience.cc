@@ -115,14 +115,12 @@ int main() {
         avg.algo_ms += result.algorithm_wall_ms;
         avg.degraded += result.degraded_clips;
         avg.dropped += result.dropped_clips;
-        avg.faults += result.detector_stats.faults_injected +
-                      result.recognizer_stats.faults_injected;
-        avg.retries += result.detector_stats.retries +
-                       result.recognizer_stats.retries;
-        avg.fallbacks += result.detector_stats.fallbacks +
-                         result.recognizer_stats.fallbacks;
-        avg.breaker_trips += result.detector_stats.breaker_trips +
-                             result.recognizer_stats.breaker_trips;
+        detect::ModelStats stats = result.detector_stats;
+        stats += result.recognizer_stats;
+        avg.faults += stats.faults_injected;
+        avg.retries += stats.retries;
+        avg.fallbacks += stats.fallbacks;
+        avg.breaker_trips += stats.breaker_trips;
       }
       const double n = static_cast<double>(model_seeds.size());
       table.AddRow({bench::Fmt("%.3f", rate), PolicyName(policy),

@@ -45,6 +45,14 @@ double DrawScore(Rng& rng, const ModelProfile& profile, bool positive,
   return thr + (1.0 - thr) * rng.Beta(profile.fp_alpha, profile.fp_beta);
 }
 
+// One inference counter per (kind, model) family member, resolved once
+// per model instance; the per-frame hot path is a single relaxed add.
+obs::Counter* InferenceCounter(const char* kind, const ModelProfile& profile) {
+  return obs::MetricRegistry::Global().GetCounter(
+      std::string("vaq_") + kind + "_inferences_total",
+      {{"model", profile.name}});
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -57,6 +65,7 @@ ObjectDetector::ObjectDetector(const synth::GroundTruth* truth,
   VAQ_CHECK(truth != nullptr);
   frame_seen_.assign(static_cast<size_t>(truth->layout().num_frames()),
                      false);
+  metric_inferences_ = InferenceCounter("detector", profile_);
 }
 
 double ObjectDetector::MaxScore(ObjectTypeId type, FrameIndex frame) const {
@@ -67,6 +76,7 @@ double ObjectDetector::MaxScore(ObjectTypeId type, FrameIndex frame) const {
     frame_seen_[static_cast<size_t>(frame)] = true;
     ++stats_.inferences;
     stats_.simulated_ms += profile_.inference_ms;
+    metric_inferences_->Increment();
   }
   const bool present = truth_->ObjectFrames(type).Contains(frame);
   bool positive;
@@ -90,6 +100,7 @@ ActionRecognizer::ActionRecognizer(const synth::GroundTruth* truth,
     : truth_(truth), profile_(std::move(profile)), seed_(MixSeed(seed, 0xa)) {
   VAQ_CHECK(truth != nullptr);
   shot_seen_.assign(static_cast<size_t>(truth->layout().NumShots()), false);
+  metric_inferences_ = InferenceCounter("recognizer", profile_);
 }
 
 double ActionRecognizer::Score(ActionTypeId type, ShotIndex shot) const {
@@ -98,6 +109,7 @@ double ActionRecognizer::Score(ActionTypeId type, ShotIndex shot) const {
     shot_seen_[static_cast<size_t>(shot)] = true;
     ++stats_.inferences;
     stats_.simulated_ms += profile_.inference_ms;
+    metric_inferences_->Increment();
   }
   // A shot "contains" the action when at least half of its frames lie in a
   // truth interval — the recognizer's training-time labelling convention.
@@ -132,6 +144,7 @@ ObjectTracker::ObjectTracker(const synth::GroundTruth* truth,
   VAQ_CHECK(truth != nullptr);
   frame_seen_.assign(static_cast<size_t>(truth->layout().num_frames()),
                      false);
+  metric_inferences_ = InferenceCounter("tracker", profile_);
 }
 
 void ObjectTracker::AppendDetectionsAt(
@@ -143,6 +156,7 @@ void ObjectTracker::AppendDetectionsAt(
     frame_seen_[static_cast<size_t>(frame)] = true;
     ++stats_.inferences;
     stats_.simulated_ms += profile_.inference_ms;
+    metric_inferences_->Increment();
   }
   for (const synth::TruthInstance* inst : active) {
     if (!inst->frames.Contains(frame)) continue;

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "detect/model_profile.h"
+#include "obs/metrics.h"
 #include "synth/ground_truth.h"
 #include "video/layout.h"
 #include "video/vocabulary.h"
@@ -40,6 +42,36 @@ struct ModelStats {
   int64_t failures = 0;         // Observations abandoned after the budget.
   int64_t fallbacks = 0;        // Observations filled by a missing-obs policy.
   int64_t breaker_trips = 0;    // Circuit-breaker open transitions.
+
+  // Aggregation across models of a bundle or runs of a sweep; replaces
+  // field-by-field hand summing at the call sites.
+  ModelStats& operator+=(const ModelStats& other) {
+    inferences += other.inferences;
+    type_queries += other.type_queries;
+    simulated_ms += other.simulated_ms;
+    faults_injected += other.faults_injected;
+    retries += other.retries;
+    failures += other.failures;
+    fallbacks += other.fallbacks;
+    breaker_trips += other.breaker_trips;
+    return *this;
+  }
+
+  // Same shape as storage::AccessCounter::ToString().
+  std::string ToString() const {
+    std::string out = "{inferences=" + std::to_string(inferences) +
+                      ", type_queries=" + std::to_string(type_queries) +
+                      ", simulated_ms=" + std::to_string(simulated_ms);
+    if (faults_injected > 0 || retries > 0 || failures > 0 ||
+        fallbacks > 0 || breaker_trips > 0) {
+      out += ", faults=" + std::to_string(faults_injected) +
+             ", retries=" + std::to_string(retries) +
+             ", failures=" + std::to_string(failures) +
+             ", fallbacks=" + std::to_string(fallbacks) +
+             ", breaker_trips=" + std::to_string(breaker_trips);
+    }
+    return out + "}";
+  }
 };
 
 // Simulated object detector. Reports max S_o^(v): the maximum detection
@@ -75,6 +107,8 @@ class ObjectDetector {
   uint64_t seed_;
   mutable ModelStats stats_;
   mutable std::vector<bool> frame_seen_;  // Per-frame inference cache.
+  // Registry mirror of `inferences`, labeled by model (resolved once).
+  obs::Counter* metric_inferences_ = nullptr;
 };
 
 // Simulated action recognizer operating on shots (§2).
@@ -104,6 +138,7 @@ class ActionRecognizer {
   uint64_t seed_;
   mutable ModelStats stats_;
   mutable std::vector<bool> shot_seen_;  // Per-shot inference cache.
+  obs::Counter* metric_inferences_ = nullptr;
 };
 
 // One tracked detection on a frame: a stable track id plus the tracker's
@@ -150,6 +185,7 @@ class ObjectTracker {
   uint64_t seed_;
   mutable ModelStats stats_;
   mutable std::vector<bool> frame_seen_;  // Per-frame inference cache.
+  obs::Counter* metric_inferences_ = nullptr;
 };
 
 // The set of models one experiment deploys, bound to a single video.

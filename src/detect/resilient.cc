@@ -5,6 +5,51 @@
 namespace vaq {
 namespace detect {
 namespace internal_detect {
+namespace {
+
+const char* DomainName(fault::FaultDomain domain) {
+  switch (domain) {
+    case fault::FaultDomain::kDetector:
+      return "detector";
+    case fault::FaultDomain::kRecognizer:
+      return "recognizer";
+    default:
+      return "other";
+  }
+}
+
+}  // namespace
+
+ResilientCore::ResilientCore(const fault::FaultPlan* plan,
+                             fault::FaultDomain domain,
+                             ResilienceOptions options, fault::SimClock* clock,
+                             const std::string& model_name)
+    : plan_(plan), domain_(domain), options_(options), clock_(clock) {
+  if (plan_ == nullptr) return;  // Pass-through: no registry families.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const std::string domain_name = DomainName(domain_);
+  const auto call_counter = [&](const char* outcome) {
+    return registry.GetCounter("vaq_model_calls_total",
+                               {{"domain", domain_name},
+                                {"model", model_name},
+                                {"outcome", outcome}});
+  };
+  calls_ok_ = call_counter("ok");
+  calls_timeout_ = call_counter("timeout");
+  calls_outage_ = call_counter("outage");
+  calls_invalid_ = call_counter("invalid_score");
+  calls_breaker_open_ = call_counter("breaker_open");
+  calls_failed_ = call_counter("abandoned");
+  retries_ = registry.GetCounter(
+      "vaq_model_retries_total",
+      {{"domain", domain_name}, {"model", model_name}});
+  breaker_opened_ = registry.GetCounter(
+      "vaq_breaker_transitions_total",
+      {{"domain", domain_name}, {"model", model_name}, {"to", "open"}});
+  breaker_closed_ = registry.GetCounter(
+      "vaq_breaker_transitions_total",
+      {{"domain", domain_name}, {"model", model_name}, {"to", "closed"}});
+}
 
 double ResilientCore::Corrupt(double score, fault::FaultKind kind) {
   switch (kind) {
@@ -31,7 +76,8 @@ ResilientObjectDetector::ResilientObjectDetector(ObjectDetector* inner,
                                                  fault::SimClock* clock)
     : inner_(inner),
       plan_(plan),
-      core_(plan, fault::FaultDomain::kDetector, options, clock) {}
+      core_(plan, fault::FaultDomain::kDetector, options, clock,
+            inner->profile().name) {}
 
 StatusOr<double> ResilientObjectDetector::MaxScore(ObjectTypeId type,
                                                    FrameIndex frame) {
@@ -45,7 +91,8 @@ ResilientActionRecognizer::ResilientActionRecognizer(
     ResilienceOptions options, fault::SimClock* clock)
     : inner_(inner),
       plan_(plan),
-      core_(plan, fault::FaultDomain::kRecognizer, options, clock) {}
+      core_(plan, fault::FaultDomain::kRecognizer, options, clock,
+            inner->profile().name) {}
 
 StatusOr<double> ResilientActionRecognizer::Score(ActionTypeId type,
                                                   ShotIndex shot) {

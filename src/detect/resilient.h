@@ -29,11 +29,13 @@
 #define VAQ_DETECT_RESILIENT_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "detect/models.h"
 #include "fault/fault_plan.h"
 #include "fault/sim_clock.h"
+#include "obs/metrics.h"
 
 namespace vaq {
 namespace detect {
@@ -68,9 +70,13 @@ namespace internal_detect {
 // breaker costs no inference).
 class ResilientCore {
  public:
+  // `model_name` labels this wrapper's registry metrics (families
+  // vaq_model_calls_total / vaq_model_retries_total /
+  // vaq_breaker_transitions_total). No metrics are registered for a null
+  // plan: the pass-through path stays zero-overhead.
   ResilientCore(const fault::FaultPlan* plan, fault::FaultDomain domain,
-                ResilienceOptions options, fault::SimClock* clock)
-      : plan_(plan), domain_(domain), options_(options), clock_(clock) {}
+                ResilienceOptions options, fault::SimClock* clock,
+                const std::string& model_name);
 
   // Runs the attempt loop for the observation at `unit`; `score_fn()`
   // performs one real inner call and `inference_ms` prices it on the
@@ -82,6 +88,7 @@ class ResilientCore {
     if (plan_ == nullptr) return score_fn();  // Zero-overhead pass-through.
     if (breaker_open_ && clock_->now_ms() < breaker_reopen_ms_) {
       ++stats->failures;
+      calls_breaker_open_->Increment();
       return Status::Unavailable("circuit breaker open");
       // (Once the cool-down has passed, the call below is the half-open
       // probe: success closes the breaker, failure re-arms it.)
@@ -90,6 +97,7 @@ class ResilientCore {
     for (int64_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
       if (attempt > 0) {
         ++stats->retries;
+        retries_->Increment();
         clock_->Advance(options_.backoff_base_ms *
                         Pow(options_.backoff_multiplier, attempt - 1));
       }
@@ -100,11 +108,13 @@ class ResilientCore {
         // within it is futile. Fail fast and let the breaker absorb the
         // outage.
         ++stats->faults_injected;
+        calls_outage_->Increment();
         last_error = Status::Unavailable("model outage");
         break;
       }
       if (kind == fault::FaultKind::kTimeout) {
         ++stats->faults_injected;
+        calls_timeout_->Increment();
         clock_->Advance(options_.deadline_ms);  // The deadline budget burned.
         last_error = Status::DeadlineExceeded("model call timed out");
         continue;
@@ -114,16 +124,25 @@ class ResilientCore {
       score = Corrupt(score, kind);
       if (!(score >= 0.0 && score <= 1.0)) {  // NaN also fails this test.
         ++stats->faults_injected;
+        calls_invalid_->Increment();
         last_error = Status::Unavailable("model returned invalid score");
         continue;
       }
       consecutive_failures_ = 0;
-      breaker_open_ = false;
+      if (breaker_open_) {
+        breaker_open_ = false;
+        breaker_closed_->Increment();
+      }
+      calls_ok_->Increment();
       return score;
     }
     ++stats->failures;
+    calls_failed_->Increment();
     if (++consecutive_failures_ >= options_.breaker_threshold) {
-      if (!breaker_open_) ++stats->breaker_trips;
+      if (!breaker_open_) {
+        ++stats->breaker_trips;
+        breaker_opened_->Increment();
+      }
       breaker_open_ = true;
       breaker_reopen_ms_ = clock_->now_ms() + options_.breaker_open_ms;
     }
@@ -146,6 +165,19 @@ class ResilientCore {
   int64_t consecutive_failures_ = 0;
   bool breaker_open_ = false;
   double breaker_reopen_ms_ = 0.0;
+
+  // Registry mirrors, resolved once at construction. All non-null whenever
+  // `plan_` is set; the null-plan pass-through returns before touching any
+  // of them.
+  obs::Counter* calls_ok_ = nullptr;
+  obs::Counter* calls_timeout_ = nullptr;
+  obs::Counter* calls_outage_ = nullptr;
+  obs::Counter* calls_invalid_ = nullptr;
+  obs::Counter* calls_breaker_open_ = nullptr;
+  obs::Counter* calls_failed_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* breaker_opened_ = nullptr;
+  obs::Counter* breaker_closed_ = nullptr;
 };
 
 }  // namespace internal_detect

@@ -1,0 +1,330 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vaq {
+namespace obs {
+namespace {
+
+// JSON string escaping (also valid for Prometheus label values, which use
+// the same backslash conventions for the characters we emit).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LabelBlock(const Labels& labels) {
+  if (labels.empty()) return "";
+  return "{" + CanonicalLabels(labels) + "}";
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + EscapeJson(labels[i].first) + "\":\"" +
+           EscapeJson(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// JSON number rendering: reuses FormatMetricValue but quotes non-finite
+// values ("+Inf"/"-Inf"/"NaN"), which bare JSON numbers cannot express.
+std::string JsonNumber(double v) {
+  if (std::isinf(v) || std::isnan(v)) {
+    return "\"" + FormatMetricValue(v) + "\"";
+  }
+  return FormatMetricValue(v);
+}
+
+const char* KindName(Snapshot::Kind kind) {
+  switch (kind) {
+    case Snapshot::Kind::kCounter:
+      return "counter";
+    case Snapshot::Kind::kGauge:
+      return "gauge";
+    case Snapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string ExportPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const Snapshot::Entry& e : snapshot.entries) {
+    if (e.name != last_family) {
+      out += "# TYPE " + e.name + " " + KindName(e.kind) + "\n";
+      last_family = e.name;
+    }
+    switch (e.kind) {
+      case Snapshot::Kind::kCounter:
+        out += e.name + LabelBlock(e.labels) + " " +
+               std::to_string(e.counter_value) + "\n";
+        break;
+      case Snapshot::Kind::kGauge:
+        out += e.name + LabelBlock(e.labels) + " " +
+               FormatMetricValue(e.gauge_value) + "\n";
+        break;
+      case Snapshot::Kind::kHistogram: {
+        int64_t cumulative = 0;
+        for (size_t i = 0; i <= e.bounds.size(); ++i) {
+          cumulative += e.bucket_counts[i];
+          const double bound = i < e.bounds.size()
+                                   ? e.bounds[i]
+                                   : std::numeric_limits<double>::infinity();
+          Labels labels = e.labels;
+          labels.emplace_back("le", FormatMetricValue(bound));
+          out += e.name + "_bucket" + LabelBlock(labels) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += e.name + "_sum" + LabelBlock(e.labels) + " " +
+               FormatMetricValue(e.hist_sum) + "\n";
+        out += e.name + "_count" + LabelBlock(e.labels) + " " +
+               std::to_string(e.hist_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const Snapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const Snapshot::Entry& e = snapshot.entries[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + EscapeJson(e.name) + "\"";
+    if (!e.labels.empty()) out += ",\"labels\":" + JsonLabels(e.labels);
+    out += ",\"type\":\"" + std::string(KindName(e.kind)) + "\"";
+    switch (e.kind) {
+      case Snapshot::Kind::kCounter:
+        out += ",\"value\":" + std::to_string(e.counter_value);
+        break;
+      case Snapshot::Kind::kGauge:
+        out += ",\"value\":" + JsonNumber(e.gauge_value);
+        break;
+      case Snapshot::Kind::kHistogram: {
+        out += ",\"buckets\":[";
+        int64_t cumulative = 0;
+        for (size_t b = 0; b <= e.bounds.size(); ++b) {
+          if (b > 0) out += ",";
+          cumulative += e.bucket_counts[b];
+          out += "{\"le\":";
+          out += b < e.bounds.size() ? JsonNumber(e.bounds[b]) : "\"+Inf\"";
+          out += ",\"count\":" + std::to_string(cumulative) + "}";
+        }
+        out += "],\"count\":" + std::to_string(e.hist_count) +
+               ",\"sum\":" + JsonNumber(e.hist_sum);
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON lint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool LintValue(JsonCursor* c, int depth);
+
+bool LintString(JsonCursor* c) {
+  if (!c->Consume('"')) return c->Fail("expected '\"'");
+  while (c->pos < c->text.size()) {
+    const char ch = c->text[c->pos];
+    if (ch == '"') {
+      ++c->pos;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c->pos;
+      if (c->pos >= c->text.size()) break;
+      const char esc = c->text[c->pos];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          ++c->pos;
+          if (c->pos >= c->text.size() ||
+              !std::isxdigit(static_cast<unsigned char>(c->text[c->pos]))) {
+            return c->Fail("bad \\u escape");
+          }
+        }
+      } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+        return c->Fail("bad escape");
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return c->Fail("raw control character in string");
+    }
+    ++c->pos;
+  }
+  return c->Fail("unterminated string");
+}
+
+bool LintNumber(JsonCursor* c) {
+  const size_t start = c->pos;
+  c->Consume('-');
+  while (c->pos < c->text.size() &&
+         std::isdigit(static_cast<unsigned char>(c->text[c->pos]))) {
+    ++c->pos;
+  }
+  if (c->Consume('.')) {
+    while (c->pos < c->text.size() &&
+           std::isdigit(static_cast<unsigned char>(c->text[c->pos]))) {
+      ++c->pos;
+    }
+  }
+  if (c->pos < c->text.size() &&
+      (c->text[c->pos] == 'e' || c->text[c->pos] == 'E')) {
+    ++c->pos;
+    if (c->pos < c->text.size() &&
+        (c->text[c->pos] == '+' || c->text[c->pos] == '-')) {
+      ++c->pos;
+    }
+    while (c->pos < c->text.size() &&
+           std::isdigit(static_cast<unsigned char>(c->text[c->pos]))) {
+      ++c->pos;
+    }
+  }
+  if (c->pos == start || (c->pos == start + 1 && c->text[start] == '-')) {
+    return c->Fail("expected number");
+  }
+  return true;
+}
+
+bool LintLiteral(JsonCursor* c, const char* word) {
+  for (const char* p = word; *p != '\0'; ++p) {
+    if (!c->Consume(*p)) return c->Fail("bad literal");
+  }
+  return true;
+}
+
+bool LintValue(JsonCursor* c, int depth) {
+  if (depth > 64) return c->Fail("nesting too deep");
+  c->SkipSpace();
+  if (c->pos >= c->text.size()) return c->Fail("unexpected end of input");
+  const char ch = c->text[c->pos];
+  if (ch == '{') {
+    ++c->pos;
+    c->SkipSpace();
+    if (c->Consume('}')) return true;
+    while (true) {
+      c->SkipSpace();
+      if (!LintString(c)) return false;
+      c->SkipSpace();
+      if (!c->Consume(':')) return c->Fail("expected ':'");
+      if (!LintValue(c, depth + 1)) return false;
+      c->SkipSpace();
+      if (c->Consume(',')) continue;
+      if (c->Consume('}')) return true;
+      return c->Fail("expected ',' or '}'");
+    }
+  }
+  if (ch == '[') {
+    ++c->pos;
+    c->SkipSpace();
+    if (c->Consume(']')) return true;
+    while (true) {
+      if (!LintValue(c, depth + 1)) return false;
+      c->SkipSpace();
+      if (c->Consume(',')) continue;
+      if (c->Consume(']')) return true;
+      return c->Fail("expected ',' or ']'");
+    }
+  }
+  if (ch == '"') return LintString(c);
+  if (ch == 't') return LintLiteral(c, "true");
+  if (ch == 'f') return LintLiteral(c, "false");
+  if (ch == 'n') return LintLiteral(c, "null");
+  return LintNumber(c);
+}
+
+}  // namespace
+
+std::string JsonLintError(const std::string& text) {
+  JsonCursor cursor{text, 0, ""};
+  if (!LintValue(&cursor, 0)) return cursor.error;
+  cursor.SkipSpace();
+  if (cursor.pos != text.size()) {
+    return "trailing content at offset " + std::to_string(cursor.pos);
+  }
+  return "";
+}
+
+}  // namespace obs
+}  // namespace vaq

@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vaq {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    VAQ_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; NaN lands in +inf.
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v,
+                       [](double value, double bound) {
+                         return !(value > bound);  // value <= bound, NaN-safe.
+                       }) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    double current;
+    std::memcpy(&current, &old, sizeof(current));
+    next = current + v;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(old, next_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  } while (true);
+}
+
+double Histogram::sum() const {
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> buckets = {0.1, 0.5, 1,    5,    10,   50,
+                                              100, 500, 1000, 5000, 10000};
+  return buckets;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+std::string CanonicalLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    for (const char c : labels[i].second) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += "\"";
+  }
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* const registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const Labels& labels) {
+  Labels canonical = labels;
+  std::sort(canonical.begin(), canonical.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_[{name, CanonicalLabels(canonical)}];
+  if (inst.counter == nullptr) {
+    VAQ_CHECK(inst.gauge == nullptr && inst.histogram == nullptr)
+        << "metric '" << name << "' re-registered with a different kind";
+    inst.kind = Snapshot::Kind::kCounter;
+    inst.labels = std::move(canonical);
+    inst.counter = std::make_unique<Counter>();
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const Labels& labels) {
+  Labels canonical = labels;
+  std::sort(canonical.begin(), canonical.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_[{name, CanonicalLabels(canonical)}];
+  if (inst.gauge == nullptr) {
+    VAQ_CHECK(inst.counter == nullptr && inst.histogram == nullptr)
+        << "metric '" << name << "' re-registered with a different kind";
+    inst.kind = Snapshot::Kind::kGauge;
+    inst.labels = std::move(canonical);
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::vector<double>& bounds,
+                                        const Labels& labels) {
+  Labels canonical = labels;
+  std::sort(canonical.begin(), canonical.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_[{name, CanonicalLabels(canonical)}];
+  if (inst.histogram == nullptr) {
+    VAQ_CHECK(inst.counter == nullptr && inst.gauge == nullptr)
+        << "metric '" << name << "' re-registered with a different kind";
+    inst.kind = Snapshot::Kind::kHistogram;
+    inst.labels = std::move(canonical);
+    inst.histogram = std::make_unique<Histogram>(bounds);
+  } else {
+    VAQ_CHECK(inst.histogram->bounds() == bounds)
+        << "histogram '" << name << "' re-registered with different buckets";
+  }
+  return inst.histogram.get();
+}
+
+Snapshot MetricRegistry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.entries.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    Snapshot::Entry entry;
+    entry.name = key.first;
+    entry.labels = inst.labels;
+    entry.kind = inst.kind;
+    switch (inst.kind) {
+      case Snapshot::Kind::kCounter:
+        entry.counter_value = inst.counter->value();
+        break;
+      case Snapshot::Kind::kGauge:
+        entry.gauge_value = inst.gauge->value();
+        break;
+      case Snapshot::Kind::kHistogram: {
+        const Histogram& h = *inst.histogram;
+        entry.bounds = h.bounds();
+        entry.bucket_counts.resize(entry.bounds.size() + 1);
+        for (size_t i = 0; i <= entry.bounds.size(); ++i) {
+          entry.bucket_counts[i] = h.bucket_count(i);
+        }
+        entry.hist_count = h.count();
+        entry.hist_sum = h.sum();
+        break;
+      }
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, inst] : instruments_) {
+    switch (inst.kind) {
+      case Snapshot::Kind::kCounter:
+        inst.counter->Reset();
+        break;
+      case Snapshot::Kind::kGauge:
+        inst.gauge->Reset();
+        break;
+      case Snapshot::Kind::kHistogram:
+        inst.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace vaq

@@ -1,0 +1,188 @@
+// Process-wide metric registry.
+//
+// The paper's evaluation is entirely metric-driven (F1 per query, model
+// invocations and frame skips for the online engines, random accesses for
+// the offline ones), but until now every component kept its own ad-hoc
+// counters. `MetricRegistry` gives them a single home with a uniform
+// export path (obs/export.h: Prometheus text and JSON):
+//
+//   * `Counter` — monotone int64 (invocations, retries, rejections);
+//   * `Gauge`  — last-write-wins double (queue depth, breaker state);
+//   * `Histogram` — fixed upper-bound buckets plus count/sum (latencies).
+//
+// Instruments are *labeled families*: the same name may exist with
+// different label sets, e.g.
+//
+//   vaq_model_calls_total{domain="detector",outcome="ok"}
+//   vaq_model_calls_total{domain="detector",outcome="timeout"}
+//
+// Registration (Get*) takes a mutex; the returned pointer is stable for
+// the registry's lifetime, so hot paths resolve once (constructor or
+// function-local static) and then touch a single relaxed `std::atomic` —
+// cheap enough to sit inside the per-frame model loop.
+//
+// Determinism: every engine records *logical* quantities (event counts,
+// simulated milliseconds) rather than wall time, and snapshots iterate
+// families in sorted (name, labels) order, so a seeded run exports a
+// byte-identical snapshot every time (the tier-1 `vaqctl metrics` check
+// and tests/obs_integration_test.cc both assert this).
+#ifndef VAQ_OBS_METRICS_H_
+#define VAQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vaq {
+namespace obs {
+
+// Label set of one family member, e.g. {{"model", "yolo"}}. Order is
+// irrelevant: keys are sorted during canonicalization.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotone event counter. Relaxed atomics: per-series totals are exact
+// because increments are atomic; no cross-series ordering is implied.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value. Stored as raw bits so the hot path
+// stays a single atomic store (std::atomic<double> arithmetic is not
+// needed; Add is a CAS loop for the rare accumulating gauge).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(ToBits(v), std::memory_order_relaxed); }
+  void Add(double d) {
+    uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old, ToBits(FromBits(old) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    return FromBits(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+// ascending order; an implicit +inf bucket catches the rest. Cumulative
+// counts are derived at snapshot time (Prometheus convention).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) count; index bounds_.size() is +inf.
+  int64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+// Latency-style default buckets (ms): sub-ms through minutes.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+// A point-in-time copy of every registered instrument, ordered by
+// (name, canonical labels) — the exporters' input.
+struct Snapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;  // Canonical (key-sorted) order.
+    Kind kind = Kind::kCounter;
+    int64_t counter_value = 0;
+    double gauge_value = 0.0;
+    // Histogram payload (parallel to bounds, plus the +inf bucket last).
+    std::vector<double> bounds;
+    std::vector<int64_t> bucket_counts;
+    int64_t hist_count = 0;
+    double hist_sum = 0.0;
+  };
+  std::vector<Entry> entries;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // The process-wide registry every engine records into.
+  static MetricRegistry& Global();
+
+  // Get-or-create. The returned pointer is stable until the registry is
+  // destroyed (never, for Global()); callers cache it. Aborts if `name`
+  // is already registered with a different instrument kind, or — for
+  // histograms — different bounds.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+
+  Snapshot TakeSnapshot() const;
+
+  // Zeroes every instrument (pointers stay valid). Tests and one-shot
+  // tools use this to scope a snapshot to a single run.
+  void Reset();
+
+ private:
+  struct Instrument {
+    Snapshot::Kind kind;
+    Labels labels;  // Canonical order, for snapshots.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // Keyed by (name, canonical label string): std::map keeps snapshot
+  // iteration deterministically sorted.
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, Instrument> instruments_;
+};
+
+// Canonical label rendering: key-sorted `k1="v1",k2="v2"` with
+// backslash/quote/newline escaping (the Prometheus text convention).
+std::string CanonicalLabels(Labels labels);
+
+}  // namespace obs
+}  // namespace vaq
+
+#endif  // VAQ_OBS_METRICS_H_

@@ -1,0 +1,119 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace vaq {
+namespace obs {
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+ReportCollector::ReportCollector(std::string name) : name_(std::move(name)) {}
+
+void ReportCollector::AddField(const std::string& key,
+                               const std::string& value) {
+  fields_.emplace_back(key, Quote(value));
+}
+
+void ReportCollector::AddField(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void ReportCollector::AddField(const std::string& key, double value) {
+  fields_.emplace_back(key, FormatMetricValue(value));
+}
+
+void ReportCollector::SetColumns(std::vector<std::string> columns) {
+  columns_ = std::move(columns);
+}
+
+void ReportCollector::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportCollector::ToJson() const {
+  std::string out = "{\"name\":" + Quote(name_);
+  out += ",\"fields\":{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += Quote(fields_[i].first) + ":" + fields_[i].second;
+  }
+  out += "}";
+  auto append_cells = [&out](const std::vector<std::string>& cells) {
+    out += "[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ",";
+      out += Quote(cells[i]);
+    }
+    out += "]";
+  };
+  out += ",\"columns\":";
+  append_cells(columns_);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ",";
+    append_cells(rows_[i]);
+  }
+  out += "]";
+  out += ",\"metrics\":" +
+         ExportJson(MetricRegistry::Global().TakeSnapshot());
+  out += "}";
+  return out;
+}
+
+bool ReportCollector::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    VAQ_LOG(Warning) << "cannot write metrics sidecar " << path;
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    VAQ_LOG(Warning) << "short write to metrics sidecar " << path;
+    return false;
+  }
+  return true;
+}
+
+bool ReportCollector::WriteFromEnv() const {
+  const char* dir = std::getenv("VAQ_METRICS_SIDECAR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  return Write(std::string(dir) + "/" + name_ + ".metrics.json");
+}
+
+}  // namespace obs
+}  // namespace vaq

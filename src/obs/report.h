@@ -1,0 +1,63 @@
+// Machine-readable run reports for the bench harness.
+//
+// Every `bench_*` binary prints a human table plus a CSV block; a
+// `ReportCollector` additionally captures the same rows *and* the global
+// metric registry snapshot into one JSON document, written as a sidecar
+// file next to the table output:
+//
+//   obs::ReportCollector report("tab3_predicates");
+//   report.AddField("scenario", "youtube:1");
+//   report.AddRow({"q1", "0.93", ...});       // Mirrors the table rows.
+//   report.Write("/tmp/tab3.metrics.json");   // Or WriteFromEnv().
+//
+// `WriteFromEnv()` is the harness hook: it writes the sidecar only when
+// `VAQ_METRICS_SIDECAR` names a target directory, so plain interactive
+// runs stay file-free while CI sweeps collect every binary's metrics
+// with one environment variable.
+#ifndef VAQ_OBS_REPORT_H_
+#define VAQ_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vaq {
+namespace obs {
+
+class ReportCollector {
+ public:
+  // `name` identifies the run (typically the bench/table id); it becomes
+  // the sidecar's "name" field and the WriteFromEnv file stem.
+  explicit ReportCollector(std::string name);
+
+  // Free-form scalar context (scenario id, seed, option values).
+  void AddField(const std::string& key, const std::string& value);
+  void AddField(const std::string& key, int64_t value);
+  void AddField(const std::string& key, double value);
+
+  // Tabular payload, mirroring the printed table.
+  void SetColumns(std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+
+  // The full document: {"name", "fields", "columns", "rows", "metrics"}
+  // with "metrics" holding the global registry's JSON export.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; false (with a warning log) on I/O error.
+  bool Write(const std::string& path) const;
+
+  // Writes to `$VAQ_METRICS_SIDECAR/<name>.metrics.json` when the env
+  // var is set and non-empty; no-op (returns false) otherwise.
+  bool WriteFromEnv() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // Pre-encoded.
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace obs
+}  // namespace vaq
+
+#endif  // VAQ_OBS_REPORT_H_

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace vaq {
+namespace obs {
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local int g_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetClock(ClockFn clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+double Tracer::NowMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_ ? clock_() : SteadyNowMs();
+}
+
+void Tracer::SetRecording(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = on;
+  if (!on) records_.clear();
+}
+
+std::vector<SpanRecord> Tracer::TakeRecords() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+void Tracer::RecordClosed(const char* name, int depth, double start_ms,
+                          double duration_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recording_ || records_.size() >= kMaxRecords) return;
+  records_.push_back(SpanRecord{name, depth, start_ms, duration_ms});
+}
+
+Span::Span(const char* name)
+    : name_(name),
+      start_ms_(Tracer::Global().NowMs()),
+      depth_(g_span_depth++) {}
+
+Span::~Span() {
+  --g_span_depth;
+  Tracer& tracer = Tracer::Global();
+  const double duration = tracer.NowMs() - start_ms_;
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("vaq_span_total", {{"span", name_}})->Increment();
+  registry
+      .GetHistogram("vaq_span_ms", DefaultLatencyBucketsMs(),
+                    {{"span", name_}})
+      ->Observe(duration);
+  tracer.RecordClosed(name_, depth_, start_ms_, duration);
+}
+
+}  // namespace obs
+}  // namespace vaq

@@ -1,0 +1,94 @@
+// Span-based tracing with a pluggable clock.
+//
+//   StatusOr<VideoIndex> Ingestor::Ingest(...) const {
+//     VAQ_TRACE_SPAN("ingest/total");
+//     ...
+//   }
+//
+// A span measures the wall time between its construction and destruction
+// and records it into the global registry's `vaq_span_ms{span="<name>"}`
+// histogram plus `vaq_span_total{span="<name>"}` counter. Spans nest:
+// a thread-local depth counter tracks containment, and when recording is
+// enabled the tracer also keeps an in-memory list of closed spans
+// (name, depth, start, duration) for tests and debugging.
+//
+// The clock is pluggable so tracing composes with simulated time: tests
+// bind it to a `fault::SimClock` (span durations then reflect the
+// deterministic simulated timeline), and one-shot tools bind it to a
+// constant to keep metric exports byte-identical across runs. The
+// default is the real steady clock.
+#ifndef VAQ_OBS_TRACE_H_
+#define VAQ_OBS_TRACE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vaq {
+namespace obs {
+
+// One closed span, innermost-close order.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;  // 0 = outermost on its thread.
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+class Tracer {
+ public:
+  using ClockFn = std::function<double()>;  // Milliseconds, monotone.
+
+  static Tracer& Global();
+
+  // Replaces the time source; nullptr restores the real steady clock.
+  // Typical test binding: tracer.SetClock([&sim] { return sim.now_ms(); }).
+  void SetClock(ClockFn clock);
+  double NowMs() const;
+
+  // When enabled, closed spans are appended to an internal buffer
+  // (bounded at `kMaxRecords`; older spans win).
+  void SetRecording(bool on);
+  bool recording() const { return recording_; }
+  // Drains and returns the record buffer.
+  std::vector<SpanRecord> TakeRecords();
+
+  // Internal: called by Span.
+  void RecordClosed(const char* name, int depth, double start_ms,
+                    double duration_ms);
+
+ private:
+  static constexpr size_t kMaxRecords = 4096;
+
+  mutable std::mutex mu_;
+  ClockFn clock_;  // Null = steady clock.
+  bool recording_ = false;
+  std::vector<SpanRecord> records_;
+};
+
+// RAII span. `name` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double start_ms_;
+  int depth_;
+};
+
+}  // namespace obs
+}  // namespace vaq
+
+#define VAQ_TRACE_CONCAT_INNER_(a, b) a##b
+#define VAQ_TRACE_CONCAT_(a, b) VAQ_TRACE_CONCAT_INNER_(a, b)
+// Opens a span covering the rest of the enclosing scope.
+#define VAQ_TRACE_SPAN(name) \
+  ::vaq::obs::Span VAQ_TRACE_CONCAT_(vaq_trace_span_, __LINE__)(name)
+
+#endif  // VAQ_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaq {
 namespace offline {
@@ -51,6 +53,9 @@ Ingestor::Ingestor(const Vocabulary* vocab, const ScoringModel* scoring,
 StatusOr<storage::VideoIndex> Ingestor::Ingest(
     const synth::GroundTruth& truth,
     const detect::ModelBundle& models) const {
+  VAQ_TRACE_SPAN("ingest/run");
+  obs::Counter* metric_tables = obs::MetricRegistry::Global().GetCounter(
+      "vaq_ingest_tables_built_total");
   const VideoLayout& layout = truth.layout();
   const int64_t num_clips = layout.NumClips();
   storage::VideoIndex index;
@@ -65,6 +70,7 @@ StatusOr<storage::VideoIndex> Ingestor::Ingest(
 
   // --- Object types: tracker-scored tables + SVAQD individual sequences.
   for (ObjectTypeId type = 0; type < vocab_->num_object_types(); ++type) {
+    VAQ_TRACE_SPAN("ingest/object_table");
     storage::TypeIndex entry;
     entry.type_id = type;
     entry.type_name = vocab_->ObjectTypeName(type);
@@ -91,6 +97,7 @@ StatusOr<storage::VideoIndex> Ingestor::Ingest(
                          storage::ScoreTable::Build(std::move(rows)));
     VAQ_RETURN_IF_ERROR(
         MaterializeTable(options_.fault_plan, table_ordinal++, num_clips));
+    metric_tables->Increment();
 
     // Individual sequences via a single-predicate SVAQD run (§4.2).
     QuerySpec single;
@@ -104,6 +111,7 @@ StatusOr<storage::VideoIndex> Ingestor::Ingest(
   // --- Action types: recognizer-scored tables + SVAQD individual
   // sequences.
   for (ActionTypeId type = 0; type < vocab_->num_action_types(); ++type) {
+    VAQ_TRACE_SPAN("ingest/action_table");
     storage::TypeIndex entry;
     entry.type_id = type;
     entry.type_name = vocab_->ActionTypeName(type);
@@ -124,6 +132,7 @@ StatusOr<storage::VideoIndex> Ingestor::Ingest(
                          storage::ScoreTable::Build(std::move(rows)));
     VAQ_RETURN_IF_ERROR(
         MaterializeTable(options_.fault_plan, table_ordinal++, num_clips));
+    metric_tables->Increment();
 
     QuerySpec single;
     single.action = type;

@@ -5,7 +5,10 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "offline/tbclip.h"
+#include "storage/access_metrics.h"
 
 namespace vaq {
 namespace offline {
@@ -49,11 +52,15 @@ Rvaq::Rvaq(const QueryTables* tables, const ScoringModel* scoring,
 }
 
 TopKResult Rvaq::Run() const {
+  VAQ_TRACE_SPAN("rvaq/run");
   const auto start = std::chrono::steady_clock::now();
   ResetCounters(*tables_);
 
   TopKResult result;
-  result.pq = tables_->ComputePq();
+  {
+    VAQ_TRACE_SPAN("rvaq/compute_pq");
+    result.pq = tables_->ComputePq();
+  }
 
   // Candidate sequence states.
   std::vector<SeqState> seqs;
@@ -80,6 +87,7 @@ TopKResult Rvaq::Run() const {
   const int64_t k = options_.k;
 
   auto finalize = [&](std::vector<SeqState*> ranked) {
+    VAQ_TRACE_SPAN("rvaq/finalize");
     for (SeqState* s : ranked) {
       RankedSequence out;
       out.clips = s->clips;
@@ -115,6 +123,10 @@ TopKResult Rvaq::Run() const {
                        });
     }
     result.accesses = CollectCounters(*tables_);
+    storage::MirrorAccessCounter(result.accesses, "rvaq");
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_rvaq_iterations_total")
+        ->Increment(result.iterations);
     result.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -139,6 +151,7 @@ TopKResult Rvaq::Run() const {
   TbClipIterator iterator(tables_, &source, &skip);
   TbClipIterator::Entry top;
   TbClipIterator::Entry bottom;
+  VAQ_TRACE_SPAN("rvaq/bound_loop");
   while (iterator.Next(&top, &bottom)) {
     ++result.iterations;
     // Fold the new extreme clips into their sequences' partial scores.

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "fault/sim_clock.h"
+#include "obs/metrics.h"
 #include "online/clip_evaluator.h"
 #include "online/predicate_state.h"
 
@@ -21,6 +22,16 @@ struct StreamingSvaqd::State {
   fault::SimClock clock;
   std::unique_ptr<detect::ResilientObjectDetector> rdetector;
   std::unique_ptr<detect::ResilientActionRecognizer> rrecognizer;
+
+  // Registry mirrors, resolved once per engine instance. Events are
+  // counted where they logically occur, whether or not a callback is
+  // installed.
+  obs::Counter* metric_clips = nullptr;
+  obs::Counter* metric_event_opened = nullptr;
+  obs::Counter* metric_event_extended = nullptr;
+  obs::Counter* metric_event_closed = nullptr;
+  obs::Counter* metric_event_gap = nullptr;
+  obs::Gauge* metric_open_len = nullptr;  // Open-sequence backlog, clips.
 };
 
 StreamingSvaqd::StreamingSvaqd(QuerySpec query, VideoLayout layout,
@@ -47,6 +58,19 @@ StreamingSvaqd::StreamingSvaqd(QuerySpec query, VideoLayout layout,
         options_.bandwidth_shots, base.p0_action, options_.prior_weight,
         ActionScanConfig(layout_, base), options_.burst_aware);
   }
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  state_->metric_clips = registry.GetCounter("vaq_clips_processed_total",
+                                             {{"engine", "streaming_svaqd"}});
+  const auto event_counter = [&](const char* kind) {
+    return registry.GetCounter("vaq_stream_events_total", {{"kind", kind}});
+  };
+  state_->metric_event_opened = event_counter("opened");
+  state_->metric_event_extended = event_counter("extended");
+  state_->metric_event_closed = event_counter("closed");
+  state_->metric_event_gap = event_counter("gap");
+  state_->metric_open_len =
+      registry.GetGauge("vaq_stream_open_sequence_clips");
 }
 
 StreamingSvaqd::~StreamingSvaqd() = default;
@@ -117,8 +141,10 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
     eval = evaluator.Evaluate(clip, kcrit_objects, kcrit_action,
                               base.short_circuit && !probe);
   }
+  state_->metric_clips->Increment();
   if (eval.Degraded()) {
     ++degraded_clips_;
+    state_->metric_event_gap->Increment();
     if (callback_) {
       callback_({SequenceEvent::Kind::kGap, Interval(clip, clip), clip});
     }
@@ -133,21 +159,28 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
   if (eval.positive) {
     if (open_start_ < 0) {
       open_start_ = clip;
+      state_->metric_event_opened->Increment();
       if (callback_) {
         callback_({SequenceEvent::Kind::kOpened, Interval(clip, clip), clip});
       }
-    } else if (callback_) {
-      callback_(
-          {SequenceEvent::Kind::kExtended, Interval(open_start_, clip), clip});
+    } else {
+      state_->metric_event_extended->Increment();
+      if (callback_) {
+        callback_({SequenceEvent::Kind::kExtended, Interval(open_start_, clip),
+                   clip});
+      }
     }
   } else if (open_start_ >= 0) {
     const Interval closed(open_start_, clip - 1);
     sequences_.Add(closed);
     open_start_ = -1;
+    state_->metric_event_closed->Increment();
     if (callback_) {
       callback_({SequenceEvent::Kind::kClosed, closed, clip});
     }
   }
+  state_->metric_open_len->Set(
+      open_start_ >= 0 ? static_cast<double>(clip - open_start_ + 1) : 0.0);
   return eval.positive;
 }
 
@@ -158,6 +191,8 @@ void StreamingSvaqd::Finish() {
     const Interval closed(open_start_, next_clip_ - 1);
     sequences_.Add(closed);
     open_start_ = -1;
+    state_->metric_event_closed->Increment();
+    state_->metric_open_len->Set(0.0);
     if (callback_) {
       callback_({SequenceEvent::Kind::kClosed, closed, next_clip_ - 1});
     }

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vaq {
 namespace online {
@@ -61,20 +63,44 @@ int64_t Svaq::InitialActionCriticalValue() const {
 
 OnlineResult Svaq::Run(detect::ObjectDetector* detector,
                        detect::ActionRecognizer* recognizer) const {
+  VAQ_TRACE_SPAN("svaq/run");
   const auto start = std::chrono::steady_clock::now();
   OnlineResult result;
   result.kcrit_objects = InitialObjectCriticalValues();
   result.kcrit_action = InitialActionCriticalValue();
 
+  // Registry mirrors (logical quantities only, so seeded runs stay
+  // byte-reproducible): the latency histogram observes *simulated* model
+  // milliseconds per clip, never wall time.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Counter* metric_clips =
+      registry.GetCounter("vaq_clips_processed_total", {{"engine", "svaq"}});
+  obs::Counter* metric_rejections = registry.GetCounter(
+      "vaq_scanstat_rejections_total", {{"engine", "svaq"}});
+  obs::Histogram* metric_clip_ms =
+      registry.GetHistogram("vaq_clip_eval_simulated_ms",
+                            obs::DefaultLatencyBucketsMs(),
+                            {{"engine", "svaq"}});
+  const auto simulated_ms = [&] {
+    double ms = 0.0;
+    if (detector != nullptr) ms += detector->stats().simulated_ms;
+    if (recognizer != nullptr) ms += recognizer->stats().simulated_ms;
+    return ms;
+  };
+
   ClipEvaluator evaluator(query_, layout_, detector, recognizer);
   const int64_t num_clips = layout_.NumClips();
   result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
   for (ClipIndex c = 0; c < num_clips; ++c) {
+    const double clip_start_ms = simulated_ms();
     const ClipEvaluation eval =
         evaluator.Evaluate(c, result.kcrit_objects, result.kcrit_action,
                            options_.short_circuit);
     result.clip_indicator[static_cast<size_t>(c)] = eval.positive;
     ++result.clips_processed;
+    metric_clips->Increment();
+    if (eval.positive) metric_rejections->Increment();
+    metric_clip_ms->Observe(simulated_ms() - clip_start_ms);
   }
   result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
   if (detector != nullptr) result.detector_stats = detector->stats();

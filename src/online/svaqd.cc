@@ -8,6 +8,8 @@
 #include "fault/sim_clock.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "online/predicate_state.h"
 #include "scanstat/critical_value.h"
 #include "scanstat/markov.h"
@@ -16,6 +18,22 @@ namespace vaq {
 namespace online {
 
 using internal_online::PredicateState;
+
+namespace {
+
+const char* PolicyName(MissingObsPolicy policy) {
+  switch (policy) {
+    case MissingObsPolicy::kAssumeNegative:
+      return "assume_negative";
+    case MissingObsPolicy::kCarryLast:
+      return "carry_last";
+    case MissingObsPolicy::kBackgroundPrior:
+      return "background_prior";
+  }
+  return "?";
+}
+
+}  // namespace
 
 namespace internal_online {
 
@@ -101,8 +119,35 @@ Svaqd::Svaqd(QuerySpec query, VideoLayout layout, SvaqdOptions options)
 
 OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
                         detect::ActionRecognizer* recognizer) const {
+  VAQ_TRACE_SPAN("svaqd/run");
   const auto start = std::chrono::steady_clock::now();
   const SvaqOptions& base = options_.base;
+
+  // Registry mirrors. Only logical quantities are recorded (clip counts
+  // and *simulated* model milliseconds), so a seeded run — with or
+  // without fault injection — exports a byte-identical snapshot.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Counter* metric_clips =
+      registry.GetCounter("vaq_clips_processed_total", {{"engine", "svaqd"}});
+  obs::Counter* metric_rejections = registry.GetCounter(
+      "vaq_scanstat_rejections_total", {{"engine", "svaqd"}});
+  obs::Counter* metric_degraded =
+      registry.GetCounter("vaq_clips_degraded_total", {{"engine", "svaqd"}});
+  obs::Counter* metric_dropped =
+      registry.GetCounter("vaq_clips_dropped_total", {{"engine", "svaqd"}});
+  obs::Counter* metric_gap_policy = registry.GetCounter(
+      "vaq_gap_policy_activations_total",
+      {{"engine", "svaqd"}, {"policy", PolicyName(options_.missing_policy)}});
+  obs::Histogram* metric_clip_ms =
+      registry.GetHistogram("vaq_clip_eval_simulated_ms",
+                            obs::DefaultLatencyBucketsMs(),
+                            {{"engine", "svaqd"}});
+  const auto simulated_ms = [&] {
+    double ms = 0.0;
+    if (detector != nullptr) ms += detector->stats().simulated_ms;
+    if (recognizer != nullptr) ms += recognizer->stats().simulated_ms;
+    return ms;
+  };
 
   // One estimator per object predicate plus one for the action.
   std::vector<PredicateState> objects;
@@ -147,6 +192,7 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
   std::vector<double> object_fallback(objects.size(), 0.0);
 
   for (ClipIndex c = 0; c < num_clips; ++c) {
+    VAQ_TRACE_SPAN("svaqd/clip_eval");
     std::vector<int64_t> kcrit_objects(objects.size());
     for (size_t i = 0; i < objects.size(); ++i) {
       kcrit_objects[i] = objects[i].kcrit;
@@ -154,6 +200,7 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
     const int64_t kcrit_action = action != nullptr ? action->kcrit : 0;
     const bool probe =
         options_.probe_period > 0 && c % options_.probe_period == 0;
+    const double clip_start_ms = simulated_ms();
     ClipEvaluation eval;
     if (plan != nullptr) {
       clock.Advance(options_.resilience.clip_interval_ms);
@@ -175,8 +222,20 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
     }
     result.clip_indicator[static_cast<size_t>(c)] = eval.positive;
     ++result.clips_processed;
-    if (eval.Degraded()) ++result.degraded_clips;
-    if (eval.dropped) ++result.dropped_clips;
+    metric_clips->Increment();
+    if (eval.positive) metric_rejections->Increment();
+    if (eval.Degraded()) {
+      ++result.degraded_clips;
+      metric_degraded->Increment();
+      // A degraded clip is exactly one where the missing-observation
+      // (gap) policy had to fill in for abandoned model calls.
+      metric_gap_policy->Increment();
+    }
+    if (eval.dropped) {
+      ++result.dropped_clips;
+      metric_dropped->Increment();
+    }
+    metric_clip_ms->Observe(simulated_ms() - clip_start_ms);
 
     internal_online::UpdateAdaptiveState(options_, eval, &objects,
                                          action.get());

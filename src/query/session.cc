@@ -1,5 +1,7 @@
 #include "query/session.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "offline/repository.h"
 #include "online/cnf_engine.h"
 #include "video/cnf_query.h"
@@ -84,8 +86,13 @@ StatusOr<QueryResult> Session::Execute(const std::string& sql) {
 
 StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
   const bool offline_query = stmt.ranked || stmt.limit >= 0;
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_session_statements_total",
+                  {{"kind", offline_query ? "ranked" : "online"}})
+      ->Increment();
   QueryResult result;
   if (offline_query) {
+    VAQ_TRACE_SPAN("session/ranked_query");
     auto it = repositories_.find(stmt.video);
     if (it == repositories_.end()) {
       return Status::NotFound("no repository video named '" + stmt.video +
@@ -117,6 +124,7 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
     return result;
   }
 
+  VAQ_TRACE_SPAN("session/online_query");
   auto it = streams_.find(stmt.video);
   if (it == streams_.end()) {
     return Status::NotFound("no stream named '" + stmt.video + "'");

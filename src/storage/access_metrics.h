@@ -1,0 +1,42 @@
+// Mirrors an AccessCounter into the process-wide metric registry.
+//
+// The offline engines keep their paper-facing access accounting in
+// `AccessCounter` (one per table, summed per run); this helper folds a
+// finished run's totals into the labeled family
+//
+//   vaq_storage_accesses_total{engine="rvaq",kind="random"}
+//
+// so the Prometheus/JSON exporters see the same numbers Tables 6-8
+// report. All five kinds are registered even when zero, keeping the
+// snapshot shape independent of the data.
+#ifndef VAQ_STORAGE_ACCESS_METRICS_H_
+#define VAQ_STORAGE_ACCESS_METRICS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "storage/access_counter.h"
+
+namespace vaq {
+namespace storage {
+
+inline void MirrorAccessCounter(const AccessCounter& counter,
+                                const std::string& engine) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const auto add = [&](const char* kind, int64_t n) {
+    registry
+        .GetCounter("vaq_storage_accesses_total",
+                    {{"engine", engine}, {"kind", kind}})
+        ->Increment(n);
+  };
+  add("sorted", counter.sorted_accesses);
+  add("reverse", counter.reverse_accesses);
+  add("random", counter.random_accesses);
+  add("range_scan", counter.range_scans);
+  add("range_row", counter.range_rows);
+}
+
+}  // namespace storage
+}  // namespace vaq
+
+#endif  // VAQ_STORAGE_ACCESS_METRICS_H_

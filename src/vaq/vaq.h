@@ -17,12 +17,20 @@
 #define VAQ_VAQ_H_
 
 #include "common/interval.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "detect/model_profile.h"
 #include "detect/models.h"
 #include "detect/relationship.h"
+#include "detect/resilient.h"
 #include "eval/metrics.h"
+#include "fault/fault_plan.h"
+#include "fault/sim_clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "offline/baselines.h"
 #include "offline/ingest.h"
 #include "offline/query_view.h"

@@ -1,0 +1,84 @@
+// Span tracing under a simulated clock: nesting depths, deterministic
+// durations driven by fault::SimClock, and the registry mirror every
+// closed span leaves behind.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/sim_clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vaq {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetClock([this] { return clock_.now_ms(); });
+    Tracer::Global().SetRecording(true);
+  }
+  void TearDown() override {
+    Tracer::Global().SetRecording(false);
+    Tracer::Global().SetClock(nullptr);
+  }
+  fault::SimClock clock_;
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndSimulatedDurations) {
+  {
+    VAQ_TRACE_SPAN("outer");
+    clock_.Advance(5.0);
+    {
+      VAQ_TRACE_SPAN("inner");
+      clock_.Advance(2.0);
+    }
+    clock_.Advance(3.0);
+  }
+  const std::vector<SpanRecord> records = Tracer::Global().TakeRecords();
+  ASSERT_EQ(records.size(), 2u);
+  // Innermost closes first.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[0].depth, 1);
+  EXPECT_DOUBLE_EQ(records[0].start_ms, 5.0);
+  EXPECT_DOUBLE_EQ(records[0].duration_ms, 2.0);
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].depth, 0);
+  EXPECT_DOUBLE_EQ(records[1].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(records[1].duration_ms, 10.0);
+}
+
+TEST_F(TraceTest, ClosedSpansMirrorIntoTheGlobalRegistry) {
+  Counter* total = MetricRegistry::Global().GetCounter(
+      "vaq_span_total", {{"span", "trace_test/mirror"}});
+  const int64_t before = total->value();
+  {
+    VAQ_TRACE_SPAN("trace_test/mirror");
+    clock_.Advance(1.0);
+  }
+  EXPECT_EQ(total->value(), before + 1);
+  Histogram* ms = MetricRegistry::Global().GetHistogram(
+      "vaq_span_ms", DefaultLatencyBucketsMs(),
+      {{"span", "trace_test/mirror"}});
+  EXPECT_GE(ms->count(), 1);
+}
+
+TEST_F(TraceTest, TakeRecordsDrains) {
+  { VAQ_TRACE_SPAN("once"); }
+  EXPECT_EQ(Tracer::Global().TakeRecords().size(), 1u);
+  EXPECT_TRUE(Tracer::Global().TakeRecords().empty());
+}
+
+TEST_F(TraceTest, SequentialSpansShareDepthZero) {
+  { VAQ_TRACE_SPAN("first"); }
+  { VAQ_TRACE_SPAN("second"); }
+  const std::vector<SpanRecord> records = Tracer::Global().TakeRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].depth, 0);
+  EXPECT_EQ(records[1].depth, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vaq

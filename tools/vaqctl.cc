@@ -18,6 +18,15 @@
 //   vaqctl sql --catalog DIR "SELECT ... ORDER BY RANK(...) LIMIT K"
 //       Run an offline statement of the paper's dialect against a video
 //       registered under its catalog name.
+//
+//   vaqctl metrics [--scenario SPEC] [--seed N] [--format prom|json|both]
+//       Run a seeded end-to-end pipeline (faulty SVAQD stream + ingest +
+//       RVAQ top-K) and dump the resulting metric-registry snapshot in
+//       Prometheus text and/or JSON form. The output is a pure function
+//       of (--scenario, --seed): the tracer clock is pinned and only
+//       logical quantities are recorded, so two runs with the same flags
+//       emit byte-identical snapshots. The JSON snapshot is always
+//       self-checked with the built-in linter; lint failures exit 1.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -268,9 +277,125 @@ int CmdSql(const Args& args) {
   return 0;
 }
 
+// The built-in scenario for `vaqctl metrics`: small enough to run in a
+// tier-1 test, busy enough that every metric family is populated.
+synth::Scenario MetricsScenario() {
+  synth::ScenarioSpec spec;
+  spec.name = "metrics_demo";
+  spec.minutes = 6;
+  spec.fps = 30;
+  spec.seed = 808;
+  synth::ActionTrackSpec action;
+  action.name = "running";
+  action.duty = 0.3;
+  action.mean_len_frames = 1000;
+  spec.actions.push_back(action);
+  synth::ObjectTrackSpec dog;
+  dog.name = "dog";
+  dog.background_duty = 0.06;
+  dog.mean_len_frames = 700;
+  dog.coupled_action = "running";
+  dog.cover_action_prob = 0.9;
+  spec.objects.push_back(dog);
+  return synth::Scenario::FromSpec(spec, "running", {"dog"});
+}
+
+int CmdMetrics(const Args& args) {
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  const std::string format = args.Get("format", "both");
+  if (format != "prom" && format != "json" && format != "both") {
+    std::fprintf(stderr, "--format must be prom, json or both\n");
+    return 2;
+  }
+
+  // Determinism: scope the snapshot to this run and pin the tracer clock,
+  // so span histograms observe zero-duration spans instead of wall time.
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+
+  synth::Scenario scenario = [&] {
+    const std::string spec = args.Get("scenario");
+    if (spec.empty()) return MetricsScenario();
+    auto made = MakeScenario(spec, seed);
+    VAQ_CHECK_OK(made.status());
+    return std::move(*made);
+  }();
+
+  // Phase 1: the online engine over a faulty stream. The rates are high
+  // enough that timeouts, outages, garbage scores, retries, breaker trips
+  // and gap-policy fallbacks all occur within the demo's ~108 clips.
+  fault::FaultSpec fault_spec;
+  fault_spec.timeout_rate = 0.05;
+  fault_spec.crash_rate = 0.1;
+  fault_spec.crash_len_units = 600;
+  fault_spec.nan_score_rate = 0.01;
+  fault_spec.drop_clip_rate = 0.02;
+  const fault::FaultPlan plan(fault_spec, seed);
+  online::SvaqdOptions svaqd_options;
+  svaqd_options.fault_plan = &plan;
+  svaqd_options.missing_policy = online::MissingObsPolicy::kBackgroundPrior;
+  detect::ModelBundle models =
+      detect::ModelBundle::MaskRcnnI3d(scenario.truth(), seed);
+  const online::OnlineResult online_result =
+      online::Svaqd(scenario.query(), scenario.layout(), svaqd_options)
+          .Run(models.detector.get(), models.recognizer.get());
+
+  // Phase 2: offline ingest + RVAQ top-K over the same scenario.
+  offline::PaperScoring scoring;
+  offline::Ingestor ingestor(&scenario.vocab(), &scoring,
+                             offline::IngestOptions{});
+  auto index_or = ingestor.Ingest(scenario.truth(), models);
+  if (!index_or.ok()) {
+    std::fprintf(stderr, "%s\n", index_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::string action_name =
+      scenario.vocab().ActionTypeName(scenario.query().action);
+  std::vector<std::string> object_names;
+  for (ObjectTypeId type : scenario.query().objects) {
+    object_names.push_back(scenario.vocab().ObjectTypeName(type));
+  }
+  auto tables_or = offline::BindByName(*index_or, action_name, object_names);
+  if (!tables_or.ok()) {
+    std::fprintf(stderr, "%s\n", tables_or.status().ToString().c_str());
+    return 1;
+  }
+  offline::RvaqOptions rvaq_options;
+  rvaq_options.k = 3;
+  const offline::TopKResult topk =
+      offline::Rvaq(&*tables_or, &scoring, rvaq_options).Run();
+
+  obs::Tracer::Global().SetClock(nullptr);
+
+  // Export. The JSON form is always linted, even when only the
+  // Prometheus text is printed: a malformed snapshot must fail loudly.
+  const obs::Snapshot snapshot = obs::MetricRegistry::Global().TakeSnapshot();
+  const std::string json = obs::ExportJson(snapshot);
+  const std::string lint = obs::JsonLintError(json);
+  if (!lint.empty()) {
+    std::fprintf(stderr, "metrics JSON failed selfcheck: %s\n", lint.c_str());
+    return 1;
+  }
+  if (format == "prom" || format == "both") {
+    std::fputs(obs::ExportPrometheus(snapshot).c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::printf("%s\n", json.c_str());
+  }
+  std::fprintf(stderr,
+               "# clips=%lld degraded=%lld dropped=%lld topk=%zu "
+               "accesses=%s\n",
+               static_cast<long long>(online_result.clips_processed),
+               static_cast<long long>(online_result.degraded_clips),
+               static_cast<long long>(online_result.dropped_clips),
+               topk.top.size(), topk.accesses.ToString().c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: vaqctl <ingest|ls|rm|topk|sql> [--flags]\n"
+               "usage: vaqctl <ingest|ls|rm|topk|sql|metrics> [--flags]\n"
                "see the header of tools/vaqctl.cc for details\n");
   return 2;
 }
@@ -287,5 +412,6 @@ int main(int argc, char** argv) {
   if (command == "rm") return vaq::CmdRm(args);
   if (command == "topk") return vaq::CmdTopK(args);
   if (command == "sql") return vaq::CmdSql(args);
+  if (command == "metrics") return vaq::CmdMetrics(args);
   return vaq::Usage();
 }
