@@ -26,12 +26,25 @@ inline double Log1mExp(double x) {
   return std::log1p(-std::exp(x));
 }
 
+// Thread-safe log-gamma. std::lgamma writes the process-global signgam,
+// a data race when scan-stat thresholds are recomputed on concurrent
+// serve workers; all arguments here are positive, so the sign is 1 and
+// lgamma_r (POSIX) / plain lgamma (elsewhere) are interchangeable.
+inline double LogGammaPositive(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // log C(n, k) via lgamma; requires 0 <= k <= n.
 inline double LogChoose(int64_t n, int64_t k) {
   if (k < 0 || k > n) return kNegInf;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGammaPositive(static_cast<double>(n) + 1.0) -
+         LogGammaPositive(static_cast<double>(k) + 1.0) -
+         LogGammaPositive(static_cast<double>(n - k) + 1.0);
 }
 
 // Clamps a probability to [0, 1].

@@ -29,6 +29,11 @@ namespace vaq {
 namespace detect {
 
 // Invocation statistics of one model.
+//
+// Not thread-safe: a ModelStats (and the model that owns it) must only be
+// mutated from one thread at a time. Concurrent runtimes (src/serve/)
+// therefore keep one accumulator per worker and combine them with
+// Merge() once the workers have drained — stats are never shared hot.
 struct ModelStats {
   int64_t inferences = 0;    // Distinct OUs run through the network.
   int64_t type_queries = 0;  // (type, OU) score lookups served.
@@ -55,6 +60,31 @@ struct ModelStats {
     fallbacks += other.fallbacks;
     breaker_trips += other.breaker_trips;
     return *this;
+  }
+
+  // Merge-at-drain spelling of operator+= for worker-local accumulators:
+  // N accumulators filled on N threads and merged on one thread afterwards
+  // total exactly what a single-thread run would have counted.
+  ModelStats& Merge(const ModelStats& other) { return *this += other; }
+
+  // Delta between two cumulative snapshots of the same model: the engines
+  // report per-run stats as stats_after - stats_before, which stays
+  // correct when a model instance is shared across successive runs (the
+  // serving layer's shared detection cache).
+  ModelStats& operator-=(const ModelStats& other) {
+    inferences -= other.inferences;
+    type_queries -= other.type_queries;
+    simulated_ms -= other.simulated_ms;
+    faults_injected -= other.faults_injected;
+    retries -= other.retries;
+    failures -= other.failures;
+    fallbacks -= other.fallbacks;
+    breaker_trips -= other.breaker_trips;
+    return *this;
+  }
+  friend ModelStats operator-(ModelStats a, const ModelStats& b) {
+    a -= b;
+    return a;
   }
 
   // Same shape as storage::AccessCounter::ToString().

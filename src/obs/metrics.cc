@@ -204,5 +204,19 @@ void MetricRegistry::Reset() {
   }
 }
 
+Snapshot FilterSnapshot(const Snapshot& in,
+                        const std::vector<std::string>& prefixes) {
+  Snapshot out;
+  for (const Snapshot::Entry& entry : in.entries) {
+    for (const std::string& prefix : prefixes) {
+      if (entry.name.rfind(prefix, 0) == 0) {
+        out.entries.push_back(entry);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace vaq

@@ -182,6 +182,14 @@ class MetricRegistry {
 // backslash/quote/newline escaping (the Prometheus text convention).
 std::string CanonicalLabels(Labels labels);
 
+// Subset of `in` whose family names start with any of `prefixes`, order
+// preserved. Tools and tests use this to export or compare only the
+// *logical* families of a run (event counts, simulated milliseconds) and
+// leave out timing-dependent ones such as wall-time span histograms or
+// queue-depth gauges.
+Snapshot FilterSnapshot(const Snapshot& in,
+                        const std::vector<std::string>& prefixes);
+
 }  // namespace obs
 }  // namespace vaq
 

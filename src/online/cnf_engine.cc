@@ -53,6 +53,10 @@ CnfEngine::CnfEngine(CnfQuery query, VideoLayout layout,
 CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
                          detect::ActionRecognizer* recognizer) const {
   const auto start = std::chrono::steady_clock::now();
+  const detect::ModelStats detector_stats_before =
+      detector != nullptr ? detector->stats() : detect::ModelStats();
+  const detect::ModelStats recognizer_stats_before =
+      recognizer != nullptr ? recognizer->stats() : detect::ModelStats();
   const SvaqOptions& base = options_.svaqd.base;
 
   // Distinct literals with their estimators.
@@ -157,8 +161,14 @@ CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
   result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
   result.kcrit.resize(states.size());
   for (size_t s = 0; s < states.size(); ++s) result.kcrit[s] = states[s].kcrit;
-  if (detector != nullptr) result.detector_stats = detector->stats();
-  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  // Per-run deltas, so stats stay per-query when a model bundle is shared
+  // across successive runs (the serving layer's shared detection cache).
+  if (detector != nullptr) {
+    result.detector_stats = detector->stats() - detector_stats_before;
+  }
+  if (recognizer != nullptr) {
+    result.recognizer_stats = recognizer->stats() - recognizer_stats_before;
+  }
   result.algorithm_wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)

@@ -66,6 +66,10 @@ OnlineResult Svaq::Run(detect::ObjectDetector* detector,
   VAQ_TRACE_SPAN("svaq/run");
   const auto start = std::chrono::steady_clock::now();
   OnlineResult result;
+  const detect::ModelStats detector_stats_before =
+      detector != nullptr ? detector->stats() : detect::ModelStats();
+  const detect::ModelStats recognizer_stats_before =
+      recognizer != nullptr ? recognizer->stats() : detect::ModelStats();
   result.kcrit_objects = InitialObjectCriticalValues();
   result.kcrit_action = InitialActionCriticalValue();
 
@@ -103,8 +107,14 @@ OnlineResult Svaq::Run(detect::ObjectDetector* detector,
     metric_clip_ms->Observe(simulated_ms() - clip_start_ms);
   }
   result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
-  if (detector != nullptr) result.detector_stats = detector->stats();
-  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  // Per-run deltas, so stats stay per-query when a model bundle is shared
+  // across successive runs (the serving layer's shared detection cache).
+  if (detector != nullptr) {
+    result.detector_stats = detector->stats() - detector_stats_before;
+  }
+  if (recognizer != nullptr) {
+    result.recognizer_stats = recognizer->stats() - recognizer_stats_before;
+  }
   result.algorithm_wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)

@@ -122,6 +122,10 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
   VAQ_TRACE_SPAN("svaqd/run");
   const auto start = std::chrono::steady_clock::now();
   const SvaqOptions& base = options_.base;
+  const detect::ModelStats detector_stats_before =
+      detector != nullptr ? detector->stats() : detect::ModelStats();
+  const detect::ModelStats recognizer_stats_before =
+      recognizer != nullptr ? recognizer->stats() : detect::ModelStats();
 
   // Registry mirrors. Only logical quantities are recorded (clip counts
   // and *simulated* model milliseconds), so a seeded run — with or
@@ -247,8 +251,14 @@ OnlineResult Svaqd::Run(detect::ObjectDetector* detector,
     result.kcrit_objects[i] = objects[i].kcrit;
   }
   result.kcrit_action = action != nullptr ? action->kcrit : 0;
-  if (detector != nullptr) result.detector_stats = detector->stats();
-  if (recognizer != nullptr) result.recognizer_stats = recognizer->stats();
+  // Per-run deltas, so stats stay per-query when a model bundle is shared
+  // across successive runs (the serving layer's shared detection cache).
+  if (detector != nullptr) {
+    result.detector_stats = detector->stats() - detector_stats_before;
+  }
+  if (recognizer != nullptr) {
+    result.recognizer_stats = recognizer->stats() - recognizer_stats_before;
+  }
   result.algorithm_wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)

@@ -49,22 +49,93 @@ StatusOr<offline::QueryTables> BindCnfByName(
   return offline::QueryTables::BindCnf(index, query, vocab);
 }
 
-// Chooses the model stack from USING names; defaults to MaskRCNN + I3D.
-detect::ModelBundle MakeModels(const std::vector<std::string>& names,
-                               const synth::GroundTruth& truth,
-                               uint64_t seed) {
+}  // namespace
+
+const char* StatementModelStack(const std::vector<std::string>& names) {
   for (const std::string& name : names) {
     if (KeywordEquals(name, "YOLOv3") || KeywordEquals(name, "yolo")) {
-      return detect::ModelBundle::YoloI3d(truth, seed);
+      return "yolo_i3d";
     }
     if (KeywordEquals(name, "Ideal") || KeywordEquals(name, "IdealModel")) {
-      return detect::ModelBundle::Ideal(truth, seed);
+      return "ideal";
     }
   }
+  return "maskrcnn_i3d";
+}
+
+detect::ModelBundle MakeStatementModels(const std::vector<std::string>& names,
+                                        const synth::GroundTruth& truth,
+                                        uint64_t seed) {
+  const std::string stack = StatementModelStack(names);
+  if (stack == "yolo_i3d") return detect::ModelBundle::YoloI3d(truth, seed);
+  if (stack == "ideal") return detect::ModelBundle::Ideal(truth, seed);
   return detect::ModelBundle::MaskRcnnI3d(truth, seed);
 }
 
-}  // namespace
+StatusOr<QueryResult> ExecuteRankedStatement(
+    const QueryStatement& stmt, const storage::VideoIndex& index,
+    const offline::ScoringModel& scoring,
+    const offline::ScoringModel& cnf_scoring) {
+  VAQ_TRACE_SPAN("session/ranked_query");
+  QueryResult result;
+  offline::QueryTables tables;
+  const offline::ScoringModel* bound_scoring = &scoring;
+  if (stmt.IsConjunctive()) {
+    VAQ_ASSIGN_OR_RETURN(
+        tables, offline::BindByName(index, stmt.action, stmt.objects));
+  } else {
+    VAQ_ASSIGN_OR_RETURN(tables, BindCnfByName(index, stmt.cnf_clauses));
+    bound_scoring = &cnf_scoring;
+  }
+  offline::RvaqOptions options;
+  options.k = stmt.limit > 0 ? stmt.limit : 5;
+  offline::Rvaq rvaq(&tables, bound_scoring, options);
+  offline::TopKResult topk = rvaq.Run();
+  result.online = false;
+  result.ranked = std::move(topk.top);
+  result.accesses = topk.accesses;
+  IntervalSet merged;
+  for (const offline::RankedSequence& seq : result.ranked) {
+    merged.Add(seq.clips);
+  }
+  result.sequences = std::move(merged);
+  return result;
+}
+
+StatusOr<QueryResult> ExecuteOnlineStatement(
+    const QueryStatement& stmt, const synth::Scenario& scenario,
+    const online::SvaqdOptions& options, detect::ModelBundle* models) {
+  VAQ_TRACE_SPAN("session/online_query");
+  QueryResult result;
+  result.online = true;
+  if (stmt.IsConjunctive()) {
+    VAQ_ASSIGN_OR_RETURN(
+        QuerySpec spec,
+        QuerySpec::FromNames(scenario.vocab(), stmt.action, stmt.objects));
+    online::Svaqd engine(spec, scenario.layout(), options);
+    online::OnlineResult online_result =
+        engine.Run(models->detector.get(), models->recognizer.get());
+    result.sequences = std::move(online_result.sequences);
+    result.detector_stats = online_result.detector_stats;
+    result.recognizer_stats = online_result.recognizer_stats;
+    result.degraded_clips = online_result.degraded_clips;
+    result.dropped_clips = online_result.dropped_clips;
+    return result;
+  }
+  // General CNF statement (footnotes 3-4): the disjunction-aware engine.
+  VAQ_ASSIGN_OR_RETURN(
+      CnfQuery cnf,
+      CnfQuery::FromNames(scenario.vocab(), stmt.cnf_clauses));
+  online::CnfEngineOptions cnf_options;
+  cnf_options.svaqd = options;
+  online::CnfEngine engine(cnf, scenario.layout(), cnf_options);
+  online::CnfResult cnf_result =
+      engine.Run(models->detector.get(), models->recognizer.get());
+  result.sequences = std::move(cnf_result.sequences);
+  result.detector_stats = cnf_result.detector_stats;
+  result.recognizer_stats = cnf_result.recognizer_stats;
+  return result;
+}
 
 void Session::RegisterStream(const std::string& name,
                              synth::Scenario scenario, uint64_t model_seed,
@@ -90,77 +161,24 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
       .GetCounter("vaq_session_statements_total",
                   {{"kind", offline_query ? "ranked" : "online"}})
       ->Increment();
-  QueryResult result;
   if (offline_query) {
-    VAQ_TRACE_SPAN("session/ranked_query");
     auto it = repositories_.find(stmt.video);
     if (it == repositories_.end()) {
       return Status::NotFound("no repository video named '" + stmt.video +
                               "'");
     }
-    offline::QueryTables tables;
-    const offline::ScoringModel* scoring = &scoring_;
-    if (stmt.IsConjunctive()) {
-      VAQ_ASSIGN_OR_RETURN(
-          tables,
-          offline::BindByName(it->second, stmt.action, stmt.objects));
-    } else {
-      VAQ_ASSIGN_OR_RETURN(tables,
-                           BindCnfByName(it->second, stmt.cnf_clauses));
-      scoring = &cnf_scoring_;
-    }
-    offline::RvaqOptions options;
-    options.k = stmt.limit > 0 ? stmt.limit : 5;
-    offline::Rvaq rvaq(&tables, scoring, options);
-    offline::TopKResult topk = rvaq.Run();
-    result.online = false;
-    result.ranked = std::move(topk.top);
-    result.accesses = topk.accesses;
-    IntervalSet merged;
-    for (const offline::RankedSequence& seq : result.ranked) {
-      merged.Add(seq.clips);
-    }
-    result.sequences = std::move(merged);
-    return result;
+    return ExecuteRankedStatement(stmt, it->second, scoring_, cnf_scoring_);
   }
 
-  VAQ_TRACE_SPAN("session/online_query");
   auto it = streams_.find(stmt.video);
   if (it == streams_.end()) {
     return Status::NotFound("no stream named '" + stmt.video + "'");
   }
   const StreamSource& source = it->second;
-  detect::ModelBundle models =
-      MakeModels(stmt.models, source.scenario.truth(), source.model_seed);
-  result.online = true;
-  if (stmt.IsConjunctive()) {
-    VAQ_ASSIGN_OR_RETURN(
-        QuerySpec spec,
-        QuerySpec::FromNames(source.scenario.vocab(), stmt.action,
-                             stmt.objects));
-    online::Svaqd engine(spec, source.scenario.layout(), source.options);
-    online::OnlineResult online_result =
-        engine.Run(models.detector.get(), models.recognizer.get());
-    result.sequences = std::move(online_result.sequences);
-    result.detector_stats = online_result.detector_stats;
-    result.recognizer_stats = online_result.recognizer_stats;
-    result.degraded_clips = online_result.degraded_clips;
-    result.dropped_clips = online_result.dropped_clips;
-    return result;
-  }
-  // General CNF statement (footnotes 3-4): the disjunction-aware engine.
-  VAQ_ASSIGN_OR_RETURN(
-      CnfQuery cnf,
-      CnfQuery::FromNames(source.scenario.vocab(), stmt.cnf_clauses));
-  online::CnfEngineOptions cnf_options;
-  cnf_options.svaqd = source.options;
-  online::CnfEngine engine(cnf, source.scenario.layout(), cnf_options);
-  online::CnfResult cnf_result =
-      engine.Run(models.detector.get(), models.recognizer.get());
-  result.sequences = std::move(cnf_result.sequences);
-  result.detector_stats = cnf_result.detector_stats;
-  result.recognizer_stats = cnf_result.recognizer_stats;
-  return result;
+  detect::ModelBundle models = MakeStatementModels(
+      stmt.models, source.scenario.truth(), source.model_seed);
+  return ExecuteOnlineStatement(stmt, source.scenario, source.options,
+                                &models);
 }
 
 }  // namespace query

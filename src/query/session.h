@@ -46,6 +46,37 @@ struct QueryResult {
   int64_t dropped_clips = 0;
 };
 
+// --- Stateless execution cores -----------------------------------------
+// `Session::Execute` and the concurrent serving runtime (src/serve/) run
+// statements through the same functions, so a served query cannot drift
+// from its single-session semantics.
+
+// Chooses the model stack selected by the statement's USING names
+// (defaults to MaskRCNN + I3D) and builds a fresh bundle over `truth`.
+detect::ModelBundle MakeStatementModels(const std::vector<std::string>& names,
+                                        const synth::GroundTruth& truth,
+                                        uint64_t seed);
+// Canonical name of that stack ("maskrcnn_i3d", "yolo_i3d", "ideal"); the
+// serving layer keys its shared detection cache by it.
+const char* StatementModelStack(const std::vector<std::string>& names);
+
+// Runs an online (streaming) statement against `scenario` using
+// caller-owned `models` (whose stack must match the statement; see
+// MakeStatementModels). The returned stats are per-run deltas, so a
+// bundle shared across successive statements reports each statement's
+// marginal cost only.
+StatusOr<QueryResult> ExecuteOnlineStatement(
+    const QueryStatement& stmt, const synth::Scenario& scenario,
+    const online::SvaqdOptions& options, detect::ModelBundle* models);
+
+// Runs a ranked (repository) statement against `index`. `scoring` serves
+// conjunctive statements, `cnf_scoring` general CNF ones; both are
+// stateless and may be shared across threads.
+StatusOr<QueryResult> ExecuteRankedStatement(
+    const QueryStatement& stmt, const storage::VideoIndex& index,
+    const offline::ScoringModel& scoring,
+    const offline::ScoringModel& cnf_scoring);
+
 class Session {
  public:
   Session() = default;

@@ -1,0 +1,87 @@
+// Shared detection cache for the concurrent serving runtime.
+//
+// Several standing queries routinely watch the *same* stream: an operator
+// dashboard asks for "running AND dog" while an alerting rule asks for
+// "running AND car" over the identical camera feed. Running each query
+// with a private detect::ModelBundle would re-run the detector over every
+// frame once per query. `SharedDetectionCache` instead keeps one bundle
+// per (source, model stack): the models' internal per-unit memo tables
+// (a detector never re-infers a frame it has already seen, a recognizer
+// never re-infers a shot) then deduplicate inference *across queries*, so
+// the second query over a stream pays only score lookups, not fresh
+// network invocations.
+//
+// Concurrency contract: the cache's own map is mutex-guarded, so bundles
+// may be acquired from any worker thread. The *bundles* themselves are
+// not thread-safe — the serving runtime guarantees that at most one
+// worker runs queries against a given source at a time (per-stream
+// sharding, src/serve/server.h), which also pins every bundle to one
+// thread at a time with mutex hand-off in between. Do not use a bundle
+// returned by Acquire() outside such a serialization regime.
+#ifndef VAQ_SERVE_DETECTION_CACHE_H_
+#define VAQ_SERVE_DETECTION_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "detect/models.h"
+
+namespace vaq {
+namespace serve {
+
+class SharedDetectionCache {
+ public:
+  using Factory = std::function<detect::ModelBundle()>;
+
+  // Returns the bundle for (source, stack), building it with `factory` on
+  // first use. The pointer is stable until Clear() or destruction.
+  // `created` (optional) reports whether this call built the bundle.
+  detect::ModelBundle* Acquire(const std::string& source,
+                               const std::string& stack,
+                               const Factory& factory,
+                               bool* created = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = bundles_.try_emplace(std::make_pair(source, stack));
+    if (inserted) {
+      it->second = std::make_unique<detect::ModelBundle>(factory());
+      ++bundles_created_;
+    } else {
+      ++bundle_reuses_;
+    }
+    if (created != nullptr) *created = inserted;
+    return it->second.get();
+  }
+
+  int64_t bundles_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bundles_created_;
+  }
+  int64_t bundle_reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bundle_reuses_;
+  }
+
+  // Drops every cached bundle (and its memoized inferences).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    bundles_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<detect::ModelBundle>>
+      bundles_;
+  int64_t bundles_created_ = 0;
+  int64_t bundle_reuses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace vaq
+
+#endif  // VAQ_SERVE_DETECTION_CACHE_H_

@@ -1,0 +1,425 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "query/parser.h"
+
+namespace vaq {
+namespace serve {
+namespace {
+
+// The repo-wide disk cost model (bench/bench_util.h uses the same scale):
+// a seek-like operation costs 5 ms, a sequentially streamed row 0.01 ms.
+constexpr double kSeekMs = 5.0;
+constexpr double kRowMs = 0.01;
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string ServeStats::ToString() const {
+  std::string out = "{accepted=" + std::to_string(accepted) +
+                    ", rejected_overflow=" + std::to_string(rejected_overflow) +
+                    ", rejected_parse=" + std::to_string(rejected_parse) +
+                    ", rejected_unknown_source=" +
+                    std::to_string(rejected_unknown_source) +
+                    ", completed=" + std::to_string(completed) +
+                    ", failed=" + std::to_string(failed) +
+                    ", cache_bundles_created=" +
+                    std::to_string(cache_bundles_created) +
+                    ", cache_bundle_reuses=" +
+                    std::to_string(cache_bundle_reuses) +
+                    ", total_simulated_ms=" + FormatMs(total_simulated_ms) +
+                    "}";
+  return out;
+}
+
+Server::Server(ServeOptions options) : options_(options) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  submitted_accepted_ = registry.GetCounter("vaq_serve_submitted_total",
+                                            {{"outcome", "accepted"}});
+  submitted_rejected_overflow_ = registry.GetCounter(
+      "vaq_serve_submitted_total", {{"outcome", "rejected_overflow"}});
+  submitted_rejected_parse_ = registry.GetCounter(
+      "vaq_serve_submitted_total", {{"outcome", "rejected_parse"}});
+  submitted_rejected_unknown_ = registry.GetCounter(
+      "vaq_serve_submitted_total", {{"outcome", "rejected_unknown_source"}});
+  queue_depth_ = registry.GetGauge("vaq_serve_queue_depth");
+  cache_hits_bundle_ = registry.GetCounter("vaq_serve_cache_hits_total",
+                                           {{"domain", "bundle"}});
+  cache_misses_bundle_ = registry.GetCounter("vaq_serve_cache_misses_total",
+                                             {{"domain", "bundle"}});
+  cache_hits_inference_ = registry.GetCounter("vaq_serve_cache_hits_total",
+                                              {{"domain", "inference"}});
+  cache_misses_inference_ = registry.GetCounter("vaq_serve_cache_misses_total",
+                                                {{"domain", "inference"}});
+  query_ms_online_ =
+      registry.GetHistogram("vaq_serve_query_simulated_ms",
+                            obs::DefaultLatencyBucketsMs(),
+                            {{"kind", "online"}});
+  query_ms_ranked_ =
+      registry.GetHistogram("vaq_serve_query_simulated_ms",
+                            obs::DefaultLatencyBucketsMs(),
+                            {{"kind", "ranked"}});
+  if (options_.threads <= 0) {
+    // Inline mode: Drain() runs queries on the calling thread with this
+    // dedicated accumulator.
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Server::RegisterStream(const std::string& name, synth::Scenario scenario,
+                            uint64_t model_seed,
+                            online::SvaqdOptions svaqd_options) {
+  // The server-level plan covers streams that do not bring their own.
+  if (svaqd_options.fault_plan == nullptr) {
+    svaqd_options.fault_plan = options_.fault_plan;
+  }
+  streams_.insert_or_assign(
+      name,
+      StreamSource{std::move(scenario), model_seed, std::move(svaqd_options)});
+}
+
+void Server::RegisterRepository(const std::string& name,
+                                storage::VideoIndex index) {
+  repositories_.insert_or_assign(name, std::move(index));
+}
+
+StatusOr<int64_t> Server::Submit(const std::string& sql) {
+  auto parsed = query::Parse(sql);
+  if (!parsed.ok()) {
+    submitted_rejected_parse_->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_parse;
+    return parsed.status();
+  }
+  PendingQuery pending;
+  pending.sql = sql;
+  pending.stmt = std::move(parsed).value();
+  pending.ranked = pending.stmt.ranked || pending.stmt.limit >= 0;
+  pending.source = pending.stmt.video;
+  pending.shard = (pending.ranked ? "repo/" : "stream/") + pending.source;
+  const bool known = pending.ranked
+                         ? repositories_.count(pending.source) > 0
+                         : streams_.count(pending.source) > 0;
+  if (!known) {
+    submitted_rejected_unknown_->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_unknown_source;
+    return Status::NotFound("no " +
+                            std::string(pending.ranked ? "repository"
+                                                       : "stream") +
+                            " named '" + pending.source + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ >= options_.queue_capacity) {
+    submitted_rejected_overflow_->Increment();
+    ++stats_.rejected_overflow;
+    return Status::Unavailable("submission queue full (" +
+                               std::to_string(options_.queue_capacity) +
+                               " pending)");
+  }
+  pending.id = next_id_++;
+  const int64_t id = pending.id;
+  shards_[pending.shard].queue.push_back(std::move(pending));
+  ++pending_;
+  queue_depth_->Set(static_cast<double>(pending_));
+  submitted_accepted_->Increment();
+  ++stats_.accepted;
+  StartWorkersLocked();
+  work_cv_.notify_one();
+  return id;
+}
+
+void Server::StartWorkersLocked() {
+  if (options_.threads <= 0 || !workers_.empty() || stopping_) return;
+  // First admission starts the pool, so every registration happens-before
+  // every worker read of streams_/repositories_.
+  workers_.reserve(options_.threads);
+  for (int i = 0; i < options_.threads; ++i) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+    WorkerState* state = worker_states_.back().get();
+    workers_.emplace_back([this, state] { WorkerLoop(state); });
+  }
+}
+
+bool Server::ClaimNextLocked(PendingQuery* out, Shard** shard) {
+  for (auto& [name, s] : shards_) {
+    if (s.busy || s.queue.empty()) continue;
+    *out = std::move(s.queue.front());
+    s.queue.pop_front();
+    s.busy = true;
+    *shard = &s;
+    return true;
+  }
+  return false;
+}
+
+void Server::WorkerLoop(WorkerState* state) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    PendingQuery pending;
+    Shard* shard = nullptr;
+    if (ClaimNextLocked(&pending, &shard)) {
+      lock.unlock();
+      ServedQuery done = RunQuery(pending, state);
+      lock.lock();
+      shard->busy = false;
+      --pending_;
+      queue_depth_->Set(static_cast<double>(pending_));
+      finished_.push_back(std::move(done));
+      // The freed shard may have more queued work for an idle peer, and
+      // Drain may be waiting for quiescence.
+      work_cv_.notify_all();
+      drain_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
+  ServedQuery out;
+  out.id = pending.id;
+  out.sql = pending.sql;
+  out.shard = pending.shard;
+  out.kind = pending.ranked ? "ranked" : "online";
+  if (pending.ranked) {
+    const storage::VideoIndex& index = repositories_.at(pending.source);
+    auto run =
+        query::ExecuteRankedStatement(pending.stmt, index, scoring_,
+                                      cnf_scoring_);
+    if (!run.ok()) {
+      out.status = run.status();
+    } else {
+      out.result = std::move(run).value();
+      out.simulated_ms = out.result.accesses.ModeledMs(kSeekMs, kRowMs);
+      state->accesses.Merge(out.result.accesses);
+    }
+    query_ms_ranked_->Observe(out.simulated_ms);
+  } else {
+    const StreamSource& source = streams_.at(pending.source);
+    const std::string stack = query::StatementModelStack(pending.stmt.models);
+    detect::ModelBundle local_models;
+    detect::ModelBundle* models = nullptr;
+    if (options_.share_detection_cache) {
+      bool created = false;
+      models = cache_.Acquire(
+          pending.source, stack,
+          [&] {
+            return query::MakeStatementModels(pending.stmt.models,
+                                              source.scenario.truth(),
+                                              source.model_seed);
+          },
+          &created);
+      (created ? cache_misses_bundle_ : cache_hits_bundle_)->Increment();
+    } else {
+      local_models = query::MakeStatementModels(
+          pending.stmt.models, source.scenario.truth(), source.model_seed);
+      models = &local_models;
+    }
+    auto run = query::ExecuteOnlineStatement(pending.stmt, source.scenario,
+                                             source.options, models);
+    if (!run.ok()) {
+      out.status = run.status();
+    } else {
+      out.result = std::move(run).value();
+      out.simulated_ms = out.result.detector_stats.simulated_ms +
+                         out.result.recognizer_stats.simulated_ms;
+      state->detector_stats.Merge(out.result.detector_stats);
+      state->recognizer_stats.Merge(out.result.recognizer_stats);
+      // Score lookups answered without a fresh network invocation —
+      // within-query memoization plus, under the shared cache, reuse of
+      // other queries' inferences on the same source.
+      const int64_t lookups = out.result.detector_stats.type_queries +
+                              out.result.recognizer_stats.type_queries;
+      const int64_t fresh = out.result.detector_stats.inferences +
+                            out.result.recognizer_stats.inferences;
+      cache_misses_inference_->Increment(fresh);
+      cache_hits_inference_->Increment(lookups - fresh);
+    }
+    query_ms_online_->Observe(out.simulated_ms);
+  }
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_serve_queries_total",
+                  {{"kind", out.kind},
+                   {"outcome", out.status.ok() ? "ok" : "error"}})
+      ->Increment();
+  state->simulated_ms += out.simulated_ms;
+  ++state->completed;
+  if (!out.status.ok()) ++state->failed;
+  return out;
+}
+
+void Server::MergeWorkerStatsLocked() {
+  for (const std::unique_ptr<WorkerState>& state : worker_states_) {
+    stats_.detector_stats.Merge(state->detector_stats);
+    stats_.recognizer_stats.Merge(state->recognizer_stats);
+    stats_.accesses.Merge(state->accesses);
+    stats_.total_simulated_ms += state->simulated_ms;
+    stats_.completed += state->completed;
+    stats_.failed += state->failed;
+    *state = WorkerState();  // Merged exactly once across Drains.
+  }
+  stats_.cache_bundles_created = cache_.bundles_created();
+  stats_.cache_bundle_reuses = cache_.bundle_reuses();
+}
+
+std::vector<ServedQuery> Server::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.threads <= 0) {
+    WorkerState* state = worker_states_.front().get();
+    PendingQuery pending;
+    Shard* shard = nullptr;
+    while (ClaimNextLocked(&pending, &shard)) {
+      lock.unlock();
+      ServedQuery done = RunQuery(pending, state);
+      lock.lock();
+      shard->busy = false;
+      --pending_;
+      queue_depth_->Set(static_cast<double>(pending_));
+      finished_.push_back(std::move(done));
+    }
+  } else {
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  MergeWorkerStatsLocked();
+  std::vector<ServedQuery> out;
+  out.swap(finished_);
+  std::sort(out.begin(), out.end(),
+            [](const ServedQuery& a, const ServedQuery& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double ModeledMakespanMs(const std::vector<ServedQuery>& queries,
+                         int threads) {
+  if (queries.empty()) return 0.0;
+  // Rebuild the per-shard FIFO chains in admission order.
+  std::vector<const ServedQuery*> ordered;
+  ordered.reserve(queries.size());
+  for (const ServedQuery& q : queries) ordered.push_back(&q);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ServedQuery* a, const ServedQuery* b) {
+              return a->id < b->id;
+            });
+  std::map<std::string, std::deque<double>> chains;
+  for (const ServedQuery* q : ordered) {
+    chains[q->shard].push_back(q->simulated_ms);
+  }
+  if (threads < 1) threads = 1;
+  std::vector<double> worker_free(static_cast<size_t>(threads), 0.0);
+  std::map<std::string, double> shard_free;
+  for (const auto& [name, chain] : chains) shard_free[name] = 0.0;
+  size_t remaining = queries.size();
+  double makespan = 0.0;
+  while (remaining > 0) {
+    // The worker that frees up first claims next (lowest index on ties).
+    size_t w = 0;
+    for (size_t i = 1; i < worker_free.size(); ++i) {
+      if (worker_free[i] < worker_free[w]) w = i;
+    }
+    const double t = worker_free[w];
+    std::deque<double>* chain = nullptr;
+    double* free_at = nullptr;
+    for (auto& [name, c] : chains) {
+      if (c.empty() || shard_free[name] > t) continue;
+      chain = &c;
+      free_at = &shard_free[name];
+      break;
+    }
+    if (chain == nullptr) {
+      // Every runnable shard is still pinned to another worker: idle until
+      // the earliest one frees.
+      double next = std::numeric_limits<double>::infinity();
+      for (const auto& [name, c] : chains) {
+        if (!c.empty() && shard_free[name] < next) next = shard_free[name];
+      }
+      worker_free[w] = next;
+      continue;
+    }
+    const double cost = chain->front();
+    chain->pop_front();
+    --remaining;
+    const double end = t + cost;
+    *free_at = end;
+    worker_free[w] = end;
+    if (end > makespan) makespan = end;
+  }
+  return makespan;
+}
+
+std::string DescribeServedQuery(const ServedQuery& q) {
+  std::string out = "#" + std::to_string(q.id) + " [" + q.kind + "] " +
+                    q.shard;
+  if (!q.status.ok()) {
+    return out + " ERROR " + q.status.ToString();
+  }
+  out += " simulated_ms=" + FormatMs(q.simulated_ms);
+  out += " seq=" + q.result.sequences.ToString();
+  if (q.result.online) {
+    out += " det=" + q.result.detector_stats.ToString() +
+           " rec=" + q.result.recognizer_stats.ToString();
+    if (q.result.degraded_clips > 0 || q.result.dropped_clips > 0) {
+      out += " degraded=" + std::to_string(q.result.degraded_clips) +
+             " dropped=" + std::to_string(q.result.dropped_clips);
+    }
+  } else {
+    out += " ranked=[";
+    for (size_t i = 0; i < q.result.ranked.size(); ++i) {
+      const offline::RankedSequence& seq = q.result.ranked[i];
+      if (i > 0) out += ", ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " lb=%.6f ub=%.6f",
+                    seq.lower_bound, seq.upper_bound);
+      out += seq.clips.ToString() + buf;
+    }
+    out += "] accesses=" + q.result.accesses.ToString();
+  }
+  return out;
+}
+
+const std::vector<std::string>& LogicalMetricPrefixes() {
+  // Thread-count-invariant families for a fixed seed and workload: event
+  // counts and simulated milliseconds. Deliberately absent:
+  // vaq_serve_queue_depth (scheduling-dependent gauge) and
+  // vaq_serve_submitted_total (overflow rejections depend on how fast
+  // workers drain relative to submitters).
+  static const std::vector<std::string>* const prefixes =
+      new std::vector<std::string>{
+          "vaq_serve_queries_total",
+          "vaq_serve_cache_",
+          "vaq_serve_query_simulated_ms",
+          "vaq_model_",
+          "vaq_breaker_",
+      };
+  return *prefixes;
+}
+
+}  // namespace serve
+}  // namespace vaq

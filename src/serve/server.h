@@ -1,0 +1,242 @@
+// Concurrent multi-query serving runtime.
+//
+// The paper evaluates one query at a time; a deployment faces many
+// standing queries over many feeds at once. `Server` turns the
+// single-session executor (query::ExecuteOnlineStatement /
+// ExecuteRankedStatement) into a small serving runtime:
+//
+//  * **Admission control.** `Submit` parses and resolves a statement and
+//    either enqueues it or rejects it — kUnavailable when the bounded
+//    submission queue is full (the caller's backpressure signal),
+//    kInvalidArgument for unparsable SQL, kNotFound for an unregistered
+//    source. Every outcome is counted
+//    (vaq_serve_submitted_total{outcome=...}).
+//
+//  * **Per-stream sharding.** Each registered source owns a shard: a FIFO
+//    of its admitted queries. A worker claims an idle shard, runs its
+//    head query to completion, releases the shard and picks again, so
+//    queries against one source execute serially in submission order
+//    while distinct sources proceed in parallel. Because every engine is
+//    a pure function of (seed, statement, source) and shard order is
+//    fixed by submission, the merged results are *identical for any
+//    worker count* — the determinism tests diff a 1-thread run against an
+//    8-thread run byte for byte.
+//
+//  * **Shared detection cache.** With `share_detection_cache`, queries
+//    acquire their model bundle from a SharedDetectionCache keyed by
+//    (source, stack) instead of building a private one, so overlapping
+//    queries on the same feed reuse memoized inferences (see
+//    detection_cache.h). Per-query stats stay correct because the engines
+//    report per-run deltas.
+//
+//  * **Merge-at-drain statistics.** Workers accumulate ModelStats /
+//    AccessCounter into worker-local state only; `Drain` merges them
+//    after the pool is quiescent. Nothing non-atomic is ever written
+//    concurrently (the TSan tier-1 config runs these tests).
+//
+// Costs are modeled on the simulated timeline — online queries charge the
+// engines' simulated inference milliseconds, ranked queries the modeled
+// disk time of their table accesses — matching the repo-wide convention
+// that performance claims are about modeled work, not this machine's
+// wall clock. `ModeledMakespanMs` replays the shard schedule on a
+// virtual-time list scheduler to price a worker-count deterministically
+// (bench_serve's throughput-scaling curve).
+#ifndef VAQ_SERVE_SERVER_H_
+#define VAQ_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/models.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "offline/scoring.h"
+#include "query/session.h"
+#include "serve/detection_cache.h"
+#include "storage/access_counter.h"
+#include "storage/catalog.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace serve {
+
+struct ServeOptions {
+  // Worker pool size. 0 runs every admitted query inline on the thread
+  // that calls Drain() — the deterministic reference schedule.
+  int threads = 4;
+  // Maximum admitted-but-unfinished queries; Submit returns kUnavailable
+  // beyond it.
+  int queue_capacity = 64;
+  // Share one ModelBundle per (source, stack) across queries.
+  bool share_detection_cache = true;
+  // Applied to every stream whose SvaqdOptions carry no plan of their
+  // own. Not owned; must outlive the server.
+  const fault::FaultPlan* fault_plan = nullptr;
+};
+
+// One admitted query's outcome.
+struct ServedQuery {
+  int64_t id = 0;       // Admission order, unique per server.
+  std::string sql;      // Original statement text.
+  std::string shard;    // "stream/<name>" or "repo/<name>".
+  std::string kind;     // "online" or "ranked".
+  Status status;        // Run-time failure, e.g. a name the vocab lacks.
+  query::QueryResult result;  // Valid iff status.ok().
+  // Modeled cost: simulated inference ms (online) or modeled disk ms
+  // (ranked).
+  double simulated_ms = 0;
+};
+
+// Aggregate accounting over a server's lifetime, merged at Drain.
+struct ServeStats {
+  int64_t accepted = 0;
+  int64_t rejected_overflow = 0;
+  int64_t rejected_parse = 0;
+  int64_t rejected_unknown_source = 0;
+  int64_t completed = 0;  // Ran to a result (possibly a non-OK status).
+  int64_t failed = 0;     // Completed with a non-OK status.
+  int64_t cache_bundles_created = 0;
+  int64_t cache_bundle_reuses = 0;
+  detect::ModelStats detector_stats;
+  detect::ModelStats recognizer_stats;
+  storage::AccessCounter accesses;
+  double total_simulated_ms = 0;
+
+  std::string ToString() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Register sources before the first Submit; registration is not
+  // synchronized against running workers.
+  void RegisterStream(const std::string& name, synth::Scenario scenario,
+                      uint64_t model_seed = 1,
+                      online::SvaqdOptions svaqd_options = {});
+  void RegisterRepository(const std::string& name, storage::VideoIndex index);
+
+  // Parses, resolves and enqueues one statement; returns its id.
+  // kUnavailable = queue full (retry later), kInvalidArgument = parse
+  // error, kNotFound = unregistered source. Thread-safe; workers consume
+  // concurrently.
+  StatusOr<int64_t> Submit(const std::string& sql);
+
+  // Blocks until every admitted query has finished, merges worker-local
+  // statistics, and returns all results finished since the last Drain,
+  // sorted by id.
+  std::vector<ServedQuery> Drain();
+
+  // Lifetime totals; call after Drain (worker-local stats merge there).
+  ServeStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct StreamSource {
+    synth::Scenario scenario;
+    uint64_t model_seed = 1;
+    online::SvaqdOptions options;
+  };
+  struct PendingQuery {
+    int64_t id = 0;
+    std::string sql;
+    query::QueryStatement stmt;
+    bool ranked = false;
+    std::string source;  // Registered name (sans shard prefix).
+    std::string shard;
+  };
+  // FIFO of one source's admitted queries. `busy` pins the shard (and
+  // with it the source's shared model bundle) to a single worker; the
+  // queue mutex hand-off orders successive owners.
+  struct Shard {
+    std::deque<PendingQuery> queue;
+    bool busy = false;
+  };
+  // Worker-local accumulators, merged into stats_ at Drain only.
+  struct WorkerState {
+    detect::ModelStats detector_stats;
+    detect::ModelStats recognizer_stats;
+    storage::AccessCounter accesses;
+    double simulated_ms = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+  };
+
+  void StartWorkersLocked();
+  void WorkerLoop(WorkerState* state);
+  // Claims the head of the first idle non-empty shard in name order.
+  bool ClaimNextLocked(PendingQuery* out, Shard** shard);
+  ServedQuery RunQuery(const PendingQuery& pending, WorkerState* state);
+  void MergeWorkerStatsLocked();
+
+  const ServeOptions options_;
+
+  // Immutable after the first Submit.
+  std::map<std::string, StreamSource> streams_;
+  std::map<std::string, storage::VideoIndex> repositories_;
+  const offline::PaperScoring scoring_;
+  const offline::CnfScoring cnf_scoring_;
+
+  SharedDetectionCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: work or stop.
+  std::condition_variable drain_cv_;  // Signals Drain: a query finished.
+  std::map<std::string, Shard> shards_;
+  std::vector<ServedQuery> finished_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  std::vector<std::thread> workers_;
+  ServeStats stats_;
+  int64_t next_id_ = 0;
+  int64_t pending_ = 0;  // Admitted, not yet finished.
+  bool stopping_ = false;
+
+  // Registry mirrors (resolved in the constructor).
+  obs::Counter* submitted_accepted_;
+  obs::Counter* submitted_rejected_overflow_;
+  obs::Counter* submitted_rejected_parse_;
+  obs::Counter* submitted_rejected_unknown_;
+  obs::Gauge* queue_depth_;
+  obs::Counter* cache_hits_bundle_;
+  obs::Counter* cache_misses_bundle_;
+  obs::Counter* cache_hits_inference_;
+  obs::Counter* cache_misses_inference_;
+  obs::Histogram* query_ms_online_;
+  obs::Histogram* query_ms_ranked_;
+};
+
+// Virtual-time list-scheduling makespan (ms) of `queries` on `threads`
+// workers under the server's shard discipline: per-shard FIFO in id
+// order, a free worker claims the first available shard in name order.
+// Deterministic — bench_serve prices thread counts with it instead of
+// trusting this machine's scheduler.
+double ModeledMakespanMs(const std::vector<ServedQuery>& queries,
+                         int threads);
+
+// Canonical text rendering of one result (id, kind, status, sequences,
+// ranked scores, per-query stats). The determinism tests compare these
+// strings across thread counts; vaqctl serve prints them.
+std::string DescribeServedQuery(const ServedQuery& q);
+
+// The metric-family prefixes whose values are logical (event counts,
+// simulated ms) and therefore thread-count-invariant for a fixed seed —
+// the FilterSnapshot allowlist used by the determinism tests.
+const std::vector<std::string>& LogicalMetricPrefixes();
+
+}  // namespace serve
+}  // namespace vaq
+
+#endif  // VAQ_SERVE_SERVER_H_

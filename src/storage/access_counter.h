@@ -5,6 +5,11 @@
 // cost metric. Every ScoreTable operation is classified as a sorted access
 // (next row in score order), a reverse access (next row from the bottom) or
 // a random access (score lookup by clip id) and counted here.
+//
+// Not thread-safe: a counter belongs to the query thread that owns the
+// table view it accounts for. Concurrent runtimes (src/serve/) keep one
+// AccessCounter per worker and combine them with Merge() once the workers
+// have drained — counters are never shared hot.
 #ifndef VAQ_STORAGE_ACCESS_COUNTER_H_
 #define VAQ_STORAGE_ACCESS_COUNTER_H_
 
@@ -50,6 +55,11 @@ struct AccessCounter {
     range_rows += other.range_rows;
     return *this;
   }
+
+  // Merge-at-drain spelling of operator+= for worker-local accumulators:
+  // N counters filled on N threads and merged on one thread afterwards
+  // total exactly what a single-thread run would have counted.
+  AccessCounter& Merge(const AccessCounter& other) { return *this += other; }
 
   std::string ToString() const {
     return "{sorted=" + std::to_string(sorted_accesses) +

@@ -87,16 +87,22 @@ PageCache::PageCache(int64_t capacity_pages, int64_t page_size)
   VAQ_CHECK_GT(page_size, 0);
 }
 
-StatusOr<const std::vector<char>*> PageCache::Get(int fd,
-                                                  int64_t page_index) {
+StatusOr<std::shared_ptr<const std::vector<char>>> PageCache::Get(
+    int fd, int64_t page_index) {
   const Key key{fd, page_index};
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
-    return &lru_.front().bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+      return lru_.front().bytes;
+    }
   }
-  ++fetches_;
+  // Miss: perform the physical read outside the lock so concurrent
+  // readers of other pages are not serialized behind it. Two threads may
+  // race to read the same page; the loser's copy is discarded below.
+  fetches_.fetch_add(1, std::memory_order_relaxed);
   if (fault_plan_ != nullptr) {
     // Retry a failed physical read twice with fresh attempt nonces; only
     // a fault persisting across all three attempts surfaces to the
@@ -105,19 +111,19 @@ StatusOr<const std::vector<char>*> PageCache::Get(int fd,
     int64_t failed = 0;
     while (failed < kMaxAttempts &&
            fault_plan_->PageReadFails(page_index, failed)) {
-      ++injected_read_faults_;
+      injected_read_faults_.fetch_add(1, std::memory_order_relaxed);
       ++failed;
     }
-    read_retries_ += std::min(failed, kMaxAttempts - 1);
+    read_retries_.fetch_add(std::min(failed, kMaxAttempts - 1),
+                            std::memory_order_relaxed);
     if (failed == kMaxAttempts) {
       return Status::Unavailable("injected read fault persisted for page " +
                                  std::to_string(page_index));
     }
   }
-  Entry entry;
-  entry.key = key;
-  entry.bytes.assign(static_cast<size_t>(page_size_), 0);
-  const ssize_t got = ::pread(fd, entry.bytes.data(),
+  auto bytes =
+      std::make_shared<std::vector<char>>(static_cast<size_t>(page_size_), 0);
+  const ssize_t got = ::pread(fd, bytes->data(),
                               static_cast<size_t>(page_size_),
                               page_index * page_size_);
   if (got < 0) {
@@ -126,16 +132,25 @@ StatusOr<const std::vector<char>*> PageCache::Get(int fd,
   }
   // Short reads at EOF leave the tail zeroed; offsets are validated by
   // the table layer, so this only happens for the final partial page.
-  lru_.push_front(std::move(entry));
+  std::shared_ptr<const std::vector<char>> page = std::move(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread cached the page while we were reading it.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().bytes;
+  }
+  lru_.push_front(Entry{key, page});
   index_[key] = lru_.begin();
   if (static_cast<int64_t>(lru_.size()) > capacity_pages_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  return &lru_.front().bytes;
+  return page;
 }
 
 void PageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
 }
@@ -248,7 +263,7 @@ void PagedScoreTable::ReadAt(int64_t offset, void* out, int64_t size) const {
         std::min(remaining, cache_->page_size() - in_page);
     auto bytes = cache_->Get(fd_, page);
     VAQ_CHECK(bytes.ok()) << bytes.status().ToString();
-    std::memcpy(dst, (*bytes.value()).data() + in_page,
+    std::memcpy(dst, bytes.value()->data() + in_page,
                 static_cast<size_t>(chunk));
     dst += chunk;
     pos += chunk;

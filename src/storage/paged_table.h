@@ -23,9 +23,11 @@
 #ifndef VAQ_STORAGE_PAGED_TABLE_H_
 #define VAQ_STORAGE_PAGED_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,7 +39,12 @@
 namespace vaq {
 namespace storage {
 
-// Fixed-capacity LRU cache of file pages, shareable across tables.
+// Fixed-capacity LRU cache of file pages, shareable across tables *and*
+// across threads: the LRU structure is guarded by a mutex, the statistics
+// are atomics, and pages are handed out as shared_ptrs so a page evicted
+// by one thread stays alive for readers that already hold it. One cache
+// can therefore back every concurrently-served query (src/serve/); the
+// table views on top of it remain single-threaded.
 class PageCache {
  public:
   // `capacity_pages` > 0; `page_size` bytes per page (power of two not
@@ -48,15 +55,16 @@ class PageCache {
   int64_t capacity_pages() const { return capacity_pages_; }
 
   // Returns the page's bytes, reading through `fd` at
-  // page_index * page_size on a miss. The pointer stays valid until the
-  // page is evicted (callers copy what they need before re-entering).
-  StatusOr<const std::vector<char>*> Get(int fd, int64_t page_index);
+  // page_index * page_size on a miss. The returned page is immutable and
+  // outlives any eviction for as long as the caller holds it.
+  StatusOr<std::shared_ptr<const std::vector<char>>> Get(int fd,
+                                                         int64_t page_index);
 
-  int64_t fetches() const { return fetches_; }
-  int64_t hits() const { return hits_; }
+  int64_t fetches() const { return fetches_.load(std::memory_order_relaxed); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   void ResetStats() {
-    fetches_ = 0;
-    hits_ = 0;
+    fetches_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
   }
   // Drops every cached page (stats are kept).
   void Clear();
@@ -66,9 +74,14 @@ class PageCache {
   // fail per the plan; a failed read is retried (fresh attempt nonce) up
   // to two times before Get gives up with kUnavailable. Null (default)
   // disables injection. Not owned; must outlive the cache or be unset.
+  // Install before sharing the cache across threads.
   void set_fault_plan(const fault::FaultPlan* plan) { fault_plan_ = plan; }
-  int64_t injected_read_faults() const { return injected_read_faults_; }
-  int64_t read_retries() const { return read_retries_; }
+  int64_t injected_read_faults() const {
+    return injected_read_faults_.load(std::memory_order_relaxed);
+  }
+  int64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Key {
@@ -85,18 +98,19 @@ class PageCache {
   };
   struct Entry {
     Key key;
-    std::vector<char> bytes;
+    std::shared_ptr<const std::vector<char>> bytes;
   };
 
   int64_t capacity_pages_;
   int64_t page_size_;
+  std::mutex mu_;         // Guards lru_ and index_.
   std::list<Entry> lru_;  // Front = most recent.
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  int64_t fetches_ = 0;
-  int64_t hits_ = 0;
+  std::atomic<int64_t> fetches_{0};
+  std::atomic<int64_t> hits_{0};
   const fault::FaultPlan* fault_plan_ = nullptr;
-  int64_t injected_read_faults_ = 0;
-  int64_t read_retries_ = 0;
+  std::atomic<int64_t> injected_read_faults_{0};
+  std::atomic<int64_t> read_retries_{0};
 };
 
 // Converts an in-memory table to the paged on-disk format.

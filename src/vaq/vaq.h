@@ -12,6 +12,7 @@
 //   * offline::Ingestor      — one-time ingestion into a VideoIndex.
 //   * offline::Rvaq          — ranked top-K retrieval.
 //   * query::Session         — the SQL-like front end.
+//   * serve::Server          — concurrent multi-query serving runtime.
 //   * eval::SequenceF1       — evaluation against ground truth.
 #ifndef VAQ_VAQ_H_
 #define VAQ_VAQ_H_
@@ -48,6 +49,8 @@
 #include "scanstat/critical_value.h"
 #include "scanstat/kernel_estimator.h"
 #include "scanstat/naus.h"
+#include "serve/detection_cache.h"
+#include "serve/server.h"
 #include "storage/catalog.h"
 #include "storage/score_table.h"
 #include "synth/generator.h"

@@ -1,0 +1,128 @@
+// Stress test of the serving runtime: a small bounded queue fed by
+// concurrent submitter threads (retrying on backpressure) while eight
+// workers drain it under fault injection. Submission interleaving is
+// nondeterministic here, so the assertions target the invariants that
+// must survive any schedule: every accepted query completes, a given
+// statement always produces the same sequences on the same source, and
+// the merged accounting matches the number of served queries. Runs under
+// ThreadSanitizer in the VAQ_TSAN configuration.
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.h"
+#include "tools/pipeline_setup.h"
+
+namespace vaq {
+namespace serve {
+namespace {
+
+constexpr int kStreams = 4;
+constexpr int kQueries = 64;
+constexpr int kSubmitters = 4;
+
+TEST(ServeStressTest, ConcurrentSubmittersUnderBackpressureAndFaults) {
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), /*seed=*/21);
+  ServeOptions options;
+  options.threads = 8;
+  options.queue_capacity = 8;  // Small: backpressure is the common case.
+  options.share_detection_cache = true;
+  options.fault_plan = &plan;
+  Server server(options);
+  ASSERT_TRUE(tools::RegisterDemoSources(&server, kStreams,
+                                         /*with_repository=*/true, /*seed=*/21)
+                  .ok());
+  const std::vector<std::string> workload =
+      tools::DemoWorkload(kStreams, kQueries, /*with_repository=*/true);
+  ASSERT_EQ(workload.size(), static_cast<size_t>(kQueries));
+
+  // Each submitter owns a slice of the workload and retries kUnavailable
+  // until its statement is admitted.
+  std::atomic<int64_t> retries{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int q = s; q < kQueries; q += kSubmitters) {
+        while (true) {
+          const auto id = server.Submit(workload[q]);
+          if (id.ok()) break;
+          ASSERT_EQ(id.status().code(), StatusCode::kUnavailable)
+              << id.status();
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const std::vector<ServedQuery> results = server.Drain();
+
+  ASSERT_EQ(results.size(), static_cast<size_t>(kQueries));
+  // Every accepted query ran; same statement on the same shard always
+  // yields the same sequences, whatever order the schedule produced.
+  std::map<std::string, IntervalSet> by_statement;
+  for (const ServedQuery& q : results) {
+    EXPECT_TRUE(q.status.ok()) << q.sql << ": " << q.status;
+    auto [it, inserted] = by_statement.emplace(q.sql, q.result.sequences);
+    if (!inserted) {
+      EXPECT_EQ(it->second, q.result.sequences) << q.sql;
+    }
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kQueries);
+  EXPECT_EQ(stats.completed, kQueries);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.rejected_overflow, retries.load());
+  // Overlapping queries per stream mean the shared cache saw reuse.
+  EXPECT_GT(stats.cache_bundle_reuses, 0);
+  // Fault injection was live: the merged model stats carry its traces.
+  EXPECT_GT(stats.detector_stats.faults_injected +
+                stats.recognizer_stats.faults_injected,
+            0);
+}
+
+TEST(ServeStressTest, DrainIsRepeatableAcrossBatches) {
+  // Two submit/drain cycles on one server: the second batch reuses warm
+  // bundles, so it must still complete and report strictly fewer fresh
+  // inferences than the first.
+  ServeOptions options;
+  options.threads = 4;
+  options.queue_capacity = 64;
+  Server server(options);
+  ASSERT_TRUE(tools::RegisterDemoSources(&server, 2, /*with_repository=*/false,
+                                         /*seed=*/5)
+                  .ok());
+  const std::vector<std::string> workload =
+      tools::DemoWorkload(2, 8, /*with_repository=*/false);
+  for (const std::string& sql : workload) {
+    ASSERT_TRUE(server.Submit(sql).ok());
+  }
+  const std::vector<ServedQuery> first = server.Drain();
+  const ServeStats after_first = server.stats();
+  for (const std::string& sql : workload) {
+    ASSERT_TRUE(server.Submit(sql).ok());
+  }
+  const std::vector<ServedQuery> second = server.Drain();
+  const ServeStats after_second = server.stats();
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].result.sequences, second[i].result.sequences)
+        << first[i].sql;
+  }
+  const int64_t first_inferences = after_first.detector_stats.inferences +
+                                   after_first.recognizer_stats.inferences;
+  const int64_t second_inferences = after_second.detector_stats.inferences +
+                                    after_second.recognizer_stats.inferences -
+                                    first_inferences;
+  EXPECT_LT(second_inferences, first_inferences);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vaq

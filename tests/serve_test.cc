@@ -1,0 +1,205 @@
+// Functional tests of the concurrent serving runtime (src/serve/):
+// admission control, shared-detection-cache deduplication, merge-at-drain
+// statistics and the modeled scheduling makespan.
+#include "serve/server.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/detection_cache.h"
+#include "tools/pipeline_setup.h"
+
+namespace vaq {
+namespace serve {
+namespace {
+
+constexpr int kStreams = 3;
+constexpr int kQueries = 12;
+
+ServeOptions InlineOptions() {
+  ServeOptions options;
+  options.threads = 0;  // Run at Drain on the calling thread.
+  options.queue_capacity = 256;
+  return options;
+}
+
+// Registers the demo fleet and submits the demo workload; returns the
+// drained results.
+std::vector<ServedQuery> RunDemo(Server* server) {
+  EXPECT_TRUE(tools::RegisterDemoSources(server, kStreams,
+                                         /*with_repository=*/true, /*seed=*/7)
+                  .ok());
+  for (const std::string& sql :
+       tools::DemoWorkload(kStreams, kQueries, /*with_repository=*/true)) {
+    EXPECT_TRUE(server->Submit(sql).ok()) << sql;
+  }
+  return server->Drain();
+}
+
+TEST(SharedDetectionCacheTest, AcquireIsStableAndCountsReuse) {
+  synth::Scenario scenario = tools::DemoScenario(0);
+  SharedDetectionCache cache;
+  bool created = false;
+  detect::ModelBundle* first = cache.Acquire(
+      "cam0", "maskrcnn_i3d",
+      [&] { return detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7); },
+      &created);
+  EXPECT_TRUE(created);
+  detect::ModelBundle* again = cache.Acquire(
+      "cam0", "maskrcnn_i3d",
+      [&] { return detect::ModelBundle::MaskRcnnI3d(scenario.truth(), 7); },
+      &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(first, again);
+  // A different stack on the same source is a distinct bundle.
+  detect::ModelBundle* ideal = cache.Acquire(
+      "cam0", "ideal",
+      [&] { return detect::ModelBundle::Ideal(scenario.truth(), 7); },
+      &created);
+  EXPECT_TRUE(created);
+  EXPECT_NE(first, ideal);
+  EXPECT_EQ(cache.bundles_created(), 2);
+  EXPECT_EQ(cache.bundle_reuses(), 1);
+}
+
+TEST(ServeTest, SharedCacheCutsInvocationsWithoutChangingResults) {
+  ServeOptions with_cache = InlineOptions();
+  with_cache.share_detection_cache = true;
+  Server cached(with_cache);
+  const std::vector<ServedQuery> cached_results = RunDemo(&cached);
+
+  ServeOptions without_cache = InlineOptions();
+  without_cache.share_detection_cache = false;
+  Server uncached(without_cache);
+  const std::vector<ServedQuery> uncached_results = RunDemo(&uncached);
+
+  // Identical query outcomes: the memoization only changes *cost*.
+  ASSERT_EQ(cached_results.size(), uncached_results.size());
+  for (size_t i = 0; i < cached_results.size(); ++i) {
+    EXPECT_TRUE(cached_results[i].status.ok())
+        << cached_results[i].status << " for " << cached_results[i].sql;
+    EXPECT_EQ(cached_results[i].result.sequences,
+              uncached_results[i].result.sequences)
+        << cached_results[i].sql;
+  }
+  // ... and the cost drops: several queries per stream share a bundle.
+  const ServeStats on = cached.stats();
+  const ServeStats off = uncached.stats();
+  EXPECT_GT(on.cache_bundle_reuses, 0);
+  EXPECT_EQ(off.cache_bundle_reuses, 0);
+  EXPECT_LT(on.detector_stats.inferences + on.recognizer_stats.inferences,
+            off.detector_stats.inferences + off.recognizer_stats.inferences);
+}
+
+TEST(ServeTest, AdmissionControlRejectsOverflowAndRecovers) {
+  ServeOptions options = InlineOptions();
+  options.queue_capacity = 2;
+  Server server(options);
+  ASSERT_TRUE(tools::RegisterDemoSources(&server, 1, /*with_repository=*/false,
+                                         7)
+                  .ok());
+  const std::string sql =
+      "SELECT MERGE(clipID) AS Sequence FROM (PROCESS cam0 PRODUCE clipID, "
+      "obj USING ObjectDetector, act USING ActionRecognizer) "
+      "WHERE act='running' AND obj.include('dog')";
+  EXPECT_TRUE(server.Submit(sql).ok());
+  EXPECT_TRUE(server.Submit(sql).ok());
+  const auto rejected = server.Submit(sql);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  // Draining frees capacity; the retry is then admitted.
+  EXPECT_EQ(server.Drain().size(), 2u);
+  EXPECT_TRUE(server.Submit(sql).ok());
+  EXPECT_EQ(server.Drain().size(), 1u);
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 3);
+  EXPECT_EQ(stats.rejected_overflow, 1);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(ServeTest, RejectsParseErrorsAndUnknownSources) {
+  Server server(InlineOptions());
+  ASSERT_TRUE(tools::RegisterDemoSources(&server, 1, /*with_repository=*/false,
+                                         7)
+                  .ok());
+  const auto parse = server.Submit("SELECT FROM WHERE banana");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_EQ(parse.status().code(), StatusCode::kInvalidArgument);
+  const auto ghost_stream = server.Submit(
+      "SELECT MERGE(clipID) AS Sequence FROM (PROCESS ghost PRODUCE clipID, "
+      "act USING ActionRecognizer) WHERE act='running'");
+  ASSERT_FALSE(ghost_stream.ok());
+  EXPECT_EQ(ghost_stream.status().code(), StatusCode::kNotFound);
+  const auto ghost_repo = server.Submit(
+      "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) FROM (PROCESS ghost "
+      "PRODUCE clipID, act USING ActionRecognizer) WHERE act='running' "
+      "ORDER BY RANK(act, obj) LIMIT 2");
+  ASSERT_FALSE(ghost_repo.ok());
+  EXPECT_EQ(ghost_repo.status().code(), StatusCode::kNotFound);
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_parse, 1);
+  EXPECT_EQ(stats.rejected_unknown_source, 2);
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(ServeTest, MergedWorkerStatsEqualInlineTotals) {
+  // Merge-at-drain: the sum of N worker-local accumulators must equal
+  // what one thread counts over the same workload.
+  ServeOptions pooled = InlineOptions();
+  pooled.threads = 4;
+  Server parallel_server(pooled);
+  RunDemo(&parallel_server);
+  Server inline_server(InlineOptions());
+  RunDemo(&inline_server);
+
+  const ServeStats a = parallel_server.stats();
+  const ServeStats b = inline_server.stats();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.detector_stats.ToString(), b.detector_stats.ToString());
+  EXPECT_EQ(a.recognizer_stats.ToString(), b.recognizer_stats.ToString());
+  EXPECT_EQ(a.accesses.ToString(), b.accesses.ToString());
+  EXPECT_NEAR(a.total_simulated_ms, b.total_simulated_ms, 1e-6);
+}
+
+TEST(ServeTest, ResultsAreCompleteAndSortedById) {
+  Server server(InlineOptions());
+  const std::vector<ServedQuery> results = RunDemo(&server);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kQueries));
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, static_cast<int64_t>(i));
+    EXPECT_TRUE(results[i].status.ok()) << results[i].sql;
+  }
+}
+
+TEST(ModeledMakespanTest, ListSchedulingOverShards) {
+  auto query = [](int64_t id, const std::string& shard, double ms) {
+    ServedQuery q;
+    q.id = id;
+    q.shard = shard;
+    q.simulated_ms = ms;
+    return q;
+  };
+  // Two independent shards of 10 ms + 20 ms each.
+  const std::vector<ServedQuery> queries = {
+      query(0, "stream/a", 10), query(1, "stream/b", 10),
+      query(2, "stream/a", 20), query(3, "stream/b", 20)};
+  // One worker: everything serial.
+  EXPECT_DOUBLE_EQ(ModeledMakespanMs(queries, 1), 60.0);
+  // Two workers: each takes one shard chain.
+  EXPECT_DOUBLE_EQ(ModeledMakespanMs(queries, 2), 30.0);
+  // More workers than shards: bounded by the longest chain.
+  EXPECT_DOUBLE_EQ(ModeledMakespanMs(queries, 8), 30.0);
+  // A single shard never parallelizes.
+  const std::vector<ServedQuery> serial = {query(0, "stream/a", 10),
+                                           query(1, "stream/a", 30)};
+  EXPECT_DOUBLE_EQ(ModeledMakespanMs(serial, 4), 40.0);
+  EXPECT_DOUBLE_EQ(ModeledMakespanMs({}, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vaq

@@ -1,7 +1,9 @@
 #include "storage/paged_table.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -188,6 +190,55 @@ TEST(PagedTableTest, RvaqRunsDirectlyOffDisk) {
     EXPECT_DOUBLE_EQ(actual.top[i].exact_score, expected.top[i].exact_score);
   }
   EXPECT_GT(cache.fetches() + cache.hits(), 0);
+}
+
+TEST(PagedTableTest, ConcurrentReadersShareOneCache) {
+  // One PageCache behind eight reader threads, with a capacity small
+  // enough that eviction happens constantly under contention. Each thread
+  // has a private PagedScoreTable (the view stays single-threaded; only
+  // the cache is shared) and checks every value it reads against the
+  // in-memory table, so a torn page, a page freed while in use, or a
+  // cross-wired cache entry shows up as a value mismatch.
+  const std::string dir = TempDir("vaq_paged_concurrent");
+  const std::string path = dir + "/t.pgd";
+  const ScoreTable memory = MakeTable(2000, 11);
+  ASSERT_TRUE(WritePagedTable(memory, path).ok());
+
+  PageCache cache(/*capacity_pages=*/4, /*page_size=*/4096);
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 2000;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      auto paged_or = PagedScoreTable::Open(path, &cache);
+      if (!paged_or.ok()) {
+        mismatches.fetch_add(1000);
+        return;
+      }
+      const PagedScoreTable& paged = *paged_or.value();
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const int64_t clip =
+            (static_cast<int64_t>(i) * 37 + t * 131) % memory.num_rows();
+        if (paged.RandomScore(clip) != memory.PeekScore(clip)) {
+          mismatches.fetch_add(1);
+        }
+        const int64_t rank =
+            (static_cast<int64_t>(i) * 17 + t * 59) % memory.num_rows();
+        const ScoreRow expect = memory.SortedRow(rank);
+        const ScoreRow got = paged.SortedRow(rank);
+        if (got.clip != expect.clip || got.score != expect.score) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // With 4 resident pages and scattered readers, both paths must fire.
+  EXPECT_GT(cache.fetches(), 0);
+  EXPECT_GT(cache.hits(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+#include "tools/pipeline_setup.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "detect/models.h"
+#include "offline/ingest.h"
+#include "offline/scoring.h"
+
+namespace vaq {
+namespace tools {
+
+StatusOr<synth::Scenario> ScenarioFromFlag(const std::string& spec,
+                                           uint64_t seed) {
+  if (spec.rfind("file:", 0) == 0) {
+    // A scenario spec file (synth/spec_file.h format). The query defaults
+    // to the first action plus the first object; override at query time.
+    VAQ_ASSIGN_OR_RETURN(synth::ScenarioSpec parsed,
+                         synth::LoadScenarioSpec(spec.substr(5)));
+    if (seed != 0) parsed.seed = seed;
+    if (parsed.actions.empty()) {
+      return Status::InvalidArgument("spec file declares no actions");
+    }
+    std::vector<std::string> objects;
+    if (!parsed.objects.empty()) objects.push_back(parsed.objects[0].name);
+    return synth::Scenario::FromSpec(parsed, parsed.actions[0].name,
+                                     objects);
+  }
+  if (spec.rfind("youtube:", 0) == 0) {
+    const int index = std::atoi(spec.c_str() + 8);
+    if (index < 1 || index > 12) {
+      return Status::InvalidArgument("youtube index must be 1..12");
+    }
+    return synth::Scenario::YouTube(index, seed);
+  }
+  if (spec == "coffee") {
+    return synth::Scenario::Movie(synth::MovieId::kCoffeeAndCigarettes, seed);
+  }
+  if (spec == "ironman") {
+    return synth::Scenario::Movie(synth::MovieId::kIronMan, seed);
+  }
+  if (spec == "starwars") {
+    return synth::Scenario::Movie(synth::MovieId::kStarWars3, seed);
+  }
+  if (spec == "titanic") {
+    return synth::Scenario::Movie(synth::MovieId::kTitanic, seed);
+  }
+  return Status::InvalidArgument("unknown scenario spec: " + spec);
+}
+
+synth::ScenarioSpec DemoScenarioSpec(int index) {
+  // Index 0 must stay identical to the original `vaqctl metrics` scenario:
+  // small enough to run in a tier-1 test, busy enough that every metric
+  // family is populated.
+  synth::ScenarioSpec spec;
+  spec.name = "metrics_demo";
+  spec.minutes = 6;
+  spec.fps = 30;
+  spec.seed = 808;
+  synth::ActionTrackSpec action;
+  action.name = "running";
+  action.duty = 0.3;
+  action.mean_len_frames = 1000;
+  spec.actions.push_back(action);
+  synth::ObjectTrackSpec dog;
+  dog.name = "dog";
+  dog.background_duty = 0.06;
+  dog.mean_len_frames = 700;
+  dog.coupled_action = "running";
+  dog.cover_action_prob = 0.9;
+  spec.objects.push_back(dog);
+  if (index > 0) {
+    // Stream variant: its own feed name and seed, plus an uncoupled
+    // "car" track so disjunctive (CNF) statements have a second type.
+    spec.name = "cam" + std::to_string(index);
+    spec.seed = 808 + 131 * static_cast<uint64_t>(index);
+    synth::ObjectTrackSpec car;
+    car.name = "car";
+    car.background_duty = 0.08;
+    car.mean_len_frames = 500;
+    spec.objects.push_back(car);
+  }
+  return spec;
+}
+
+synth::Scenario DemoScenario(int index) {
+  return synth::Scenario::FromSpec(DemoScenarioSpec(index), "running",
+                                   {"dog"});
+}
+
+fault::FaultSpec DemoFaultSpec() {
+  // High enough that timeouts, outages, garbage scores, retries, breaker
+  // trips and gap-policy fallbacks all occur within a ~108-clip demo.
+  fault::FaultSpec spec;
+  spec.timeout_rate = 0.05;
+  spec.crash_rate = 0.1;
+  spec.crash_len_units = 600;
+  spec.nan_score_rate = 0.01;
+  spec.drop_clip_rate = 0.02;
+  return spec;
+}
+
+online::SvaqdOptions DemoSvaqdOptions(const fault::FaultPlan* plan) {
+  online::SvaqdOptions options;
+  options.fault_plan = plan;
+  options.missing_policy = online::MissingObsPolicy::kBackgroundPrior;
+  return options;
+}
+
+Status RegisterDemoSources(serve::Server* server, int num_streams,
+                           bool with_repository, uint64_t seed) {
+  for (int i = 0; i < num_streams; ++i) {
+    // One model seed per stream, so distinct feeds see distinct noise.
+    server->RegisterStream("cam" + std::to_string(i), DemoScenario(i),
+                           seed + static_cast<uint64_t>(i));
+  }
+  if (with_repository) {
+    synth::Scenario scenario = DemoScenario(0);
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), seed);
+    offline::PaperScoring scoring;
+    offline::Ingestor ingestor(&scenario.vocab(), &scoring,
+                               offline::IngestOptions{});
+    VAQ_ASSIGN_OR_RETURN(storage::VideoIndex index,
+                         ingestor.Ingest(scenario.truth(), models));
+    server->RegisterRepository(kDemoRepositoryName, std::move(index));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
+                                      bool with_repository) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    if (with_repository && q % 8 == 5) {
+      out.push_back(
+          "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+          "FROM (PROCESS " +
+          std::string(kDemoRepositoryName) +
+          " PRODUCE clipID, obj USING ObjectTracker, "
+          "act USING ActionRecognizer) "
+          "WHERE act='running' AND obj.include('dog') "
+          "ORDER BY RANK(act, obj) LIMIT " +
+          std::to_string(2 + q % 3));
+      continue;
+    }
+    const int stream = q % (num_streams > 0 ? num_streams : 1);
+    const std::string from =
+        "FROM (PROCESS cam" + std::to_string(stream) +
+        " PRODUCE clipID, obj USING ObjectDetector, "
+        "act USING ActionRecognizer) ";
+    switch ((q / (num_streams > 0 ? num_streams : 1)) % 3) {
+      case 0:
+        out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
+                      "WHERE act='running' AND obj.include('dog')");
+        break;
+      case 1:
+        out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
+                      "WHERE obj.include('dog')");
+        break;
+      default:
+        if (stream > 0) {
+          // Disjunctive form: only the variant streams carry "car".
+          out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
+                        "WHERE (obj='dog' OR obj='car') AND act='running'");
+        } else {
+          out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
+                        "WHERE act='running'");
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tools
+}  // namespace vaq

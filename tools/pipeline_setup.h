@@ -1,0 +1,73 @@
+// Seeded demo-pipeline setup shared by the vaqctl subcommands and the
+// serving benchmark.
+//
+// `vaqctl metrics` (one seeded end-to-end pipeline) and `vaqctl serve` /
+// bench_serve (the same pipeline fanned out across many streams and
+// standing queries) must agree on scenarios, fault rates and engine
+// options — otherwise the two subcommands drift and their outputs stop
+// being comparable. This header is the single definition of that demo
+// configuration:
+//
+//   * DemoScenario(0) is byte-for-byte the original `vaqctl metrics`
+//     scenario (6 minutes, "running" + coupled "dog", seed 808);
+//   * DemoScenario(i > 0) derives stream variants (own seed, an extra
+//     uncoupled "car" track) so a serving fleet has distinct feeds;
+//   * DemoFaultSpec / DemoSvaqdOptions are the `vaqctl metrics` fault
+//     rates and engine options, reused verbatim by the serving runtime.
+#ifndef VAQ_TOOLS_PIPELINE_SETUP_H_
+#define VAQ_TOOLS_PIPELINE_SETUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_plan.h"
+#include "online/svaqd.h"
+#include "serve/server.h"
+#include "synth/scenario.h"
+#include "synth/spec_file.h"
+
+namespace vaq {
+namespace tools {
+
+// The repository name RegisterDemoSources ingests the demo video under.
+inline constexpr char kDemoRepositoryName[] = "library";
+
+// Scenario from a CLI --scenario spec:
+//   youtube:<1..12> | coffee | ironman | starwars | titanic
+//   | file:<scenario-spec-path> (synth/spec_file.h format).
+StatusOr<synth::Scenario> ScenarioFromFlag(const std::string& spec,
+                                           uint64_t seed);
+
+// The demo scenario family. Index 0 is the `vaqctl metrics` pipeline's
+// scenario; higher indices are per-stream variants.
+synth::ScenarioSpec DemoScenarioSpec(int index);
+synth::Scenario DemoScenario(int index);
+
+// The demo fault rates (timeouts, outages, garbage scores, clip drops) —
+// high enough that every resilience path fires within a 6-minute video.
+fault::FaultSpec DemoFaultSpec();
+
+// Engine options for the faulty demo stream. `plan` may be null (clean
+// stream); it must outlive the returned options' user.
+online::SvaqdOptions DemoSvaqdOptions(const fault::FaultPlan* plan);
+
+// Registers `num_streams` demo streams ("cam0".."cam<n-1>", model seeds
+// derived from `seed`) and, when `with_repository`, ingests DemoScenario(0)
+// as repository `kDemoRepositoryName`. The server-level fault plan (if
+// any) applies: the streams carry none of their own.
+Status RegisterDemoSources(serve::Server* server, int num_streams,
+                           bool with_repository, uint64_t seed);
+
+// A mixed standing-query workload over those sources: conjunctive and
+// CNF online statements round-robined across the streams (several per
+// stream, so a shared detection cache has reuse to find) plus ranked
+// top-K statements against the repository when `with_repository`.
+std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
+                                      bool with_repository);
+
+}  // namespace tools
+}  // namespace vaq
+
+#endif  // VAQ_TOOLS_PIPELINE_SETUP_H_

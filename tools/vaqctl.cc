@@ -27,12 +27,22 @@
 //       logical quantities are recorded, so two runs with the same flags
 //       emit byte-identical snapshots. The JSON snapshot is always
 //       self-checked with the built-in linter; lint failures exit 1.
+//
+//   vaqctl serve [--threads N] [--queries M] [--streams K] [--seed S]
+//                [--cache on|off] [--capacity C] [--format text|prom|both]
+//       Run the concurrent serving runtime (src/serve/) over a fleet of
+//       demo streams plus an ingested repository: a mixed standing-query
+//       workload is admitted through the bounded queue, sharded per
+//       source and executed by N workers with a shared detection cache.
+//       Per-query results and merged statistics are deterministic for a
+//       fixed --seed regardless of --threads.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "tools/pipeline_setup.h"
 #include "vaq/vaq.h"
 
 namespace vaq {
@@ -77,42 +87,12 @@ std::vector<std::string> SplitCommas(const std::string& s) {
   return out;
 }
 
+// Scenario parsing and the seeded demo pipeline live in
+// tools/pipeline_setup.h so `vaqctl metrics`, `vaqctl serve` and
+// bench_serve cannot drift apart.
 StatusOr<synth::Scenario> MakeScenario(const std::string& spec,
                                        uint64_t seed) {
-  if (spec.rfind("file:", 0) == 0) {
-    // A scenario spec file (synth/spec_file.h format). The query defaults
-    // to the first action plus the first object; override at query time.
-    VAQ_ASSIGN_OR_RETURN(synth::ScenarioSpec parsed,
-                         synth::LoadScenarioSpec(spec.substr(5)));
-    if (seed != 0) parsed.seed = seed;
-    if (parsed.actions.empty()) {
-      return Status::InvalidArgument("spec file declares no actions");
-    }
-    std::vector<std::string> objects;
-    if (!parsed.objects.empty()) objects.push_back(parsed.objects[0].name);
-    return synth::Scenario::FromSpec(parsed, parsed.actions[0].name,
-                                     objects);
-  }
-  if (spec.rfind("youtube:", 0) == 0) {
-    const int index = std::atoi(spec.c_str() + 8);
-    if (index < 1 || index > 12) {
-      return Status::InvalidArgument("youtube index must be 1..12");
-    }
-    return synth::Scenario::YouTube(index, seed);
-  }
-  if (spec == "coffee") {
-    return synth::Scenario::Movie(synth::MovieId::kCoffeeAndCigarettes, seed);
-  }
-  if (spec == "ironman") {
-    return synth::Scenario::Movie(synth::MovieId::kIronMan, seed);
-  }
-  if (spec == "starwars") {
-    return synth::Scenario::Movie(synth::MovieId::kStarWars3, seed);
-  }
-  if (spec == "titanic") {
-    return synth::Scenario::Movie(synth::MovieId::kTitanic, seed);
-  }
-  return Status::InvalidArgument("unknown scenario spec: " + spec);
+  return tools::ScenarioFromFlag(spec, seed);
 }
 
 int CmdIngest(const Args& args) {
@@ -277,29 +257,6 @@ int CmdSql(const Args& args) {
   return 0;
 }
 
-// The built-in scenario for `vaqctl metrics`: small enough to run in a
-// tier-1 test, busy enough that every metric family is populated.
-synth::Scenario MetricsScenario() {
-  synth::ScenarioSpec spec;
-  spec.name = "metrics_demo";
-  spec.minutes = 6;
-  spec.fps = 30;
-  spec.seed = 808;
-  synth::ActionTrackSpec action;
-  action.name = "running";
-  action.duty = 0.3;
-  action.mean_len_frames = 1000;
-  spec.actions.push_back(action);
-  synth::ObjectTrackSpec dog;
-  dog.name = "dog";
-  dog.background_duty = 0.06;
-  dog.mean_len_frames = 700;
-  dog.coupled_action = "running";
-  dog.cover_action_prob = 0.9;
-  spec.objects.push_back(dog);
-  return synth::Scenario::FromSpec(spec, "running", {"dog"});
-}
-
 int CmdMetrics(const Args& args) {
   const uint64_t seed =
       static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
@@ -316,7 +273,7 @@ int CmdMetrics(const Args& args) {
 
   synth::Scenario scenario = [&] {
     const std::string spec = args.Get("scenario");
-    if (spec.empty()) return MetricsScenario();
+    if (spec.empty()) return tools::DemoScenario(0);
     auto made = MakeScenario(spec, seed);
     VAQ_CHECK_OK(made.status());
     return std::move(*made);
@@ -325,16 +282,8 @@ int CmdMetrics(const Args& args) {
   // Phase 1: the online engine over a faulty stream. The rates are high
   // enough that timeouts, outages, garbage scores, retries, breaker trips
   // and gap-policy fallbacks all occur within the demo's ~108 clips.
-  fault::FaultSpec fault_spec;
-  fault_spec.timeout_rate = 0.05;
-  fault_spec.crash_rate = 0.1;
-  fault_spec.crash_len_units = 600;
-  fault_spec.nan_score_rate = 0.01;
-  fault_spec.drop_clip_rate = 0.02;
-  const fault::FaultPlan plan(fault_spec, seed);
-  online::SvaqdOptions svaqd_options;
-  svaqd_options.fault_plan = &plan;
-  svaqd_options.missing_policy = online::MissingObsPolicy::kBackgroundPrior;
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), seed);
+  const online::SvaqdOptions svaqd_options = tools::DemoSvaqdOptions(&plan);
   detect::ModelBundle models =
       detect::ModelBundle::MaskRcnnI3d(scenario.truth(), seed);
   const online::OnlineResult online_result =
@@ -393,9 +342,86 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  const int threads = std::atoi(args.Get("threads", "4").c_str());
+  const int queries = std::atoi(args.Get("queries", "24").c_str());
+  const int streams = std::atoi(args.Get("streams", "4").c_str());
+  const std::string cache = args.Get("cache", "on");
+  const std::string format = args.Get("format", "text");
+  if (cache != "on" && cache != "off") {
+    std::fprintf(stderr, "--cache must be on or off\n");
+    return 2;
+  }
+  if (format != "text" && format != "prom" && format != "both") {
+    std::fprintf(stderr, "--format must be text, prom or both\n");
+    return 2;
+  }
+  if (queries < 1 || streams < 1 || threads < 0) {
+    std::fprintf(stderr, "--queries/--streams must be >= 1, --threads >= 0\n");
+    return 2;
+  }
+
+  // Same determinism regime as `vaqctl metrics`: scope the registry to
+  // this run and pin the tracer clock.
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), seed);
+  serve::ServeOptions options;
+  options.threads = threads;
+  options.queue_capacity =
+      std::atoi(args.Get("capacity", std::to_string(queries)).c_str());
+  options.share_detection_cache = cache == "on";
+  options.fault_plan = &plan;
+  serve::Server server(options);
+  const Status registered =
+      tools::RegisterDemoSources(&server, streams, /*with_repository=*/true,
+                                 seed);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+
+  int rejected = 0;
+  for (const std::string& sql :
+       tools::DemoWorkload(streams, queries, /*with_repository=*/true)) {
+    if (!server.Submit(sql).ok()) ++rejected;
+  }
+  const std::vector<serve::ServedQuery> results = server.Drain();
+  obs::Tracer::Global().SetClock(nullptr);
+
+  if (format == "text" || format == "both") {
+    std::printf("submitted %d queries (%d rejected) over %d streams + "
+                "repository '%s', %d worker thread(s), cache %s\n",
+                queries, rejected, streams, tools::kDemoRepositoryName,
+                threads, cache.c_str());
+    for (const serve::ServedQuery& q : results) {
+      std::printf("%s\n", serve::DescribeServedQuery(q).c_str());
+    }
+    std::printf("stats: %s\n", server.stats().ToString().c_str());
+    const double ms_1 = serve::ModeledMakespanMs(results, 1);
+    const double ms_n =
+        serve::ModeledMakespanMs(results, threads > 0 ? threads : 1);
+    std::printf("modeled makespan: %.1f ms @1 thread, %.1f ms @%d threads "
+                "(speedup %.2fx)\n",
+                ms_1, ms_n, threads > 0 ? threads : 1,
+                ms_n > 0 ? ms_1 / ms_n : 1.0);
+  }
+  if (format == "prom" || format == "both") {
+    const obs::Snapshot snapshot = obs::FilterSnapshot(
+        obs::MetricRegistry::Global().TakeSnapshot(),
+        serve::LogicalMetricPrefixes());
+    std::fputs(obs::ExportPrometheus(snapshot).c_str(), stdout);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: vaqctl <ingest|ls|rm|topk|sql|metrics> [--flags]\n"
+               "usage: vaqctl <ingest|ls|rm|topk|sql|metrics|serve> "
+               "[--flags]\n"
                "see the header of tools/vaqctl.cc for details\n");
   return 2;
 }
@@ -413,5 +439,6 @@ int main(int argc, char** argv) {
   if (command == "topk") return vaq::CmdTopK(args);
   if (command == "sql") return vaq::CmdSql(args);
   if (command == "metrics") return vaq::CmdMetrics(args);
+  if (command == "serve") return vaq::CmdServe(args);
   return vaq::Usage();
 }
