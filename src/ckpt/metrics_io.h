@@ -1,0 +1,25 @@
+// Checkpoint encoding of obs metric snapshots.
+//
+// A snapshot blob stores one record per registered instrument so that
+// recovery can rebuild the registry to the exact values it held at
+// snapshot time (byte-identical exports are the recovery invariant, and
+// counters incremented by the live run between snapshot and crash are
+// re-derived by WAL replay on top of these restored bases).
+#ifndef VAQ_CKPT_METRICS_IO_H_
+#define VAQ_CKPT_METRICS_IO_H_
+
+#include "ckpt/serializer.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace vaq {
+namespace ckpt {
+
+// One instrument -> one payload (name, labels, kind, values).
+void EncodeMetricEntry(const obs::Snapshot::Entry& entry, Payload* out);
+Status DecodeMetricEntry(PayloadReader* in, obs::Snapshot::Entry* out);
+
+}  // namespace ckpt
+}  // namespace vaq
+
+#endif  // VAQ_CKPT_METRICS_IO_H_

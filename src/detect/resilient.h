@@ -151,6 +151,26 @@ class ResilientCore {
 
   bool healthy() const { return !breaker_open_; }
 
+  // Mutable retry/breaker state, exposed for checkpointing (src/ckpt/).
+  // `attempt_nonce` is part of the fault schedule: restoring it replays
+  // the exact per-attempt fault draws the uninterrupted run would see.
+  struct State {
+    int64_t attempt_nonce = 0;
+    int64_t consecutive_failures = 0;
+    bool breaker_open = false;
+    double breaker_reopen_ms = 0.0;
+  };
+  State state() const {
+    return State{attempt_nonce_, consecutive_failures_, breaker_open_,
+                 breaker_reopen_ms_};
+  }
+  void set_state(const State& s) {
+    attempt_nonce_ = s.attempt_nonce;
+    consecutive_failures_ = s.consecutive_failures;
+    breaker_open_ = s.breaker_open;
+    breaker_reopen_ms_ = s.breaker_reopen_ms;
+  }
+
  private:
   // Applies an injected score fault to the true score.
   static double Corrupt(double score, fault::FaultKind kind);
@@ -205,6 +225,13 @@ class ResilientObjectDetector {
   bool healthy() const { return core_.healthy(); }
   ObjectDetector* inner() { return inner_; }
 
+  internal_detect::ResilientCore::State core_state() const {
+    return core_.state();
+  }
+  void set_core_state(const internal_detect::ResilientCore::State& s) {
+    core_.set_state(s);
+  }
+
  private:
   ObjectDetector* inner_;
   const fault::FaultPlan* plan_;
@@ -229,6 +256,13 @@ class ResilientActionRecognizer {
 
   bool healthy() const { return core_.healthy(); }
   ActionRecognizer* inner() { return inner_; }
+
+  internal_detect::ResilientCore::State core_state() const {
+    return core_.state();
+  }
+  void set_core_state(const internal_detect::ResilientCore::State& s) {
+    core_.set_state(s);
+  }
 
  private:
   ActionRecognizer* inner_;

@@ -12,6 +12,7 @@ constexpr uint64_t kCrashSalt = 0x6b7c8d9e1f2a3b4cULL;
 constexpr uint64_t kCallSalt = 0x1a2b3c4d5e6f7081ULL;
 constexpr uint64_t kDropSalt = 0x9d8c7b6a594837f2ULL;
 constexpr uint64_t kPageSalt = 0x31415926535897e1ULL;
+constexpr uint64_t kCkptSalt = 0x8f1bbcdc62c1d6a5ULL;
 
 // Stateless uniform in [0, 1) from a coordinate tuple.
 double UniformAt(uint64_t seed, uint64_t salt, uint64_t a, uint64_t b) {
@@ -74,6 +75,20 @@ bool FaultPlan::PageReadFails(int64_t page, int64_t attempt) const {
   if (spec_.page_error_rate <= 0.0) return false;
   return UniformAt(seed_, kPageSalt, static_cast<uint64_t>(page),
                    static_cast<uint64_t>(attempt)) < spec_.page_error_rate;
+}
+
+bool FaultPlan::CheckpointCorrupts(int64_t entry) const {
+  if (spec_.checkpoint_corrupt_rate <= 0.0) return false;
+  return UniformAt(seed_, kCkptSalt,
+                   static_cast<uint64_t>(FaultDomain::kCheckpoint),
+                   static_cast<uint64_t>(entry)) <
+         spec_.checkpoint_corrupt_rate;
+}
+
+double FaultPlan::CheckpointCorruptPosition(int64_t entry) const {
+  return UniformAt(seed_, kCkptSalt ^ 0x5a5a5a5a5a5a5a5aULL,
+                   static_cast<uint64_t>(FaultDomain::kCheckpoint),
+                   static_cast<uint64_t>(entry));
 }
 
 }  // namespace fault

@@ -40,6 +40,7 @@ enum class FaultDomain : uint64_t {
   kTracker = 3,
   kStorage = 4,
   kStream = 5,
+  kCheckpoint = 6,
 };
 
 // What happened to one model-call attempt.
@@ -70,11 +71,14 @@ struct FaultSpec {
   double drop_clip_rate = 0.0;
   // Per-attempt probability that a storage page read fails.
   double page_error_rate = 0.0;
+  // Per-read probability that a checkpoint store entry comes back with a
+  // flipped bit (media corruption; see ckpt::RecoveryDriver).
+  double checkpoint_corrupt_rate = 0.0;
 
   bool any() const {
     return timeout_rate > 0.0 || crash_rate > 0.0 || nan_score_rate > 0.0 ||
            out_of_range_score_rate > 0.0 || drop_clip_rate > 0.0 ||
-           page_error_rate > 0.0;
+           page_error_rate > 0.0 || checkpoint_corrupt_rate > 0.0;
   }
 };
 
@@ -101,6 +105,16 @@ class FaultPlan {
 
   // True when the `attempt`-th read of storage page `page` fails.
   bool PageReadFails(int64_t page, int64_t attempt) const;
+
+  // True when a read of checkpoint entry `entry` (a stable hash of the
+  // entry name) returns corrupted bytes. Position-based like outages:
+  // re-reading the same entry keeps returning the same corruption, which
+  // is what forces recovery to fall back to an older snapshot.
+  bool CheckpointCorrupts(int64_t entry) const;
+
+  // Which bit of the corrupted entry flips, as a fraction of its length
+  // in [0, 1). Only meaningful when CheckpointCorrupts(entry).
+  double CheckpointCorruptPosition(int64_t entry) const;
 
  private:
   FaultSpec spec_;

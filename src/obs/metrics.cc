@@ -60,6 +60,19 @@ void Histogram::Reset() {
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::RestoreState(const std::vector<int64_t>& bucket_counts,
+                             int64_t count, double sum) {
+  VAQ_CHECK_EQ(bucket_counts.size(), bounds_.size() + 1)
+      << "histogram restore with mismatched bucket count";
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(bucket_counts[i], std::memory_order_relaxed);
+  }
+  count_.store(count, std::memory_order_relaxed);
+  uint64_t bits;
+  std::memcpy(&bits, &sum, sizeof(bits));
+  sum_bits_.store(bits, std::memory_order_relaxed);
+}
+
 const std::vector<double>& DefaultLatencyBucketsMs() {
   static const std::vector<double> buckets = {0.1, 0.5, 1,    5,    10,   50,
                                               100, 500, 1000, 5000, 10000};
@@ -199,6 +212,28 @@ void MetricRegistry::Reset() {
         break;
       case Snapshot::Kind::kHistogram:
         inst.histogram->Reset();
+        break;
+    }
+  }
+}
+
+void RestoreSnapshot(const Snapshot& snap) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  for (const Snapshot::Entry& entry : snap.entries) {
+    switch (entry.kind) {
+      case Snapshot::Kind::kCounter: {
+        Counter* c = registry.GetCounter(entry.name, entry.labels);
+        c->Reset();
+        c->Increment(entry.counter_value);
+        break;
+      }
+      case Snapshot::Kind::kGauge:
+        registry.GetGauge(entry.name, entry.labels)->Set(entry.gauge_value);
+        break;
+      case Snapshot::Kind::kHistogram:
+        registry.GetHistogram(entry.name, entry.bounds, entry.labels)
+            ->RestoreState(entry.bucket_counts, entry.hist_count,
+                           entry.hist_sum);
         break;
     }
   }

@@ -109,6 +109,13 @@ class Histogram {
   double sum() const;
   void Reset();
 
+  // Overwrites the histogram with a snapshot taken by TakeSnapshot
+  // (checkpoint recovery). `bucket_counts` must have bounds().size() + 1
+  // entries. Not atomic with respect to concurrent Observe calls;
+  // recovery runs single-threaded before any engine restarts.
+  void RestoreState(const std::vector<int64_t>& bucket_counts, int64_t count,
+                    double sum);
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1.
@@ -181,6 +188,12 @@ class MetricRegistry {
 // Canonical label rendering: key-sorted `k1="v1",k2="v2"` with
 // backslash/quote/newline escaping (the Prometheus text convention).
 std::string CanonicalLabels(Labels labels);
+
+// Loads `snap` back into the global registry: instruments are created on
+// demand (histograms with the snapshot's bounds) and overwritten with the
+// recorded values. Instruments registered but absent from `snap` are left
+// untouched — recovery paths Reset() first when they need a clean slate.
+void RestoreSnapshot(const Snapshot& snap);
 
 // Subset of `in` whose family names start with any of `prefixes`, order
 // preserved. Tools and tests use this to export or compare only the

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "ckpt/serializer.h"
 #include "common/logging.h"
+#include "online/state_codec.h"
 #include "scanstat/critical_value.h"
 #include "scanstat/kernel_estimator.h"
 
@@ -40,65 +42,91 @@ struct LiteralState {
   }
 };
 
+// Record tags of the CnfStream snapshot blob (append-only within a
+// ckpt::kFormatVersion).
+enum CnfTag : uint32_t {
+  kTagMeta = 1,
+  kTagSequences = 2,
+  kTagLiteral = 3,
+};
+
 }  // namespace
 
-CnfEngine::CnfEngine(CnfQuery query, VideoLayout layout,
+struct CnfStream::Impl {
+  std::vector<LiteralState> states;
+  // Clause literals resolved to state indices.
+  std::vector<std::vector<size_t>> clause_states;
+  bool needs_detector = false;
+  bool needs_recognizer = false;
+  // Per-clip literal count cache (-1 = not evaluated this clip).
+  std::vector<int64_t> counts;
+  std::vector<int64_t> frames_in;
+};
+
+CnfStream::CnfStream(CnfQuery query, VideoLayout layout,
                      CnfEngineOptions options)
     : query_(std::move(query)),
       layout_(layout),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      impl_(std::make_unique<Impl>()) {
   VAQ_CHECK(!query_.empty());
-}
-
-CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
-                         detect::ActionRecognizer* recognizer) const {
-  const auto start = std::chrono::steady_clock::now();
-  const detect::ModelStats detector_stats_before =
-      detector != nullptr ? detector->stats() : detect::ModelStats();
-  const detect::ModelStats recognizer_stats_before =
-      recognizer != nullptr ? recognizer->stats() : detect::ModelStats();
   const SvaqOptions& base = options_.svaqd.base;
-
-  // Distinct literals with their estimators.
   const std::vector<Literal> literals = query_.DistinctLiterals();
-  std::vector<LiteralState> states;
-  states.reserve(literals.size());
+  impl_->states.reserve(literals.size());
   for (const Literal& literal : literals) {
     if (literal.kind == Literal::Kind::kObject) {
-      VAQ_CHECK(detector != nullptr);
-      states.emplace_back(literal, options_.svaqd.bandwidth_frames,
-                          base.p0_object, options_.svaqd.prior_weight,
-                          ObjectScanConfig(layout_, base));
+      impl_->needs_detector = true;
+      impl_->states.emplace_back(literal, options_.svaqd.bandwidth_frames,
+                                 base.p0_object, options_.svaqd.prior_weight,
+                                 ObjectScanConfig(layout_, base));
     } else {
-      VAQ_CHECK(recognizer != nullptr);
-      states.emplace_back(literal, options_.svaqd.bandwidth_shots,
-                          base.p0_action, options_.svaqd.prior_weight,
-                          ActionScanConfig(layout_, base));
+      impl_->needs_recognizer = true;
+      impl_->states.emplace_back(literal, options_.svaqd.bandwidth_shots,
+                                 base.p0_action, options_.svaqd.prior_weight,
+                                 ActionScanConfig(layout_, base));
     }
   }
-  // Clause literals resolved to state indices.
-  std::vector<std::vector<size_t>> clause_states(query_.clauses.size());
+  impl_->clause_states.resize(query_.clauses.size());
   for (size_t c = 0; c < query_.clauses.size(); ++c) {
     for (const Literal& literal : query_.clauses[c].literals) {
       for (size_t s = 0; s < literals.size(); ++s) {
         if (literals[s] == literal) {
-          clause_states[c].push_back(s);
+          impl_->clause_states[c].push_back(s);
           break;
         }
       }
     }
   }
+  impl_->counts.resize(impl_->states.size());
+  impl_->frames_in.resize(impl_->states.size());
+}
 
-  CnfResult result;
-  result.literals = literals;
-  const int64_t num_clips = layout_.NumClips();
-  result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
+CnfStream::~CnfStream() = default;
 
-  // Per-clip literal count cache (-1 = not evaluated this clip).
-  std::vector<int64_t> counts(literals.size());
-  std::vector<int64_t> frames_in(literals.size());
+StatusOr<bool> CnfStream::PushClip(detect::ObjectDetector* detector,
+                                   detect::ActionRecognizer* recognizer) {
+  if (finished_) {
+    return Status::FailedPrecondition("PushClip after Finish");
+  }
+  if (next_clip_ >= layout_.NumClips()) {
+    return Status::OutOfRange(
+        "stream exceeds the layout's design horizon of " +
+        std::to_string(layout_.NumClips()) + " clips");
+  }
+  if (impl_->needs_detector && detector == nullptr) {
+    return Status::InvalidArgument("CNF query with object literals "
+                                   "requires a detector");
+  }
+  if (impl_->needs_recognizer && recognizer == nullptr) {
+    return Status::InvalidArgument("CNF query with action literals "
+                                   "requires a recognizer");
+  }
+  const ClipIndex clip = next_clip_++;
+  std::vector<int64_t>& counts = impl_->counts;
+  std::vector<int64_t>& frames_in = impl_->frames_in;
+  std::vector<LiteralState>& states = impl_->states;
 
-  auto evaluate_literal = [&](size_t s, ClipIndex clip) {
+  auto evaluate_literal = [&](size_t s) {
     if (counts[s] >= 0) return;  // Cached for this clip.
     const LiteralState& state = states[s];
     int64_t count = 0;
@@ -120,35 +148,32 @@ CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
     frames_in[s] = units;
   };
 
-  for (ClipIndex clip = 0; clip < num_clips; ++clip) {
-    std::fill(counts.begin(), counts.end(), int64_t{-1});
-    const bool probe = options_.svaqd.probe_period > 0 &&
-                       clip % options_.svaqd.probe_period == 0;
-    const bool short_circuit = base.short_circuit && !probe;
+  std::fill(counts.begin(), counts.end(), int64_t{-1});
+  const bool probe = options_.svaqd.probe_period > 0 &&
+                     clip % options_.svaqd.probe_period == 0;
+  const bool short_circuit = options_.svaqd.base.short_circuit && !probe;
 
-    bool all_clauses = true;
-    for (size_t c = 0; c < clause_states.size(); ++c) {
-      bool clause_fired = false;
-      for (size_t s : clause_states[c]) {
-        evaluate_literal(s, clip);
-        if (counts[s] >= states[s].kcrit) {
-          clause_fired = true;
-          if (short_circuit) break;  // OR short-circuit.
-        }
-      }
-      if (!clause_fired) {
-        all_clauses = false;
-        if (short_circuit) break;  // AND short-circuit.
+  bool all_clauses = true;
+  for (size_t c = 0; c < impl_->clause_states.size(); ++c) {
+    bool clause_fired = false;
+    for (size_t s : impl_->clause_states[c]) {
+      evaluate_literal(s);
+      if (counts[s] >= states[s].kcrit) {
+        clause_fired = true;
+        if (short_circuit) break;  // OR short-circuit.
       }
     }
-    if (probe) {
-      // Probing evaluates every literal so all estimators stay fed.
-      for (size_t s = 0; s < states.size(); ++s) evaluate_literal(s, clip);
+    if (!clause_fired) {
+      all_clauses = false;
+      if (short_circuit) break;  // AND short-circuit.
     }
-    result.clip_indicator[static_cast<size_t>(clip)] = all_clauses;
-    ++result.clips_processed;
+  }
+  if (probe) {
+    // Probing evaluates every literal so all estimators stay fed.
+    for (size_t s = 0; s < states.size(); ++s) evaluate_literal(s);
+  }
 
-    if (!options_.adaptive) continue;
+  if (options_.adaptive) {
     // Self-excluding background updates, as in SVAQD.
     for (size_t s = 0; s < states.size(); ++s) {
       if (counts[s] < 0) continue;
@@ -158,9 +183,153 @@ CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
     }
   }
 
+  // Incremental sequence maintenance.
+  if (all_clauses) {
+    if (open_start_ < 0) open_start_ = clip;
+  } else if (open_start_ >= 0) {
+    sequences_.Add(Interval(open_start_, clip - 1));
+    open_start_ = -1;
+  }
+  return all_clauses;
+}
+
+void CnfStream::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (open_start_ >= 0) {
+    sequences_.Add(Interval(open_start_, next_clip_ - 1));
+    open_start_ = -1;
+  }
+}
+
+std::vector<Literal> CnfStream::literals() const {
+  std::vector<Literal> out;
+  out.reserve(impl_->states.size());
+  for (const LiteralState& s : impl_->states) out.push_back(s.literal);
+  return out;
+}
+
+std::vector<int64_t> CnfStream::kcrit() const {
+  std::vector<int64_t> out;
+  out.reserve(impl_->states.size());
+  for (const LiteralState& s : impl_->states) out.push_back(s.kcrit);
+  return out;
+}
+
+std::string CnfStream::SnapshotState() const {
+  ckpt::Serializer out;
+  {
+    ckpt::Payload meta;
+    meta.PutI64(next_clip_);
+    meta.PutI64(open_start_);
+    meta.PutBool(finished_);
+    meta.PutU32(static_cast<uint32_t>(impl_->states.size()));
+    out.Append(kTagMeta, meta);
+  }
+  {
+    ckpt::Payload seqs;
+    internal_online::EncodeIntervalSet(sequences_, &seqs);
+    out.Append(kTagSequences, seqs);
+  }
+  for (size_t s = 0; s < impl_->states.size(); ++s) {
+    const LiteralState& state = impl_->states[s];
+    ckpt::Payload p;
+    p.PutU32(static_cast<uint32_t>(s));
+    internal_online::EncodeEstimator(state.estimator, &p);
+    p.PutF64(state.p_at_last_compute);
+    p.PutI64(state.kcrit);
+    out.Append(kTagLiteral, p);
+  }
+  return out.blob();
+}
+
+Status CnfStream::RestoreState(const std::string& blob) {
+  if (next_clip_ != 0 || finished_) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a fresh CnfStream");
+  }
+  auto records = ckpt::ParseBlob(blob);
+  if (!records.ok()) return records.status();
+  bool saw_meta = false;
+  for (const ckpt::Record& record : records.value()) {
+    ckpt::PayloadReader in(record.payload);
+    switch (record.tag) {
+      case kTagMeta: {
+        int64_t next_clip = 0, open_start = 0;
+        bool finished = false;
+        uint32_t n_literals = 0;
+        VAQ_RETURN_IF_ERROR(in.GetI64(&next_clip));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&open_start));
+        VAQ_RETURN_IF_ERROR(in.GetBool(&finished));
+        VAQ_RETURN_IF_ERROR(in.GetU32(&n_literals));
+        if (n_literals != impl_->states.size()) {
+          return Status::InvalidArgument(
+              "checkpoint does not match this CNF query's literal count");
+        }
+        next_clip_ = next_clip;
+        open_start_ = open_start;
+        finished_ = finished;
+        saw_meta = true;
+        break;
+      }
+      case kTagSequences:
+        VAQ_RETURN_IF_ERROR(
+            internal_online::DecodeIntervalSet(&in, &sequences_));
+        break;
+      case kTagLiteral: {
+        uint32_t index = 0;
+        VAQ_RETURN_IF_ERROR(in.GetU32(&index));
+        if (index >= impl_->states.size()) {
+          return Status::Corruption("CNF literal index out of range");
+        }
+        LiteralState& state = impl_->states[index];
+        VAQ_RETURN_IF_ERROR(
+            internal_online::DecodeEstimator(&in, &state.estimator));
+        VAQ_RETURN_IF_ERROR(in.GetF64(&state.p_at_last_compute));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&state.kcrit));
+        break;
+      }
+      default:
+        break;  // Unknown record from a newer writer: skip.
+    }
+  }
+  if (!saw_meta) {
+    return Status::Corruption("CNF checkpoint missing meta record");
+  }
+  return Status::OK();
+}
+
+CnfEngine::CnfEngine(CnfQuery query, VideoLayout layout,
+                     CnfEngineOptions options)
+    : query_(std::move(query)),
+      layout_(layout),
+      options_(std::move(options)) {
+  VAQ_CHECK(!query_.empty());
+}
+
+CnfResult CnfEngine::Run(detect::ObjectDetector* detector,
+                         detect::ActionRecognizer* recognizer) const {
+  const auto start = std::chrono::steady_clock::now();
+  const detect::ModelStats detector_stats_before =
+      detector != nullptr ? detector->stats() : detect::ModelStats();
+  const detect::ModelStats recognizer_stats_before =
+      recognizer != nullptr ? recognizer->stats() : detect::ModelStats();
+
+  CnfStream stream(query_, layout_, options_);
+  CnfResult result;
+  result.literals = stream.literals();
+  const int64_t num_clips = layout_.NumClips();
+  result.clip_indicator.resize(static_cast<size_t>(num_clips), false);
+  for (ClipIndex clip = 0; clip < num_clips; ++clip) {
+    const StatusOr<bool> indicator = stream.PushClip(detector, recognizer);
+    VAQ_CHECK(indicator.ok()) << indicator.status();
+    result.clip_indicator[static_cast<size_t>(clip)] = indicator.value();
+    ++result.clips_processed;
+  }
+  stream.Finish();
+
   result.sequences = IntervalSet::FromIndicators(result.clip_indicator);
-  result.kcrit.resize(states.size());
-  for (size_t s = 0; s < states.size(); ++s) result.kcrit[s] = states[s].kcrit;
+  result.kcrit = stream.kcrit();
   // Per-run deltas, so stats stay per-query when a model bundle is shared
   // across successive runs (the serving layer's shared detection cache).
   if (detector != nullptr) {

@@ -13,8 +13,11 @@
 #ifndef VAQ_ONLINE_CNF_ENGINE_H_
 #define VAQ_ONLINE_CNF_ENGINE_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "detect/models.h"
 #include "online/svaqd.h"
 #include "video/cnf_query.h"
@@ -45,6 +48,57 @@ struct CnfResult {
   detect::ModelStats detector_stats;
   detect::ModelStats recognizer_stats;
   double algorithm_wall_ms = 0.0;
+};
+
+// Push-based incremental CNF evaluation: the streaming counterpart of
+// CnfEngine::Run, one clip per PushClip call, maintaining result
+// sequences as open/closed runs exactly like StreamingSvaqd. Feeding
+// every clip of the layout through PushClip reproduces Run bit for bit
+// (Run is implemented on top of this class). Checkpointable: see
+// SnapshotState / RestoreState.
+class CnfStream {
+ public:
+  CnfStream(CnfQuery query, VideoLayout layout, CnfEngineOptions options);
+  ~CnfStream();
+
+  CnfStream(const CnfStream&) = delete;
+  CnfStream& operator=(const CnfStream&) = delete;
+
+  // Evaluates the next clip; returns its CNF indicator. `detector` is
+  // required when any literal is an object, `recognizer` when any is an
+  // action. kFailedPrecondition after Finish(), kOutOfRange past the
+  // layout's clip count.
+  StatusOr<bool> PushClip(detect::ObjectDetector* detector,
+                          detect::ActionRecognizer* recognizer);
+
+  // Ends the stream, closing any open sequence.
+  void Finish();
+
+  ClipIndex next_clip() const { return next_clip_; }
+  bool finished() const { return finished_; }
+  // Sequences closed so far (plus the open one only after Finish()).
+  const IntervalSet& sequences() const { return sequences_; }
+  // Distinct literals in engine order / their current critical values.
+  std::vector<Literal> literals() const;
+  std::vector<int64_t> kcrit() const;
+
+  // Complete mutable state as a ckpt::Serializer blob; restore on a
+  // freshly constructed stream with identical (query, layout, options)
+  // resumes the exact trajectory (see StreamingSvaqd::SnapshotState).
+  std::string SnapshotState() const;
+  Status RestoreState(const std::string& blob);
+
+ private:
+  struct Impl;  // Per-literal estimator/critical-value state (internal).
+
+  CnfQuery query_;
+  VideoLayout layout_;
+  CnfEngineOptions options_;
+  std::unique_ptr<Impl> impl_;
+  IntervalSet sequences_;
+  ClipIndex next_clip_ = 0;
+  ClipIndex open_start_ = -1;  // Start of the currently open run, or -1.
+  bool finished_ = false;
 };
 
 class CnfEngine {

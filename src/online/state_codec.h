@@ -1,0 +1,110 @@
+// Checkpoint payload encoders for the online engines' adaptive state.
+// Internal to vaq_online: StreamingSvaqd::SnapshotState and
+// CnfStream::SnapshotState share these so the two engines' blobs evolve
+// together.
+//
+// Everything here round-trips exactly: doubles travel as IEEE-754 bit
+// patterns, so a restored engine continues on the *identical* floating-
+// point trajectory — the byte-identical-recovery invariant depends on it.
+#ifndef VAQ_ONLINE_STATE_CODEC_H_
+#define VAQ_ONLINE_STATE_CODEC_H_
+
+#include "ckpt/serializer.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "detect/resilient.h"
+#include "online/predicate_state.h"
+#include "scanstat/kernel_estimator.h"
+
+namespace vaq {
+namespace online {
+namespace internal_online {
+
+inline void EncodeEstimator(const scanstat::KernelRateEstimator& e,
+                            ckpt::Payload* out) {
+  const scanstat::KernelRateEstimator::State s = e.state();
+  out->PutF64(s.event_weight);
+  out->PutF64(s.total_weight);
+  out->PutI64(s.num_observed);
+}
+
+inline Status DecodeEstimator(ckpt::PayloadReader* in,
+                              scanstat::KernelRateEstimator* e) {
+  scanstat::KernelRateEstimator::State s;
+  VAQ_RETURN_IF_ERROR(in->GetF64(&s.event_weight));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&s.total_weight));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s.num_observed));
+  e->set_state(s);
+  return Status::OK();
+}
+
+inline void EncodePredicateState(const PredicateState& p,
+                                 ckpt::Payload* out) {
+  EncodeEstimator(p.estimator, out);
+  out->PutF64(p.p_at_last_compute);
+  out->PutI64(p.kcrit);
+  out->PutF64(p.last_observed_rate);
+  out->PutF64(p.count_weight);
+  out->PutF64(p.count_sum);
+  out->PutF64(p.count_sq_sum);
+  out->PutF64(p.window_sum);
+}
+
+inline Status DecodePredicateState(ckpt::PayloadReader* in,
+                                   PredicateState* p) {
+  VAQ_RETURN_IF_ERROR(DecodeEstimator(in, &p->estimator));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->p_at_last_compute));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&p->kcrit));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->last_observed_rate));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->count_weight));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->count_sum));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->count_sq_sum));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&p->window_sum));
+  return Status::OK();
+}
+
+inline void EncodeResilientCoreState(
+    const detect::internal_detect::ResilientCore::State& s,
+    ckpt::Payload* out) {
+  out->PutI64(s.attempt_nonce);
+  out->PutI64(s.consecutive_failures);
+  out->PutBool(s.breaker_open);
+  out->PutF64(s.breaker_reopen_ms);
+}
+
+inline Status DecodeResilientCoreState(
+    ckpt::PayloadReader* in,
+    detect::internal_detect::ResilientCore::State* s) {
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->attempt_nonce));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->consecutive_failures));
+  VAQ_RETURN_IF_ERROR(in->GetBool(&s->breaker_open));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&s->breaker_reopen_ms));
+  return Status::OK();
+}
+
+inline void EncodeIntervalSet(const IntervalSet& set, ckpt::Payload* out) {
+  out->PutU32(static_cast<uint32_t>(set.size()));
+  for (const Interval& iv : set.intervals()) {
+    out->PutI64(iv.lo);
+    out->PutI64(iv.hi);
+  }
+}
+
+inline Status DecodeIntervalSet(ckpt::PayloadReader* in, IntervalSet* set) {
+  uint32_t n = 0;
+  VAQ_RETURN_IF_ERROR(in->GetU32(&n));
+  *set = IntervalSet();
+  for (uint32_t i = 0; i < n; ++i) {
+    Interval iv;
+    VAQ_RETURN_IF_ERROR(in->GetI64(&iv.lo));
+    VAQ_RETURN_IF_ERROR(in->GetI64(&iv.hi));
+    set->Add(iv);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal_online
+}  // namespace online
+}  // namespace vaq
+
+#endif  // VAQ_ONLINE_STATE_CODEC_H_

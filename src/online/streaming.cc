@@ -1,10 +1,12 @@
 #include "online/streaming.h"
 
+#include "ckpt/serializer.h"
 #include "common/logging.h"
 #include "fault/sim_clock.h"
 #include "obs/metrics.h"
 #include "online/clip_evaluator.h"
 #include "online/predicate_state.h"
+#include "online/state_codec.h"
 
 namespace vaq {
 namespace online {
@@ -22,6 +24,14 @@ struct StreamingSvaqd::State {
   fault::SimClock clock;
   std::unique_ptr<detect::ResilientObjectDetector> rdetector;
   std::unique_ptr<detect::ResilientActionRecognizer> rrecognizer;
+
+  // Retry/breaker state restored from a checkpoint before the wrappers
+  // exist (they bind lazily to the model instances of the first
+  // PushClip); applied at wrapper creation.
+  bool has_pending_det_core = false;
+  bool has_pending_rec_core = false;
+  detect::internal_detect::ResilientCore::State pending_det_core;
+  detect::internal_detect::ResilientCore::State pending_rec_core;
 
   // Registry mirrors, resolved once per engine instance. Events are
   // counted where they logically occur, whether or not a callback is
@@ -108,6 +118,10 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
       if (state_->rdetector == nullptr) {
         state_->rdetector = std::make_unique<detect::ResilientObjectDetector>(
             detector, plan, options_.resilience, &state_->clock);
+        if (state_->has_pending_det_core) {
+          state_->rdetector->set_core_state(state_->pending_det_core);
+          state_->has_pending_det_core = false;
+        }
       } else if (state_->rdetector->inner() != detector) {
         return Status::InvalidArgument(
             "PushClip called with a different detector instance");
@@ -118,6 +132,10 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
         state_->rrecognizer =
             std::make_unique<detect::ResilientActionRecognizer>(
                 recognizer, plan, options_.resilience, &state_->clock);
+        if (state_->has_pending_rec_core) {
+          state_->rrecognizer->set_core_state(state_->pending_rec_core);
+          state_->has_pending_rec_core = false;
+        }
       } else if (state_->rrecognizer->inner() != recognizer) {
         return Status::InvalidArgument(
             "PushClip called with a different recognizer instance");
@@ -182,6 +200,146 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
   state_->metric_open_len->Set(
       open_start_ >= 0 ? static_cast<double>(clip - open_start_ + 1) : 0.0);
   return eval.positive;
+}
+
+namespace {
+
+// Record tags of the StreamingSvaqd snapshot blob (append-only within a
+// ckpt::kFormatVersion).
+enum StreamingTag : uint32_t {
+  kTagMeta = 1,
+  kTagSequences = 2,
+  kTagObjectPredicate = 3,
+  kTagActionPredicate = 4,
+  kTagDetectorCore = 5,
+  kTagRecognizerCore = 6,
+};
+
+}  // namespace
+
+std::string StreamingSvaqd::SnapshotState() const {
+  ckpt::Serializer out;
+  {
+    ckpt::Payload meta;
+    meta.PutI64(next_clip_);
+    meta.PutI64(open_start_);
+    meta.PutBool(finished_);
+    meta.PutI64(degraded_clips_);
+    meta.PutI64(dropped_clips_);
+    meta.PutF64(state_->clock.now_ms());
+    meta.PutU32(static_cast<uint32_t>(state_->objects.size()));
+    meta.PutBool(state_->action != nullptr);
+    out.Append(kTagMeta, meta);
+  }
+  {
+    ckpt::Payload seqs;
+    internal_online::EncodeIntervalSet(sequences_, &seqs);
+    out.Append(kTagSequences, seqs);
+  }
+  for (size_t i = 0; i < state_->objects.size(); ++i) {
+    ckpt::Payload p;
+    p.PutU32(static_cast<uint32_t>(i));
+    internal_online::EncodePredicateState(state_->objects[i], &p);
+    out.Append(kTagObjectPredicate, p);
+  }
+  if (state_->action != nullptr) {
+    ckpt::Payload p;
+    internal_online::EncodePredicateState(*state_->action, &p);
+    out.Append(kTagActionPredicate, p);
+  }
+  if (state_->rdetector != nullptr) {
+    ckpt::Payload p;
+    internal_online::EncodeResilientCoreState(state_->rdetector->core_state(),
+                                              &p);
+    out.Append(kTagDetectorCore, p);
+  }
+  if (state_->rrecognizer != nullptr) {
+    ckpt::Payload p;
+    internal_online::EncodeResilientCoreState(
+        state_->rrecognizer->core_state(), &p);
+    out.Append(kTagRecognizerCore, p);
+  }
+  return out.blob();
+}
+
+Status StreamingSvaqd::RestoreState(const std::string& blob) {
+  if (next_clip_ != 0 || finished_) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a fresh StreamingSvaqd");
+  }
+  auto records = ckpt::ParseBlob(blob);
+  if (!records.ok()) return records.status();
+  bool saw_meta = false;
+  for (const ckpt::Record& record : records.value()) {
+    ckpt::PayloadReader in(record.payload);
+    switch (record.tag) {
+      case kTagMeta: {
+        int64_t next_clip = 0, open_start = 0;
+        bool finished = false;
+        double clock_ms = 0.0;
+        uint32_t n_objects = 0;
+        bool has_action = false;
+        VAQ_RETURN_IF_ERROR(in.GetI64(&next_clip));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&open_start));
+        VAQ_RETURN_IF_ERROR(in.GetBool(&finished));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&degraded_clips_));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&dropped_clips_));
+        VAQ_RETURN_IF_ERROR(in.GetF64(&clock_ms));
+        VAQ_RETURN_IF_ERROR(in.GetU32(&n_objects));
+        VAQ_RETURN_IF_ERROR(in.GetBool(&has_action));
+        if (n_objects != state_->objects.size() ||
+            has_action != (state_->action != nullptr)) {
+          return Status::InvalidArgument(
+              "checkpoint does not match this engine's query shape");
+        }
+        next_clip_ = next_clip;
+        open_start_ = open_start;
+        finished_ = finished;
+        // A fresh SimClock starts at 0, so one Advance lands on the
+        // saved value exactly (0.0 + x == x in IEEE-754).
+        state_->clock.Advance(clock_ms);
+        saw_meta = true;
+        break;
+      }
+      case kTagSequences:
+        VAQ_RETURN_IF_ERROR(
+            internal_online::DecodeIntervalSet(&in, &sequences_));
+        break;
+      case kTagObjectPredicate: {
+        uint32_t index = 0;
+        VAQ_RETURN_IF_ERROR(in.GetU32(&index));
+        if (index >= state_->objects.size()) {
+          return Status::Corruption("object predicate index out of range");
+        }
+        VAQ_RETURN_IF_ERROR(internal_online::DecodePredicateState(
+            &in, &state_->objects[index]));
+        break;
+      }
+      case kTagActionPredicate:
+        if (state_->action == nullptr) {
+          return Status::Corruption("action predicate for actionless query");
+        }
+        VAQ_RETURN_IF_ERROR(
+            internal_online::DecodePredicateState(&in, state_->action.get()));
+        break;
+      case kTagDetectorCore:
+        VAQ_RETURN_IF_ERROR(internal_online::DecodeResilientCoreState(
+            &in, &state_->pending_det_core));
+        state_->has_pending_det_core = true;
+        break;
+      case kTagRecognizerCore:
+        VAQ_RETURN_IF_ERROR(internal_online::DecodeResilientCoreState(
+            &in, &state_->pending_rec_core));
+        state_->has_pending_rec_core = true;
+        break;
+      default:
+        break;  // Unknown record from a newer writer: skip.
+    }
+  }
+  if (!saw_meta) {
+    return Status::Corruption("streaming checkpoint missing meta record");
+  }
+  return Status::OK();
 }
 
 void StreamingSvaqd::Finish() {

@@ -81,6 +81,19 @@ class StreamingSvaqd {
   // All sequences closed so far (plus the open one only after Finish()).
   const IntervalSet& sequences() const { return sequences_; }
 
+  // Serializes the engine's complete mutable state — stream cursor, open
+  // run, closed sequences, per-predicate kernel estimators and critical
+  // values, simulated clock, and the resilience wrappers' retry/breaker
+  // state — as a ckpt::Serializer blob (DESIGN.md §10). Restoring it on a
+  // freshly constructed engine with the identical (query, layout,
+  // options) resumes the exact trajectory: pushing the remaining clips
+  // yields bit-identical indicators, sequences and stats deltas.
+  std::string SnapshotState() const;
+  // kFailedPrecondition unless this engine is fresh (no clips pushed);
+  // kCorruption / kInvalidArgument when the blob is damaged or shaped for
+  // a different query.
+  Status RestoreState(const std::string& blob);
+
  private:
   struct State;  // Per-predicate adaptive state (internal).
 

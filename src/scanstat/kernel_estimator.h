@@ -57,6 +57,23 @@ class KernelRateEstimator {
 
   double bandwidth() const { return bandwidth_u_; }
 
+  // The estimator's full mutable state, exposed for checkpointing
+  // (src/ckpt/): restoring it on a freshly constructed estimator with the
+  // same (bandwidth, prior) parameters resumes the identical trajectory.
+  struct State {
+    double event_weight = 0.0;
+    double total_weight = 0.0;
+    int64_t num_observed = 0;
+  };
+  State state() const {
+    return State{event_weight_, total_weight_, num_observed_};
+  }
+  void set_state(const State& s) {
+    event_weight_ = s.event_weight;
+    total_weight_ = s.total_weight;
+    num_observed_ = s.num_observed;
+  }
+
  private:
   double bandwidth_u_;
   double prior_p_;

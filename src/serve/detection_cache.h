@@ -66,6 +66,37 @@ class SharedDetectionCache {
     return bundle_reuses_;
   }
 
+  // The bundle for (source, stack) if one is cached, else nullptr. No
+  // reuse accounting — checkpointing uses this to address bundles without
+  // perturbing the counters it is about to persist or restore.
+  detect::ModelBundle* Find(const std::string& source,
+                            const std::string& stack) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bundles_.find(std::make_pair(source, stack));
+    return it == bundles_.end() ? nullptr : it->second.get();
+  }
+
+  // Visits every cached bundle in key order under the cache lock (the
+  // visitor must not call back into the cache). Snapshots iterate this
+  // to persist the bundles' cumulative model stats.
+  void ForEach(const std::function<void(const std::string& source,
+                                        const std::string& stack,
+                                        detect::ModelBundle* bundle)>& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, bundle] : bundles_) {
+      fn(key.first, key.second, bundle.get());
+    }
+  }
+
+  // Checkpoint recovery: overwrites the reuse accounting with the values
+  // persisted at snapshot time (the recovered process re-acquires its
+  // bundles, which would otherwise double-count creations).
+  void RestoreCounters(int64_t created, int64_t reuses) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bundles_created_ = created;
+    bundle_reuses_ = reuses;
+  }
+
   // Drops every cached bundle (and its memoized inferences).
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);

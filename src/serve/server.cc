@@ -5,8 +5,11 @@
 #include <limits>
 #include <utility>
 
+#include "ckpt/metrics_io.h"
 #include "common/logging.h"
 #include "query/parser.h"
+#include "video/cnf_query.h"
+#include "video/query_spec.h"
 
 namespace vaq {
 namespace serve {
@@ -16,11 +19,137 @@ namespace {
 // a seek-like operation costs 5 ms, a sequentially streamed row 0.01 ms.
 constexpr double kSeekMs = 5.0;
 constexpr double kRowMs = 0.01;
+// Modeled cost of writing one snapshot byte (sequential, row-rate scaled
+// down to bytes); a snapshot charges one seek plus this per byte.
+constexpr double kSnapshotByteMs = 1e-5;
+
+// Snapshot blob record tags (ckpt::Serializer framing). Append-only
+// within a format version; the record order in the blob is load-bearing
+// for recovery — see CheckpointLocked.
+enum SnapshotTag : uint32_t {
+  kSnapStanding = 1,       // One standing query incl. its engine blob.
+  kSnapStreamPos = 2,      // One stream's clip cursor.
+  kSnapBundleStats = 3,    // One model bundle's cumulative stats.
+  kSnapCacheCounters = 4,  // SharedDetectionCache reuse accounting.
+  kSnapMeta = 5,           // next_id, seq, aggregate ServeStats.
+  kSnapMetric = 6,         // One obs registry instrument.
+};
+
+// WAL record tags (bare ckpt record stream, no blob header).
+enum WalTag : uint32_t {
+  kWalAddQuery = 1,  // {id, sql} — logged before admission applies.
+  kWalClip = 2,      // {source, clip} — logged before the advance.
+};
 
 std::string FormatMs(double ms) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", ms);
   return buf;
+}
+
+// Per-advance stat delta over a (possibly shared) bundle's cumulative
+// counters. Field-by-field subtraction keeps simulated_ms exact: the
+// cumulative values on both sides are bit-identical across a recovery,
+// so the differences are too.
+detect::ModelStats StatsDelta(const detect::ModelStats& after,
+                              const detect::ModelStats& before) {
+  detect::ModelStats d;
+  d.inferences = after.inferences - before.inferences;
+  d.type_queries = after.type_queries - before.type_queries;
+  d.simulated_ms = after.simulated_ms - before.simulated_ms;
+  d.faults_injected = after.faults_injected - before.faults_injected;
+  d.retries = after.retries - before.retries;
+  d.failures = after.failures - before.failures;
+  d.fallbacks = after.fallbacks - before.fallbacks;
+  d.breaker_trips = after.breaker_trips - before.breaker_trips;
+  return d;
+}
+
+void EncodeModelStats(const detect::ModelStats& s, ckpt::Payload* out) {
+  out->PutI64(s.inferences);
+  out->PutI64(s.type_queries);
+  out->PutF64(s.simulated_ms);
+  out->PutI64(s.faults_injected);
+  out->PutI64(s.retries);
+  out->PutI64(s.failures);
+  out->PutI64(s.fallbacks);
+  out->PutI64(s.breaker_trips);
+}
+
+Status DecodeModelStats(ckpt::PayloadReader* in, detect::ModelStats* s) {
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->inferences));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->type_queries));
+  VAQ_RETURN_IF_ERROR(in->GetF64(&s->simulated_ms));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->faults_injected));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->retries));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->failures));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->fallbacks));
+  VAQ_RETURN_IF_ERROR(in->GetI64(&s->breaker_trips));
+  return Status::OK();
+}
+
+void EncodeStatus(const Status& s, ckpt::Payload* out) {
+  out->PutBool(s.ok());
+  if (!s.ok()) {
+    out->PutU32(static_cast<uint32_t>(s.code()));
+    out->PutString(s.message());
+  }
+}
+
+Status DecodeStatus(ckpt::PayloadReader* in, Status* out) {
+  bool ok = false;
+  VAQ_RETURN_IF_ERROR(in->GetBool(&ok));
+  if (ok) {
+    *out = Status::OK();
+    return Status::OK();
+  }
+  uint32_t code = 0;
+  std::string message;
+  VAQ_RETURN_IF_ERROR(in->GetU32(&code));
+  VAQ_RETURN_IF_ERROR(in->GetString(&message));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+// Cumulative detector/recognizer stats of one bundle (the tracker is
+// untouched by the online engines).
+void EncodeBundleStats(const detect::ModelBundle& bundle,
+                       ckpt::Payload* out) {
+  out->PutBool(bundle.detector != nullptr);
+  if (bundle.detector != nullptr) {
+    EncodeModelStats(bundle.detector->stats(), out);
+  }
+  out->PutBool(bundle.recognizer != nullptr);
+  if (bundle.recognizer != nullptr) {
+    EncodeModelStats(bundle.recognizer->stats(), out);
+  }
+}
+
+Status DecodeBundleStats(ckpt::PayloadReader* in,
+                         detect::ModelBundle* bundle) {
+  bool has_detector = false;
+  VAQ_RETURN_IF_ERROR(in->GetBool(&has_detector));
+  if (has_detector) {
+    detect::ModelStats s;
+    VAQ_RETURN_IF_ERROR(DecodeModelStats(in, &s));
+    if (bundle->detector == nullptr) {
+      return Status::Corruption("snapshot has detector stats for a bundle "
+                                "rebuilt without a detector");
+    }
+    bundle->detector->mutable_stats() = s;
+  }
+  bool has_recognizer = false;
+  VAQ_RETURN_IF_ERROR(in->GetBool(&has_recognizer));
+  if (has_recognizer) {
+    detect::ModelStats s;
+    VAQ_RETURN_IF_ERROR(DecodeModelStats(in, &s));
+    if (bundle->recognizer == nullptr) {
+      return Status::Corruption("snapshot has recognizer stats for a bundle "
+                                "rebuilt without a recognizer");
+    }
+    bundle->recognizer->mutable_stats() = s;
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -69,6 +198,11 @@ Server::Server(ServeOptions options) : options_(options) {
       registry.GetHistogram("vaq_serve_query_simulated_ms",
                             obs::DefaultLatencyBucketsMs(),
                             {{"kind", "ranked"}});
+  ckpt_snapshots_ = registry.GetCounter("vaq_ckpt_snapshots_total");
+  ckpt_snapshot_bytes_ = registry.GetCounter("vaq_ckpt_snapshot_bytes_total");
+  ckpt_wal_records_ = registry.GetCounter("vaq_ckpt_wal_records_total");
+  ckpt_snapshot_ms_ = registry.GetHistogram("vaq_ckpt_snapshot_modeled_ms",
+                                            obs::DefaultLatencyBucketsMs());
   if (options_.threads <= 0) {
     // Inline mode: Drain() runs queries on the calling thread with this
     // dedicated accumulator.
@@ -102,7 +236,26 @@ void Server::RegisterRepository(const std::string& name,
   repositories_.insert_or_assign(name, std::move(index));
 }
 
+namespace {
+
+Status DrainedError() {
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_serve_submitted_total",
+                  {{"outcome", "rejected_terminated"}})
+      ->Increment();
+  return Status::FailedPrecondition(
+      "server already drained; submissions are closed");
+}
+
+}  // namespace
+
 StatusOr<int64_t> Server::Submit(const std::string& sql) {
+  {
+    // Checked before parsing so that *every* post-Drain submission fails
+    // the same way, not just well-formed ones.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (drained_) return DrainedError();
+  }
   auto parsed = query::Parse(sql);
   if (!parsed.ok()) {
     submitted_rejected_parse_->Increment();
@@ -130,6 +283,10 @@ StatusOr<int64_t> Server::Submit(const std::string& sql) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  // Re-checked under the admission lock: a Drain that began while this
+  // statement was being parsed closes the door deterministically — the
+  // query would otherwise sit in a queue no Drain will ever merge.
+  if (drained_) return DrainedError();
   if (pending_ >= options_.queue_capacity) {
     submitted_rejected_overflow_->Increment();
     ++stats_.rejected_overflow;
@@ -286,6 +443,11 @@ void Server::MergeWorkerStatsLocked() {
 
 std::vector<ServedQuery> Server::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  // Terminal from this point on: Submit calls that have not been
+  // admitted yet fail with kFailedPrecondition, so the admitted set —
+  // and therefore the merged statistics — is exact when the wait below
+  // finishes.
+  drained_ = true;
   if (options_.threads <= 0) {
     WorkerState* state = worker_states_.front().get();
     PendingQuery pending;
@@ -315,6 +477,564 @@ std::vector<ServedQuery> Server::Drain() {
 ServeStats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+StatusOr<int64_t> Server::AddStandingQuery(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drained_ || standing_finished_) {
+    return Status::FailedPrecondition("standing admission is closed");
+  }
+  auto parsed = query::Parse(sql);
+  if (!parsed.ok()) {
+    submitted_rejected_parse_->Increment();
+    ++stats_.rejected_parse;
+    return parsed.status();
+  }
+  query::QueryStatement stmt = std::move(parsed).value();
+  if (stmt.ranked || stmt.limit >= 0) {
+    submitted_rejected_parse_->Increment();
+    ++stats_.rejected_parse;
+    return Status::InvalidArgument(
+        "standing queries are online; ranked statements go through Submit");
+  }
+  if (streams_.count(stmt.video) == 0) {
+    submitted_rejected_unknown_->Increment();
+    ++stats_.rejected_unknown_source;
+    return Status::NotFound("no stream named '" + stmt.video + "'");
+  }
+  auto pos = stream_pos_.find(stmt.video);
+  if (pos != stream_pos_.end() && pos->second > 0) {
+    return Status::FailedPrecondition("stream '" + stmt.video +
+                                      "' has already advanced");
+  }
+  const int64_t id = next_id_;
+  if (options_.checkpoint_store != nullptr) {
+    // Log-before-apply: a crash right after this append replays the
+    // admission; a crash right before it loses a query that was never
+    // acknowledged to the caller.
+    ckpt::Payload wal;
+    wal.PutI64(id);
+    wal.PutString(sql);
+    VAQ_RETURN_IF_ERROR(AppendWalLocked(kWalAddQuery, wal));
+  }
+  ++next_id_;
+  VAQ_RETURN_IF_ERROR(AdmitStandingLocked(id, sql, std::move(stmt)));
+  return id;
+}
+
+Status Server::AdmitStandingLocked(int64_t id, const std::string& sql,
+                                   query::QueryStatement stmt) {
+  auto owner = std::make_unique<StandingQuery>();
+  StandingQuery& q = *owner;
+  q.id = id;
+  q.sql = sql;
+  q.source = stmt.video;
+  q.stack = query::StatementModelStack(stmt.models);
+  q.stmt = std::move(stmt);
+  const StreamSource& source = streams_.at(q.source);
+  if (options_.share_detection_cache) {
+    bool created = false;
+    q.models = cache_.Acquire(
+        q.source, q.stack,
+        [&] {
+          return query::MakeStatementModels(q.stmt.models,
+                                            source.scenario.truth(),
+                                            source.model_seed);
+        },
+        &created);
+    (created ? cache_misses_bundle_ : cache_hits_bundle_)->Increment();
+  } else {
+    q.owned_models = query::MakeStatementModels(
+        q.stmt.models, source.scenario.truth(), source.model_seed);
+    q.models = &q.owned_models;
+  }
+  if (q.stmt.IsConjunctive()) {
+    auto spec = QuerySpec::FromNames(source.scenario.vocab(), q.stmt.action,
+                                     q.stmt.objects);
+    if (!spec.ok()) {
+      q.status = spec.status();
+      q.finished = true;
+    } else {
+      q.svaqd = std::make_unique<online::StreamingSvaqd>(
+          std::move(spec).value(), source.scenario.layout(), source.options,
+          online::StreamingSvaqd::Callback());
+    }
+  } else {
+    auto cnf =
+        CnfQuery::FromNames(source.scenario.vocab(), q.stmt.cnf_clauses);
+    if (!cnf.ok()) {
+      q.status = cnf.status();
+      q.finished = true;
+    } else {
+      online::CnfEngineOptions cnf_options;
+      cnf_options.svaqd = source.options;
+      q.cnf = std::make_unique<online::CnfStream>(
+          std::move(cnf).value(), source.scenario.layout(), cnf_options);
+    }
+  }
+  stream_pos_.emplace(q.source, 0);
+  standing_.push_back(std::move(owner));
+  submitted_accepted_->Increment();
+  ++stats_.accepted;
+  return Status::OK();
+}
+
+Status Server::AdvanceStream(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AdvanceStreamLocked(source);
+}
+
+Status Server::AdvanceStreamLocked(const std::string& source) {
+  if (standing_finished_) {
+    return Status::FailedPrecondition("standing queries already finished");
+  }
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + source + "'");
+  }
+  auto pos_it = stream_pos_.find(source);
+  const int64_t pos = pos_it == stream_pos_.end() ? 0 : pos_it->second;
+  const int64_t num_clips = it->second.scenario.layout().NumClips();
+  if (pos >= num_clips) {
+    return Status::OutOfRange("stream '" + source + "' is exhausted (" +
+                              std::to_string(num_clips) + " clips)");
+  }
+  if (options_.checkpoint_store != nullptr && !replaying_) {
+    // Log-before-apply, clip granularity: after a crash the replay
+    // re-runs this advance on engines restored to exactly this position.
+    ckpt::Payload wal;
+    wal.PutString(source);
+    wal.PutI64(pos);
+    VAQ_RETURN_IF_ERROR(AppendWalLocked(kWalClip, wal));
+  }
+  double advance_ms = 0.0;
+  for (const std::unique_ptr<StandingQuery>& owner : standing_) {
+    StandingQuery& q = *owner;
+    if (q.source != source || q.finished || !q.status.ok()) continue;
+    const detect::ModelStats det_before =
+        q.models->detector != nullptr ? q.models->detector->stats()
+                                      : detect::ModelStats();
+    const detect::ModelStats rec_before =
+        q.models->recognizer != nullptr ? q.models->recognizer->stats()
+                                        : detect::ModelStats();
+    StatusOr<bool> indicator =
+        q.svaqd != nullptr
+            ? q.svaqd->PushClip(q.models->detector.get(),
+                                q.models->recognizer.get())
+            : q.cnf->PushClip(q.models->detector.get(),
+                              q.models->recognizer.get());
+    if (!indicator.ok()) {
+      q.status = indicator.status();
+      q.finished = true;
+      continue;
+    }
+    const detect::ModelStats det_delta =
+        q.models->detector != nullptr
+            ? StatsDelta(q.models->detector->stats(), det_before)
+            : detect::ModelStats();
+    const detect::ModelStats rec_delta =
+        q.models->recognizer != nullptr
+            ? StatsDelta(q.models->recognizer->stats(), rec_before)
+            : detect::ModelStats();
+    q.det_acc += det_delta;
+    q.rec_acc += rec_delta;
+    advance_ms += det_delta.simulated_ms + rec_delta.simulated_ms;
+  }
+  stream_pos_[source] = pos + 1;
+  ++clips_since_snapshot_;
+  sim_ms_since_snapshot_ += advance_ms;
+  if (options_.checkpoint_store != nullptr && !replaying_) {
+    const bool clips_due =
+        options_.snapshot_every_clips > 0 &&
+        clips_since_snapshot_ >= options_.snapshot_every_clips;
+    const bool ms_due = options_.snapshot_every_ms > 0 &&
+                        sim_ms_since_snapshot_ >= options_.snapshot_every_ms;
+    if (clips_due || ms_due) {
+      VAQ_RETURN_IF_ERROR(CheckpointLocked());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ServedQuery> Server::FinishStanding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServedQuery> out;
+  out.reserve(standing_.size());
+  for (const std::unique_ptr<StandingQuery>& owner : standing_) {
+    StandingQuery& q = *owner;
+    if (!q.finished) {
+      if (q.svaqd != nullptr) q.svaqd->Finish();
+      if (q.cnf != nullptr) q.cnf->Finish();
+      q.finished = true;
+    }
+    ServedQuery served;
+    served.id = q.id;
+    served.sql = q.sql;
+    served.shard = "stream/" + q.source;
+    served.kind = "online";
+    served.status = q.status;
+    if (q.status.ok()) {
+      served.result.online = true;
+      if (q.svaqd != nullptr) {
+        served.result.sequences = q.svaqd->sequences();
+        served.result.degraded_clips = q.svaqd->degraded_clips();
+        served.result.dropped_clips = q.svaqd->dropped_clips();
+      } else if (q.cnf != nullptr) {
+        served.result.sequences = q.cnf->sequences();
+      }
+      served.result.detector_stats = q.det_acc;
+      served.result.recognizer_stats = q.rec_acc;
+      served.simulated_ms = q.det_acc.simulated_ms + q.rec_acc.simulated_ms;
+      stats_.detector_stats.Merge(q.det_acc);
+      stats_.recognizer_stats.Merge(q.rec_acc);
+      const int64_t lookups = q.det_acc.type_queries + q.rec_acc.type_queries;
+      const int64_t fresh = q.det_acc.inferences + q.rec_acc.inferences;
+      cache_misses_inference_->Increment(fresh);
+      cache_hits_inference_->Increment(lookups - fresh);
+    }
+    query_ms_online_->Observe(served.simulated_ms);
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_serve_queries_total",
+                    {{"kind", "online"},
+                     {"outcome", served.status.ok() ? "ok" : "error"}})
+        ->Increment();
+    stats_.total_simulated_ms += served.simulated_ms;
+    ++stats_.completed;
+    if (!served.status.ok()) ++stats_.failed;
+    out.push_back(std::move(served));
+  }
+  stats_.cache_bundles_created = cache_.bundles_created();
+  stats_.cache_bundle_reuses = cache_.bundle_reuses();
+  standing_finished_ = true;
+  return out;
+}
+
+int64_t Server::StreamPosition(const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stream_pos_.find(source);
+  return it == stream_pos_.end() ? 0 : it->second;
+}
+
+Status Server::AppendWalLocked(uint32_t tag, const ckpt::Payload& payload) {
+  std::string record;
+  ckpt::AppendRecord(&record, tag, payload.data());
+  // Segment wal-K collects the records logged while the next snapshot
+  // will be snap-K; recovery from snap-S replays segments K > S.
+  VAQ_RETURN_IF_ERROR(
+      options_.checkpoint_store->Append(ckpt::WalName(ckpt_seq_), record));
+  ckpt_wal_records_->Increment();
+  return Status::OK();
+}
+
+Status Server::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status Server::CheckpointLocked() {
+  ckpt::Store* store = options_.checkpoint_store;
+  if (store == nullptr) {
+    return Status::FailedPrecondition("no checkpoint store configured");
+  }
+  ckpt::Serializer snap;
+  // Record order is load-bearing: recovery applies records in blob order,
+  // and rebuilding the standing queries (kSnapStanding) bumps admission
+  // counters and cache accounting as a side effect — the authoritative
+  // values (kSnapCacheCounters, kSnapMeta, kSnapMetric) therefore come
+  // *after* and overwrite them.
+  for (const std::unique_ptr<StandingQuery>& owner : standing_) {
+    const StandingQuery& q = *owner;
+    ckpt::Payload p;
+    p.PutI64(q.id);
+    p.PutString(q.sql);
+    EncodeStatus(q.status, &p);
+    p.PutBool(q.finished);
+    const uint32_t kind = q.svaqd != nullptr ? 1u : (q.cnf != nullptr ? 2u : 0u);
+    p.PutU32(kind);
+    std::string engine_blob;
+    if (q.svaqd != nullptr) {
+      engine_blob = q.svaqd->SnapshotState();
+    } else if (q.cnf != nullptr) {
+      engine_blob = q.cnf->SnapshotState();
+    }
+    p.PutString(engine_blob);
+    EncodeModelStats(q.det_acc, &p);
+    EncodeModelStats(q.rec_acc, &p);
+    snap.Append(kSnapStanding, p);
+  }
+  for (const auto& [source, pos] : stream_pos_) {
+    ckpt::Payload p;
+    p.PutString(source);
+    p.PutI64(pos);
+    snap.Append(kSnapStreamPos, p);
+  }
+  if (options_.share_detection_cache) {
+    cache_.ForEach([&snap](const std::string& source, const std::string& stack,
+                           detect::ModelBundle* bundle) {
+      ckpt::Payload p;
+      p.PutBool(false);  // Shared: addressed by (source, stack).
+      p.PutString(source);
+      p.PutString(stack);
+      EncodeBundleStats(*bundle, &p);
+      snap.Append(kSnapBundleStats, p);
+    });
+  } else {
+    for (const std::unique_ptr<StandingQuery>& owner : standing_) {
+      const StandingQuery& q = *owner;
+      if (q.models != &q.owned_models || q.models == nullptr) continue;
+      ckpt::Payload p;
+      p.PutBool(true);  // Owned: addressed by the query id.
+      p.PutI64(q.id);
+      EncodeBundleStats(q.owned_models, &p);
+      snap.Append(kSnapBundleStats, p);
+    }
+  }
+  {
+    ckpt::Payload p;
+    p.PutI64(cache_.bundles_created());
+    p.PutI64(cache_.bundle_reuses());
+    snap.Append(kSnapCacheCounters, p);
+  }
+  {
+    ckpt::Payload p;
+    p.PutI64(next_id_);
+    p.PutI64(ckpt_seq_);
+    p.PutI64(stats_.accepted);
+    p.PutI64(stats_.rejected_overflow);
+    p.PutI64(stats_.rejected_parse);
+    p.PutI64(stats_.rejected_unknown_source);
+    p.PutI64(stats_.completed);
+    p.PutI64(stats_.failed);
+    p.PutF64(stats_.total_simulated_ms);
+    snap.Append(kSnapMeta, p);
+  }
+  // Every registry instrument except the checkpoint subsystem's own
+  // families: restoring those would mask the corruption/recovery counts
+  // the *recovering* process accumulates while reading this very blob.
+  const obs::Snapshot metrics = obs::MetricRegistry::Global().TakeSnapshot();
+  for (const obs::Snapshot::Entry& entry : metrics.entries) {
+    if (entry.name.rfind("vaq_ckpt_", 0) == 0) continue;
+    ckpt::Payload p;
+    ckpt::EncodeMetricEntry(entry, &p);
+    snap.Append(kSnapMetric, p);
+  }
+  const std::string& blob = snap.blob();
+  VAQ_RETURN_IF_ERROR(store->Put(ckpt::SnapshotName(ckpt_seq_), blob));
+  // Keep this snapshot, its predecessor (the corruption fallback) and
+  // the WAL segment spanning the two — falling back to snap-(S-1) needs
+  // wal-S to reach snap-S's state. Everything older goes.
+  auto listed = store->List();
+  if (listed.ok()) {
+    for (const std::string& name : *listed) {
+      auto snap_seq = ckpt::SnapshotSeq(name);
+      if (snap_seq.ok() && *snap_seq < ckpt_seq_ - 1) {
+        VAQ_RETURN_IF_ERROR(store->Delete(name));
+        continue;
+      }
+      auto wal_seq = ckpt::WalSeq(name);
+      if (wal_seq.ok() && *wal_seq < ckpt_seq_) {
+        VAQ_RETURN_IF_ERROR(store->Delete(name));
+      }
+    }
+  }
+  ckpt_snapshots_->Increment();
+  ckpt_snapshot_bytes_->Increment(static_cast<int64_t>(blob.size()));
+  ckpt_snapshot_ms_->Observe(kSeekMs +
+                             static_cast<double>(blob.size()) * kSnapshotByteMs);
+  ++ckpt_seq_;
+  clips_since_snapshot_ = 0;
+  sim_ms_since_snapshot_ = 0.0;
+  return Status::OK();
+}
+
+StatusOr<ckpt::RecoveryReport> Server::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.checkpoint_store == nullptr) {
+    return Status::FailedPrecondition("no checkpoint store configured");
+  }
+  if (next_id_ != 0 || !standing_.empty()) {
+    return Status::FailedPrecondition(
+        "Recover requires a freshly constructed server");
+  }
+  replaying_ = true;
+  ckpt::RecoveryDriver driver(options_.checkpoint_store, options_.fault_plan);
+  ckpt::RecoveryHooks hooks;
+  hooks.restore = [this](uint32_t version,
+                         const std::vector<ckpt::Record>& records) {
+    return RestoreBlobLocked(version, records);
+  };
+  hooks.replay = [this](const ckpt::Record& record) {
+    return ReplayWalLocked(record);
+  };
+  auto report = driver.Run(hooks);
+  replaying_ = false;
+  return report;
+}
+
+Status Server::RestoreBlobLocked(uint32_t /*version*/,
+                                 const std::vector<ckpt::Record>& records) {
+  for (const ckpt::Record& record : records) {
+    ckpt::PayloadReader in(record.payload);
+    switch (record.tag) {
+      case kSnapStanding: {
+        int64_t id = 0;
+        std::string sql;
+        Status saved_status;
+        bool finished = false;
+        uint32_t kind = 0;
+        std::string engine_blob;
+        detect::ModelStats det_acc, rec_acc;
+        VAQ_RETURN_IF_ERROR(in.GetI64(&id));
+        VAQ_RETURN_IF_ERROR(in.GetString(&sql));
+        VAQ_RETURN_IF_ERROR(DecodeStatus(&in, &saved_status));
+        VAQ_RETURN_IF_ERROR(in.GetBool(&finished));
+        VAQ_RETURN_IF_ERROR(in.GetU32(&kind));
+        VAQ_RETURN_IF_ERROR(in.GetString(&engine_blob));
+        VAQ_RETURN_IF_ERROR(DecodeModelStats(&in, &det_acc));
+        VAQ_RETURN_IF_ERROR(DecodeModelStats(&in, &rec_acc));
+        auto parsed = query::Parse(sql);
+        if (!parsed.ok()) {
+          return Status::Corruption("unparsable standing query in snapshot: " +
+                                    parsed.status().ToString());
+        }
+        VAQ_RETURN_IF_ERROR(
+            AdmitStandingLocked(id, sql, std::move(parsed).value()));
+        StandingQuery& q = *standing_.back();
+        const uint32_t rebuilt =
+            q.svaqd != nullptr ? 1u : (q.cnf != nullptr ? 2u : 0u);
+        if (rebuilt != kind) {
+          return Status::Corruption(
+              "engine kind mismatch for standing query #" +
+              std::to_string(id) +
+              " (were the registrations changed since the snapshot?)");
+        }
+        if (q.svaqd != nullptr) {
+          VAQ_RETURN_IF_ERROR(q.svaqd->RestoreState(engine_blob));
+        } else if (q.cnf != nullptr) {
+          VAQ_RETURN_IF_ERROR(q.cnf->RestoreState(engine_blob));
+        }
+        q.status = saved_status;
+        q.finished = finished;
+        q.det_acc = det_acc;
+        q.rec_acc = rec_acc;
+        next_id_ = std::max(next_id_, id + 1);
+        break;
+      }
+      case kSnapStreamPos: {
+        std::string source;
+        int64_t pos = 0;
+        VAQ_RETURN_IF_ERROR(in.GetString(&source));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&pos));
+        stream_pos_[source] = pos;
+        break;
+      }
+      case kSnapBundleStats: {
+        bool owned = false;
+        VAQ_RETURN_IF_ERROR(in.GetBool(&owned));
+        detect::ModelBundle* bundle = nullptr;
+        if (owned) {
+          int64_t id = 0;
+          VAQ_RETURN_IF_ERROR(in.GetI64(&id));
+          for (const std::unique_ptr<StandingQuery>& q : standing_) {
+            if (q->id == id && q->models == &q->owned_models) {
+              bundle = &q->owned_models;
+              break;
+            }
+          }
+        } else {
+          std::string source, stack;
+          VAQ_RETURN_IF_ERROR(in.GetString(&source));
+          VAQ_RETURN_IF_ERROR(in.GetString(&stack));
+          bundle = cache_.Find(source, stack);
+        }
+        if (bundle == nullptr) {
+          return Status::Corruption(
+              "snapshot references a model bundle the rebuilt session "
+              "does not have");
+        }
+        VAQ_RETURN_IF_ERROR(DecodeBundleStats(&in, bundle));
+        break;
+      }
+      case kSnapCacheCounters: {
+        int64_t created = 0, reuses = 0;
+        VAQ_RETURN_IF_ERROR(in.GetI64(&created));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&reuses));
+        cache_.RestoreCounters(created, reuses);
+        break;
+      }
+      case kSnapMeta: {
+        int64_t next_id = 0, seq = 0;
+        VAQ_RETURN_IF_ERROR(in.GetI64(&next_id));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&seq));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.accepted));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.rejected_overflow));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.rejected_parse));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.rejected_unknown_source));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.completed));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&stats_.failed));
+        VAQ_RETURN_IF_ERROR(in.GetF64(&stats_.total_simulated_ms));
+        next_id_ = std::max(next_id_, next_id);
+        ckpt_seq_ = seq + 1;
+        break;
+      }
+      case kSnapMetric: {
+        obs::Snapshot::Entry entry;
+        VAQ_RETURN_IF_ERROR(ckpt::DecodeMetricEntry(&in, &entry));
+        obs::Snapshot one;
+        one.entries.push_back(std::move(entry));
+        obs::RestoreSnapshot(one);
+        break;
+      }
+      default:
+        break;  // A newer writer's record type: skip (forward compat).
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::ReplayWalLocked(const ckpt::Record& record) {
+  ckpt::PayloadReader in(record.payload);
+  switch (record.tag) {
+    case kWalAddQuery: {
+      int64_t id = 0;
+      std::string sql;
+      VAQ_RETURN_IF_ERROR(in.GetI64(&id));
+      VAQ_RETURN_IF_ERROR(in.GetString(&sql));
+      for (const std::unique_ptr<StandingQuery>& q : standing_) {
+        if (q->id == id) return Status::OK();  // Snapshot already has it.
+      }
+      if (id != next_id_) {
+        return Status::Corruption("WAL admission out of order: got #" +
+                                  std::to_string(id) + ", expected #" +
+                                  std::to_string(next_id_));
+      }
+      auto parsed = query::Parse(sql);
+      if (!parsed.ok()) {
+        return Status::Corruption("unparsable standing query in WAL: " +
+                                  parsed.status().ToString());
+      }
+      next_id_ = id + 1;
+      return AdmitStandingLocked(id, sql, std::move(parsed).value());
+    }
+    case kWalClip: {
+      std::string source;
+      int64_t clip = 0;
+      VAQ_RETURN_IF_ERROR(in.GetString(&source));
+      VAQ_RETURN_IF_ERROR(in.GetI64(&clip));
+      auto it = stream_pos_.find(source);
+      const int64_t pos = it == stream_pos_.end() ? 0 : it->second;
+      if (clip < pos) return Status::OK();  // Snapshot already covers it.
+      if (clip > pos) {
+        return Status::Corruption(
+            "WAL gap on stream '" + source + "': log resumes at clip " +
+            std::to_string(clip) + " but the snapshot ends at " +
+            std::to_string(pos));
+      }
+      return AdvanceStreamLocked(source);
+    }
+    default:
+      return Status::OK();  // A newer writer's record type: skip.
+  }
 }
 
 double ModeledMakespanMs(const std::vector<ServedQuery>& queries,

@@ -41,6 +41,16 @@
 // wall clock. `ModeledMakespanMs` replays the shard schedule on a
 // virtual-time list scheduler to price a worker-count deterministically
 // (bench_serve's throughput-scaling curve).
+//
+// Besides the batch Submit/Drain path, the server offers a *standing-
+// query* mode for long-lived monitoring: queries are admitted up front
+// (AddStandingQuery) and then every registered stream is driven clip by
+// clip (AdvanceStream), all standing queries over one source advancing in
+// lockstep over its shared model bundle. This mode is durable: with a
+// ckpt::Store configured, every admission and clip advance is logged to a
+// WAL before it is applied, periodic snapshots capture the complete
+// engine/cache/metric state, and Recover() rebuilds a crashed session
+// byte-identically (DESIGN.md §10).
 #ifndef VAQ_SERVE_SERVER_H_
 #define VAQ_SERVE_SERVER_H_
 
@@ -54,11 +64,16 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/recovery.h"
+#include "ckpt/serializer.h"
+#include "ckpt/store.h"
 #include "common/status.h"
 #include "detect/models.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "offline/scoring.h"
+#include "online/cnf_engine.h"
+#include "online/streaming.h"
 #include "query/session.h"
 #include "serve/detection_cache.h"
 #include "storage/access_counter.h"
@@ -67,6 +82,11 @@
 
 namespace vaq {
 namespace serve {
+
+// Default snapshot cadence for durable standing-query sessions (vaqctl
+// serve --checkpoint-dir without --snapshot-every; bench_ckpt's reference
+// point for the ≤10% overhead budget).
+inline constexpr int64_t kDefaultSnapshotEveryClips = 8;
 
 struct ServeOptions {
   // Worker pool size. 0 runs every admitted query inline on the thread
@@ -80,6 +100,16 @@ struct ServeOptions {
   // Applied to every stream whose SvaqdOptions carry no plan of their
   // own. Not owned; must outlive the server.
   const fault::FaultPlan* fault_plan = nullptr;
+
+  // --- Durability (standing-query mode; DESIGN.md §10) -------------------
+  // Checkpoint store for standing queries. Null disables WAL and
+  // snapshots. Not owned; must outlive the server.
+  ckpt::Store* checkpoint_store = nullptr;
+  // Automatic snapshot policy, evaluated after each AdvanceStream: a
+  // snapshot is taken every N clips advanced (0 = off) or every M
+  // simulated engine milliseconds (0 = off), whichever trips first.
+  int64_t snapshot_every_clips = 0;
+  double snapshot_every_ms = 0.0;
 };
 
 // One admitted query's outcome.
@@ -130,14 +160,57 @@ class Server {
 
   // Parses, resolves and enqueues one statement; returns its id.
   // kUnavailable = queue full (retry later), kInvalidArgument = parse
-  // error, kNotFound = unregistered source. Thread-safe; workers consume
-  // concurrently.
+  // error, kNotFound = unregistered source, kFailedPrecondition = the
+  // server has already been drained (Drain is terminal). Thread-safe;
+  // workers consume concurrently.
   StatusOr<int64_t> Submit(const std::string& sql);
 
   // Blocks until every admitted query has finished, merges worker-local
-  // statistics, and returns all results finished since the last Drain,
-  // sorted by id.
+  // statistics, and returns all results sorted by id. Terminal: from the
+  // moment Drain begins, further Submit calls deterministically fail
+  // with kFailedPrecondition (there is no later merge point that could
+  // pick their results up).
   std::vector<ServedQuery> Drain();
+
+  // --- Standing-query (clip-lockstep) mode -------------------------------
+  // The admission thread owns this whole mode: none of the methods below
+  // are synchronized against Submit workers, and the checkpoint store is
+  // only ever touched from here.
+
+  // Parses and admits one online statement as a standing query against a
+  // registered stream; returns its id. Must be called before the
+  // statement's source has advanced (kFailedPrecondition otherwise);
+  // ranked statements are rejected as kInvalidArgument. Engine
+  // construction failures (e.g. a name the vocabulary lacks) are still
+  // admitted and surface through FinishStanding, mirroring Submit's
+  // run-time-failure semantics.
+  StatusOr<int64_t> AddStandingQuery(const std::string& sql);
+
+  // Advances every standing query on `source` by one clip, in id order.
+  // With a checkpoint store, the clip is WAL-logged *before* any engine
+  // state changes, and a snapshot is taken afterwards when the configured
+  // interval has elapsed. kOutOfRange past the scenario's clip count.
+  Status AdvanceStream(const std::string& source);
+
+  // Ends every standing query (closing open result sequences) and
+  // returns their results in id order. Terminal for the standing mode.
+  std::vector<ServedQuery> FinishStanding();
+
+  // Takes a snapshot now (kFailedPrecondition without a checkpoint
+  // store), truncates the WAL and keeps the predecessor snapshot as the
+  // corruption fallback.
+  Status Checkpoint();
+
+  // Rebuilds the standing-query session from the newest valid snapshot
+  // plus the WAL (ckpt::RecoveryDriver). Must run on a freshly
+  // constructed server with the same registrations and options as the
+  // crashed one; afterwards the session resumes exactly where it left
+  // off — results and logical metrics are byte-identical to an
+  // uninterrupted run.
+  StatusOr<ckpt::RecoveryReport> Recover();
+
+  // Clips advanced so far on `source` (0 when never advanced).
+  int64_t StreamPosition(const std::string& source) const;
 
   // Lifetime totals; call after Drain (worker-local stats merge there).
   ServeStats stats() const;
@@ -174,6 +247,23 @@ class Server {
     int64_t completed = 0;
     int64_t failed = 0;
   };
+  // One admitted standing query and its incremental engine. Exactly one
+  // of svaqd/cnf is set (neither when construction failed; see status).
+  struct StandingQuery {
+    int64_t id = 0;
+    std::string sql;
+    std::string source;  // Registered stream name.
+    std::string stack;   // Model stack (shared-cache key).
+    query::QueryStatement stmt;
+    std::unique_ptr<online::StreamingSvaqd> svaqd;
+    std::unique_ptr<online::CnfStream> cnf;
+    detect::ModelBundle owned_models;  // Backing store when cache is off.
+    detect::ModelBundle* models = nullptr;
+    detect::ModelStats det_acc;  // This query's per-clip stat deltas,
+    detect::ModelStats rec_acc;  // accumulated across advances.
+    Status status;               // First construction/advance failure.
+    bool finished = false;
+  };
 
   void StartWorkersLocked();
   void WorkerLoop(WorkerState* state);
@@ -181,6 +271,18 @@ class Server {
   bool ClaimNextLocked(PendingQuery* out, Shard** shard);
   ServedQuery RunQuery(const PendingQuery& pending, WorkerState* state);
   void MergeWorkerStatsLocked();
+
+  // Standing-mode internals; callers hold mu_. Admit/Advance are shared
+  // between the live path and WAL replay (replay skips WAL appends and
+  // the snapshot policy via replaying_).
+  Status AdmitStandingLocked(int64_t id, const std::string& sql,
+                             query::QueryStatement stmt);
+  Status AdvanceStreamLocked(const std::string& source);
+  Status CheckpointLocked();
+  Status AppendWalLocked(uint32_t tag, const ckpt::Payload& payload);
+  Status RestoreBlobLocked(uint32_t version,
+                           const std::vector<ckpt::Record>& records);
+  Status ReplayWalLocked(const ckpt::Record& record);
 
   const ServeOptions options_;
 
@@ -203,6 +305,17 @@ class Server {
   int64_t next_id_ = 0;
   int64_t pending_ = 0;  // Admitted, not yet finished.
   bool stopping_ = false;
+  bool drained_ = false;  // Drain began; submissions are closed.
+
+  // Standing-query mode. unique_ptr keeps `models = &owned_models`
+  // stable across vector growth.
+  std::vector<std::unique_ptr<StandingQuery>> standing_;
+  std::map<std::string, int64_t> stream_pos_;  // Clips advanced per source.
+  int64_t ckpt_seq_ = 0;               // Next snapshot sequence number.
+  int64_t clips_since_snapshot_ = 0;   // Snapshot-policy accumulators.
+  double sim_ms_since_snapshot_ = 0.0;
+  bool standing_finished_ = false;
+  bool replaying_ = false;  // Inside Recover(): no WAL, no snapshots.
 
   // Registry mirrors (resolved in the constructor).
   obs::Counter* submitted_accepted_;
@@ -216,6 +329,10 @@ class Server {
   obs::Counter* cache_misses_inference_;
   obs::Histogram* query_ms_online_;
   obs::Histogram* query_ms_ranked_;
+  obs::Counter* ckpt_snapshots_;
+  obs::Counter* ckpt_snapshot_bytes_;
+  obs::Counter* ckpt_wal_records_;
+  obs::Histogram* ckpt_snapshot_ms_;
 };
 
 // Virtual-time list-scheduling makespan (ms) of `queries` on `threads`

@@ -110,14 +110,22 @@ TEST(ServeTest, AdmissionControlRejectsOverflowAndRecovers) {
   const auto rejected = server.Submit(sql);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
-  // Draining frees capacity; the retry is then admitted.
   EXPECT_EQ(server.Drain().size(), 2u);
-  EXPECT_TRUE(server.Submit(sql).ok());
-  EXPECT_EQ(server.Drain().size(), 1u);
+  // Drain is terminal: a post-Drain retry fails deterministically with
+  // kFailedPrecondition instead of landing in a queue no Drain will ever
+  // merge (the old lost-query race).
+  const auto late = server.Submit(sql);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  // Unparsable statements fail the same way once drained — the door is
+  // checked before the parser runs.
+  const auto late_garbage = server.Submit("SELECT FROM WHERE banana");
+  ASSERT_FALSE(late_garbage.ok());
+  EXPECT_EQ(late_garbage.status().code(), StatusCode::kFailedPrecondition);
   const ServeStats stats = server.stats();
-  EXPECT_EQ(stats.accepted, 3);
+  EXPECT_EQ(stats.accepted, 2);
   EXPECT_EQ(stats.rejected_overflow, 1);
-  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.completed, 2);
 }
 
 TEST(ServeTest, RejectsParseErrorsAndUnknownSources) {

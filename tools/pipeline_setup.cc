@@ -1,6 +1,7 @@
 #include "tools/pipeline_setup.h"
 
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "detect/models.h"
@@ -172,6 +173,62 @@ std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
     }
   }
   return out;
+}
+
+StatusOr<std::unique_ptr<serve::Server>> MakeStandingDemoServer(
+    const StandingDemoSpec& spec) {
+  serve::ServeOptions options;
+  options.threads = 0;  // Standing mode advances inline, clip-lockstep.
+  options.share_detection_cache = spec.share_detection_cache;
+  options.fault_plan = spec.fault_plan;
+  options.checkpoint_store = spec.checkpoint_store;
+  options.snapshot_every_clips = spec.snapshot_every_clips;
+  options.snapshot_every_ms = spec.snapshot_every_ms;
+  auto server = std::make_unique<serve::Server>(options);
+  VAQ_RETURN_IF_ERROR(RegisterDemoSources(server.get(), spec.num_streams,
+                                          /*with_repository=*/false,
+                                          spec.seed));
+  return server;
+}
+
+Status AdmitStandingDemoWorkload(serve::Server* server,
+                                 const StandingDemoSpec& spec) {
+  for (const std::string& sql :
+       DemoWorkload(spec.num_streams, spec.num_queries,
+                    /*with_repository=*/false)) {
+    VAQ_RETURN_IF_ERROR(server->AddStandingQuery(sql).status());
+  }
+  return Status::OK();
+}
+
+int64_t StandingDemoMaxAdvances(const StandingDemoSpec& spec) {
+  // Every demo scenario has the same duration, so every stream has the
+  // same clip count and the round-robin schedule never hits a short one.
+  return static_cast<int64_t>(spec.num_streams) *
+         DemoScenario(0).layout().NumClips();
+}
+
+int64_t StandingDemoAdvancesDone(const serve::Server& server,
+                                 const StandingDemoSpec& spec) {
+  int64_t done = 0;
+  for (int i = 0; i < spec.num_streams; ++i) {
+    done += server.StreamPosition("cam" + std::to_string(i));
+  }
+  return done;
+}
+
+Status DriveStandingDemo(serve::Server* server, const StandingDemoSpec& spec,
+                         int64_t max_total_advances) {
+  // Advance i (0-based, session-wide) feeds clip i/num_streams of stream
+  // cam<i % num_streams>. Resuming from recovered positions is exact:
+  // with equal-length streams the sum of positions IS the next index.
+  const int streams = spec.num_streams > 0 ? spec.num_streams : 1;
+  for (int64_t i = StandingDemoAdvancesDone(*server, spec);
+       i < max_total_advances; ++i) {
+    VAQ_RETURN_IF_ERROR(server->AdvanceStream(
+        "cam" + std::to_string(i % streams)));
+  }
+  return Status::OK();
 }
 
 }  // namespace tools

@@ -18,6 +18,7 @@
 #define VAQ_TOOLS_PIPELINE_SETUP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,52 @@ Status RegisterDemoSources(serve::Server* server, int num_streams,
 // top-K statements against the repository when `with_repository`.
 std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
                                       bool with_repository);
+
+// --- Durable standing-query demo ---------------------------------------
+// The restartable clip-lockstep session behind `vaqctl serve
+// --checkpoint-dir`, `vaqctl recover`, the crash-recovery tests and
+// bench_ckpt: the demo streams, DemoWorkload's online statements admitted
+// as standing queries, and a round-robin clip schedule that can resume
+// from recovered stream positions.
+
+struct StandingDemoSpec {
+  int num_streams = 2;
+  int num_queries = 4;
+  uint64_t seed = 11;
+  bool share_detection_cache = true;
+  // Neither pointer is owned; both must outlive the server.
+  const fault::FaultPlan* fault_plan = nullptr;
+  ckpt::Store* checkpoint_store = nullptr;
+  int64_t snapshot_every_clips = serve::kDefaultSnapshotEveryClips;
+  double snapshot_every_ms = 0.0;
+};
+
+// A server with the demo streams registered and the spec's durability
+// options applied. Standing mode is single-threaded by construction, so
+// the server runs inline (threads = 0). Admit queries (or Recover())
+// before driving it.
+StatusOr<std::unique_ptr<serve::Server>> MakeStandingDemoServer(
+    const StandingDemoSpec& spec);
+
+// Admits DemoWorkload(num_streams, num_queries, false) as standing
+// queries. Call on a fresh server only — a recovered one already has
+// its queries.
+Status AdmitStandingDemoWorkload(serve::Server* server,
+                                 const StandingDemoSpec& spec);
+
+// Clip advances in a full run of the demo (num_streams × demo clips),
+// and the advances a server has already performed (sum of its stream
+// positions — exact for the round-robin schedule).
+int64_t StandingDemoMaxAdvances(const StandingDemoSpec& spec);
+int64_t StandingDemoAdvancesDone(const serve::Server& server,
+                                 const StandingDemoSpec& spec);
+
+// Drives the round-robin clip schedule from wherever the server is —
+// fresh or recovered — until `max_total_advances` advances have happened
+// session-wide. Restartable: stop anywhere ("crash"), Recover() into a
+// fresh server, call again with the same target.
+Status DriveStandingDemo(serve::Server* server, const StandingDemoSpec& spec,
+                         int64_t max_total_advances);
 
 }  // namespace tools
 }  // namespace vaq

@@ -36,12 +36,37 @@
 //       source and executed by N workers with a shared detection cache.
 //       Per-query results and merged statistics are deterministic for a
 //       fixed --seed regardless of --threads.
+//
+//   vaqctl serve --checkpoint-dir DIR [--snapshot-every N]
+//                [--crash-after K] [--queries M] [--streams K] [--seed S]
+//                [--cache on|off] [--format text|prom|both]
+//       Durable variant: the same workload runs as standing queries in
+//       clip lockstep against a checkpoint store in DIR (src/ckpt/) — a
+//       clip-granularity WAL plus a full snapshot every N clips. The
+//       session config is persisted alongside the checkpoints, so the
+//       session is restartable by `vaqctl recover` alone. --crash-after K
+//       stops dead after K clip advances (no final results, no clean
+//       shutdown) to stage a crash for the recovery demo:
+//
+//         vaqctl serve --checkpoint-dir /tmp/ckpt --crash-after 100
+//         vaqctl recover --checkpoint-dir /tmp/ckpt
+//
+//   vaqctl recover --checkpoint-dir DIR [--format text|prom|both]
+//       Recover the durable session in DIR: restore the newest valid
+//       snapshot (corrupt ones are rejected and counted), replay the
+//       WAL, resume the stream schedule to completion and print the
+//       results plus resumed metrics. For a fixed config the output is
+//       byte-identical to a run that never crashed.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
+#include "ckpt/serializer.h"
+#include "ckpt/store.h"
 #include "tools/pipeline_setup.h"
 #include "vaq/vaq.h"
 
@@ -342,7 +367,201 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+// --- Durable standing-query serving (vaqctl serve --checkpoint-dir /
+// vaqctl recover). The session config lives in the store next to the
+// snapshots and WAL segments, so recovery needs nothing but the
+// directory. The recovery driver only interprets snap-*/wal-* entries;
+// "config" is invisible to it.
+
+constexpr char kConfigEntry[] = "config";
+constexpr uint32_t kConfigTag = 1;
+
+Status WriteServeConfig(ckpt::Store* store,
+                        const tools::StandingDemoSpec& spec) {
+  ckpt::Payload payload;
+  payload.PutI64(spec.num_streams);
+  payload.PutI64(spec.num_queries);
+  payload.PutU64(spec.seed);
+  payload.PutBool(spec.share_detection_cache);
+  payload.PutI64(spec.snapshot_every_clips);
+  payload.PutF64(spec.snapshot_every_ms);
+  ckpt::Serializer serializer;
+  serializer.Append(kConfigTag, payload);
+  return store->Put(kConfigEntry, serializer.blob());
+}
+
+StatusOr<tools::StandingDemoSpec> ReadServeConfig(const ckpt::Store& store) {
+  VAQ_ASSIGN_OR_RETURN(const std::string blob, store.Get(kConfigEntry));
+  VAQ_ASSIGN_OR_RETURN(const std::vector<ckpt::Record> records,
+                       ckpt::ParseBlob(blob));
+  for (const ckpt::Record& record : records) {
+    if (record.tag != kConfigTag) continue;
+    ckpt::PayloadReader in(record.payload);
+    tools::StandingDemoSpec spec;
+    int64_t streams = 0, queries = 0;
+    VAQ_RETURN_IF_ERROR(in.GetI64(&streams));
+    VAQ_RETURN_IF_ERROR(in.GetI64(&queries));
+    VAQ_RETURN_IF_ERROR(in.GetU64(&spec.seed));
+    VAQ_RETURN_IF_ERROR(in.GetBool(&spec.share_detection_cache));
+    VAQ_RETURN_IF_ERROR(in.GetI64(&spec.snapshot_every_clips));
+    VAQ_RETURN_IF_ERROR(in.GetF64(&spec.snapshot_every_ms));
+    spec.num_streams = static_cast<int>(streams);
+    spec.num_queries = static_cast<int>(queries);
+    return spec;
+  }
+  return Status::Corruption("config entry has no config record");
+}
+
+// Finish the standing session and print results / stats / metrics; the
+// tail shared by a completed durable serve and a recovery.
+int FinishDurableSession(serve::Server* server, const std::string& format) {
+  const std::vector<serve::ServedQuery> results = server->FinishStanding();
+  obs::Tracer::Global().SetClock(nullptr);
+  if (format == "text" || format == "both") {
+    for (const serve::ServedQuery& q : results) {
+      std::printf("%s\n", serve::DescribeServedQuery(q).c_str());
+    }
+    std::printf("stats: %s\n", server->stats().ToString().c_str());
+  }
+  if (format == "prom" || format == "both") {
+    std::vector<std::string> prefixes = serve::LogicalMetricPrefixes();
+    prefixes.push_back("vaq_ckpt_");
+    const obs::Snapshot snapshot = obs::FilterSnapshot(
+        obs::MetricRegistry::Global().TakeSnapshot(), prefixes);
+    std::fputs(obs::ExportPrometheus(snapshot).c_str(), stdout);
+  }
+  return 0;
+}
+
+int CmdServeDurable(const Args& args) {
+  const std::string dir = args.Get("checkpoint-dir");
+  const std::string cache = args.Get("cache", "on");
+  const std::string format = args.Get("format", "text");
+  const int64_t crash_after =
+      std::atoll(args.Get("crash-after", "-1").c_str());
+  if (format != "text" && format != "prom" && format != "both") {
+    std::fprintf(stderr, "--format must be text, prom or both\n");
+    return 2;
+  }
+
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+
+  tools::StandingDemoSpec spec;
+  spec.num_streams = std::atoi(args.Get("streams", "2").c_str());
+  spec.num_queries = std::atoi(args.Get("queries", "4").c_str());
+  spec.seed = static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  spec.share_detection_cache = cache == "on";
+  spec.snapshot_every_clips = std::atoll(
+      args.Get("snapshot-every",
+               std::to_string(serve::kDefaultSnapshotEveryClips))
+          .c_str());
+  if (spec.num_streams < 1 || spec.num_queries < 1 ||
+      spec.snapshot_every_clips < 1) {
+    std::fprintf(stderr,
+                 "--streams/--queries/--snapshot-every must be >= 1\n");
+    return 2;
+  }
+
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), spec.seed);
+  spec.fault_plan = &plan;
+  ckpt::DirStore store(dir);
+  spec.checkpoint_store = &store;
+  Status status = WriteServeConfig(&store, spec);
+  auto server = tools::MakeStandingDemoServer(spec);
+  if (status.ok()) status = server.status();
+  if (status.ok()) {
+    status = tools::AdmitStandingDemoWorkload(server.value().get(), spec);
+  }
+  const int64_t total = tools::StandingDemoMaxAdvances(spec);
+  const int64_t target =
+      crash_after >= 0 ? std::min(crash_after, total) : total;
+  if (status.ok()) {
+    status = tools::DriveStandingDemo(server.value().get(), spec, target);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("durable serve: %d stream(s), %d standing quer%s, "
+              "snapshot every %lld clips, checkpoints in %s\n",
+              spec.num_streams, spec.num_queries,
+              spec.num_queries == 1 ? "y" : "ies",
+              static_cast<long long>(spec.snapshot_every_clips),
+              store.dir().c_str());
+  if (target < total) {
+    // Staged crash: abandon the session mid-stream. Everything durable is
+    // already in the store; `vaqctl recover` picks it up from here.
+    obs::Tracer::Global().SetClock(nullptr);
+    std::printf("crashed after %lld of %lld clip advances; resume with:\n"
+                "  vaqctl recover --checkpoint-dir %s\n",
+                static_cast<long long>(target),
+                static_cast<long long>(total), store.dir().c_str());
+    return 0;
+  }
+  return FinishDurableSession(server.value().get(), format);
+}
+
+int CmdRecover(const Args& args) {
+  const std::string dir = args.Get("checkpoint-dir");
+  const std::string format = args.Get("format", "text");
+  if (dir.empty()) {
+    std::fprintf(stderr, "vaqctl recover requires --checkpoint-dir\n");
+    return 2;
+  }
+  if (format != "text" && format != "prom" && format != "both") {
+    std::fprintf(stderr, "--format must be text, prom or both\n");
+    return 2;
+  }
+
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+
+  ckpt::DirStore store(dir);
+  auto config = ReadServeConfig(store);
+  if (!config.ok()) {
+    std::fprintf(stderr, "no recoverable session in %s: %s\n", dir.c_str(),
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  tools::StandingDemoSpec spec = config.value();
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), spec.seed);
+  spec.fault_plan = &plan;
+  spec.checkpoint_store = &store;
+
+  auto server = tools::MakeStandingDemoServer(spec);
+  Status status = server.status();
+  ckpt::RecoveryReport report;
+  if (status.ok()) {
+    auto recovered = server.value()->Recover();
+    status = recovered.status();
+    if (status.ok()) report = recovered.value();
+  }
+  const int64_t total = tools::StandingDemoMaxAdvances(spec);
+  int64_t resumed_from = 0;
+  if (status.ok()) {
+    resumed_from = tools::StandingDemoAdvancesDone(*server.value(), spec);
+    status = tools::DriveStandingDemo(server.value().get(), spec, total);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("recovered from %s: %lld WAL record(s) replayed, "
+              "%lld snapshot(s) rejected, %lld WAL byte(s) dropped\n",
+              report.snapshot.empty() ? "cold start"
+                                      : report.snapshot.c_str(),
+              static_cast<long long>(report.wal_records),
+              static_cast<long long>(report.snapshots_rejected),
+              static_cast<long long>(report.wal_bytes_dropped));
+  std::printf("resumed at clip advance %lld of %lld\n",
+              static_cast<long long>(resumed_from),
+              static_cast<long long>(total));
+  return FinishDurableSession(server.value().get(), format);
+}
+
 int CmdServe(const Args& args) {
+  if (!args.Get("checkpoint-dir").empty()) return CmdServeDurable(args);
   const uint64_t seed =
       static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
   const int threads = std::atoi(args.Get("threads", "4").c_str());
@@ -420,7 +639,7 @@ int CmdServe(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: vaqctl <ingest|ls|rm|topk|sql|metrics|serve> "
+               "usage: vaqctl <ingest|ls|rm|topk|sql|metrics|serve|recover> "
                "[--flags]\n"
                "see the header of tools/vaqctl.cc for details\n");
   return 2;
@@ -440,5 +659,6 @@ int main(int argc, char** argv) {
   if (command == "sql") return vaq::CmdSql(args);
   if (command == "metrics") return vaq::CmdMetrics(args);
   if (command == "serve") return vaq::CmdServe(args);
+  if (command == "recover") return vaq::CmdRecover(args);
   return vaq::Usage();
 }
