@@ -144,7 +144,13 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_ckpt.json\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"streams\": %d,\n  \"queries\": %d,\n", kStreams,
+  std::fprintf(json, "{\n");
+  bench::WriteJsonMeta(json, kSeed,
+                       "checkpoint sweep: snapshot interval x stream "
+                       "length, " +
+                           std::to_string(kStreams) + " streams, " +
+                           std::to_string(kQueries) + " queries");
+  std::fprintf(json, "  \"streams\": %d,\n  \"queries\": %d,\n", kStreams,
                kQueries);
   std::fprintf(json, "  \"configs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {

@@ -146,7 +146,12 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"streams\": %d,\n  \"queries\": %d,\n",
+  std::fprintf(json, "{\n");
+  bench::WriteJsonMeta(json, kSeed,
+                       "serve sweep: threads {1,2,4,8} x cache {on,off}, " +
+                           std::to_string(kStreams) + " streams, " +
+                           std::to_string(kQueries) + " queries");
+  std::fprintf(json, "  \"streams\": %d,\n  \"queries\": %d,\n",
                kStreams, kQueries);
   std::fprintf(json, "  \"configs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {

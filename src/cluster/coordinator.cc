@@ -1,0 +1,378 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/logging.h"
+#include "fault/sim_clock.h"
+#include "obs/metrics.h"
+
+namespace vaq {
+namespace cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Wire protocol tags.
+constexpr uint32_t kTagQuery = 1;  // coordinator -> node: start, send batch 0.
+constexpr uint32_t kTagFetch = 2;  // coordinator -> node: send batch <idx>.
+constexpr uint32_t kTagBatch = 3;  // node -> coordinator: one gather batch.
+
+// Serving a follow-up batch out of the cached run costs a little
+// serialization time; the first batch is charged the full shard scan.
+constexpr double kBatchServeMs = 0.05;
+
+const std::vector<double>& AnswerMsBounds() {
+  static const std::vector<double> bounds = {1,   5,    10,   50,  100,
+                                             500, 1000, 5000, 20000};
+  return bounds;
+}
+
+// Per-shard gather state.
+struct ShardState {
+  int active_host = 0;
+  int replicas_used = 0;
+  int expected = -1;       // Outstanding batch index; -1 when none.
+  double deadline = kInf;  // Failover timer for the outstanding fetch.
+  // Remaining upper bound. Starts at +infinity, which doubles as the
+  // "shard has not reported yet" marker: the stopping rule cannot fire
+  // until every shard has run and bounded itself.
+  double bound = kInf;
+  bool done = false;        // Stream exhausted.
+  bool folded = false;      // Shard accounting merged into the result.
+  int64_t consumed_batches = 0;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(const offline::Repository* repository,
+                         ClusterOptions options)
+    : repository_(repository), options_(options) {
+  VAQ_CHECK_GT(options_.num_shards, 0);
+  VAQ_CHECK_GE(options_.num_replicas, 0);
+  VAQ_CHECK_GT(options_.batch_size, 0);
+  shard_videos_ = PartitionNames(repository_->VideoNames(),
+                                 options_.num_shards, options_.scheme);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    nodes_.push_back(std::make_unique<Node>(s, repository_, shard_videos_[s]));
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    for (int r = 0; r < options_.num_replicas; ++r) {
+      nodes_.push_back(std::make_unique<Node>(ReplicaHost(s, r), repository_,
+                                              shard_videos_[s]));
+    }
+  }
+}
+
+const std::vector<std::string>& Coordinator::ShardVideos(int shard) const {
+  return shard_videos_[static_cast<size_t>(shard)];
+}
+
+int Coordinator::ReplicaHost(int shard, int replica) const {
+  return options_.num_shards + shard * options_.num_replicas + replica;
+}
+
+Node* Coordinator::HostNode(int host) const {
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    if (node->id() == host) return node.get();
+  }
+  return nullptr;
+}
+
+bool Coordinator::HostDown(int host, double at_ms) const {
+  if (options_.kill_node == host && at_ms >= options_.kill_at_ms) return true;
+  return options_.fault_plan != nullptr &&
+         options_.fault_plan->NodeDown(host, at_ms);
+}
+
+StatusOr<ClusterTopKResult> Coordinator::TopK(
+    const std::string& action, const std::vector<std::string>& objects,
+    const offline::ScoringModel& scoring, offline::RvaqOptions rvaq) const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  if (repository_->num_videos() == 0) {
+    registry
+        .GetCounter("vaq_cluster_queries_total",
+                    {{"mode", "ranked"}, {"outcome", "error"}})
+        ->Increment();
+    return Status::FailedPrecondition("repository holds no videos");
+  }
+  for (const std::unique_ptr<Node>& node : nodes_) node->ResetRun();
+
+  const int num_shards = options_.num_shards;
+  Net net(options_.net, options_.fault_plan);
+  fault::SimClock clock;
+  ClusterTopKResult result;
+  std::vector<ShardState> shards(static_cast<size_t>(num_shards));
+  std::vector<double> host_ready;  // Virtual time a host's run is served.
+
+  const auto host_ready_at = [&](int host) -> double& {
+    if (host_ready.size() <= static_cast<size_t>(host)) {
+      host_ready.resize(static_cast<size_t>(host) + 1, -1.0);
+    }
+    return host_ready[static_cast<size_t>(host)];
+  };
+
+  // Scatter: the query goes to every shard primary at t = 0.
+  const int64_t query_wire_bytes =
+      64 + static_cast<int64_t>(action.size()) +
+      static_cast<int64_t>(objects.size()) * 16;
+  for (int s = 0; s < num_shards; ++s) {
+    shards[static_cast<size_t>(s)].active_host = s;
+    shards[static_cast<size_t>(s)].expected = 0;
+    shards[static_cast<size_t>(s)].deadline = options_.failover_timeout_ms;
+    net.Send(kCoordinatorHost, s, kTagQuery, "query",
+             std::to_string(s) + ",0", query_wire_bytes, 0.0);
+  }
+
+  // The consumed candidate pool and the global top-k heap over it.
+  std::vector<ShardEntry> consumed;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+
+  const auto remaining_bound = [&]() {
+    double bound = -kInf;
+    for (const ShardState& state : shards) {
+      if (!state.done) bound = std::max(bound, state.bound);
+    }
+    return bound;
+  };
+  const auto all_done = [&]() {
+    for (const ShardState& state : shards) {
+      if (!state.done) return false;
+    }
+    return true;
+  };
+
+  bool stopped = false;
+  Status failure = Status::OK();
+  while (!stopped && !all_done() && failure.ok()) {
+    // Next event: the earliest of the network and the failover timers.
+    double timer_ms = kInf;
+    int timer_shard = -1;
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardState& state = shards[static_cast<size_t>(s)];
+      if (state.expected >= 0 && state.deadline < timer_ms) {
+        timer_ms = state.deadline;
+        timer_shard = s;
+      }
+    }
+    const double net_ms = net.PeekTimeMs();
+    if (timer_ms == kInf && net_ms == kInf) {
+      failure = Status::Internal("cluster gather stalled with no events");
+      break;
+    }
+
+    if (timer_ms <= net_ms) {
+      // The outstanding batch did not arrive in time. Probe the host: a
+      // shard that is merely slow (a long shard scan, a drop-delayed
+      // message) gets its fetch re-sent — batches are idempotent, the
+      // stale check below discards extras — while a host inside an
+      // outage window triggers failover to the next replica.
+      clock.Advance(timer_ms - clock.now_ms());
+      ShardState& state = shards[static_cast<size_t>(timer_shard)];
+      if (HostDown(state.active_host, clock.now_ms())) {
+        ++result.failovers;
+        registry
+            .GetCounter("vaq_cluster_failovers_total", {{"mode", "ranked"}})
+            ->Increment();
+        if (state.replicas_used >= options_.num_replicas) {
+          failure = Status::Unavailable(
+              "shard " + std::to_string(timer_shard) +
+              " lost: primary down and no replica left to fail over to");
+          break;
+        }
+        state.active_host = ReplicaHost(timer_shard, state.replicas_used);
+        ++state.replicas_used;
+      }
+      net.Send(kCoordinatorHost, state.active_host, kTagFetch, "fetch",
+               std::to_string(timer_shard) + "," +
+                   std::to_string(state.expected),
+               16, clock.now_ms());
+      state.deadline = clock.now_ms() + options_.failover_timeout_ms;
+      continue;
+    }
+
+    Delivery delivery;
+    VAQ_CHECK(net.NextDelivery(&delivery));
+    clock.Advance(delivery.delivered_ms - clock.now_ms());
+    const double now = clock.now_ms();
+
+    if (delivery.tag == kTagQuery || delivery.tag == kTagFetch) {
+      // A node receives a batch request.
+      if (HostDown(delivery.to, now)) {
+        registry.GetCounter("vaq_cluster_net_lost_outage_total", {})
+            ->Increment();
+        continue;  // Lost; the coordinator's timer recovers.
+      }
+      const size_t comma = delivery.payload.find(',');
+      const int shard = std::atoi(delivery.payload.substr(0, comma).c_str());
+      const int index = std::atoi(delivery.payload.substr(comma + 1).c_str());
+      Node* node = HostNode(delivery.to);
+      VAQ_CHECK(node != nullptr);
+      double send_ms;
+      if (!node->has_run()) {
+        auto run_or = node->RunRanked(action, objects, scoring, rvaq);
+        if (!run_or.ok()) {
+          failure = run_or.status();
+          break;
+        }
+        host_ready_at(delivery.to) = now + (*run_or)->modeled_ms;
+        send_ms = host_ready_at(delivery.to);
+      } else {
+        send_ms = std::max(now, host_ready_at(delivery.to)) + kBatchServeMs;
+      }
+      const ShardBatch batch = node->Batch(shard, index, options_.batch_size);
+      net.Send(delivery.to, kCoordinatorHost, kTagBatch, "batch",
+               delivery.payload, batch.wire_bytes, send_ms);
+      continue;
+    }
+
+    // A batch arrives at the coordinator.
+    VAQ_CHECK_EQ(delivery.tag, kTagBatch);
+    const size_t comma = delivery.payload.find(',');
+    const int shard = std::atoi(delivery.payload.substr(0, comma).c_str());
+    const int index = std::atoi(delivery.payload.substr(comma + 1).c_str());
+    ShardState& state = shards[static_cast<size_t>(shard)];
+    if (state.expected != index) {
+      // Stale: a slow primary's batch landing after failover already
+      // served this index, or a batch past an already-satisfied stream.
+      registry.GetCounter("vaq_cluster_stale_batches_total", {})->Increment();
+      continue;
+    }
+    Node* sender = HostNode(delivery.from);
+    VAQ_CHECK(sender != nullptr && sender->has_run());
+    ShardBatch batch = sender->Batch(shard, index, options_.batch_size);
+    if (!state.folded) {
+      // Shard accounting folds exactly once, replica re-runs included.
+      const ShardRun* run = sender->run();
+      result.merged.accesses += run->accesses;
+      result.merged.videos_queried += run->videos_queried;
+      result.merged.videos_skipped += run->videos_skipped;
+      result.merged.candidate_sequences += run->candidate_sequences;
+      result.single_node_ms += run->modeled_ms;
+      result.max_shard_ms = std::max(result.max_shard_ms, run->modeled_ms);
+      state.folded = true;
+    }
+    ++state.consumed_batches;
+    ++result.batches_consumed;
+    result.entries_consumed += static_cast<int64_t>(batch.entries.size());
+    for (ShardEntry& entry : batch.entries) {
+      heap.push(entry.merge_score);
+      if (heap.size() > static_cast<size_t>(rvaq.k)) heap.pop();
+      consumed.push_back(std::move(entry));
+    }
+    state.bound = batch.next_bound;
+    state.expected = -1;
+    state.deadline = kInf;
+    if (!batch.more) state.done = true;
+
+    // Threshold-algorithm stop: the k-th best consumed score strictly
+    // beats anything any shard could still send. Strict, so an unseen
+    // candidate tied with the k-th score (which the single-node stable
+    // merge might prefer) is never pruned.
+    if (heap.size() == static_cast<size_t>(rvaq.k) &&
+        heap.top() > remaining_bound()) {
+      stopped = true;
+      break;
+    }
+    if (batch.more) {
+      net.Send(kCoordinatorHost, state.active_host, kTagFetch, "fetch",
+               std::to_string(shard) + "," + std::to_string(index + 1), 16,
+               now);
+      state.expected = index + 1;
+      state.deadline = now + options_.failover_timeout_ms;
+    }
+  }
+
+  if (!failure.ok()) {
+    registry
+        .GetCounter("vaq_cluster_queries_total",
+                    {{"mode", "ranked"}, {"outcome", "error"}})
+        ->Increment();
+    return failure;
+  }
+
+  // Unfetched batches were pruned by the bound. The active host may have
+  // been promoted moments before the global stop and never executed, so
+  // consult any host of the shard that ran — the stopping rule requires
+  // every shard to have reported at least once, which requires a run.
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardState& state = shards[static_cast<size_t>(s)];
+    const Node* node = HostNode(s);
+    for (int r = 0; (node == nullptr || !node->has_run()) &&
+                    r < options_.num_replicas;
+         ++r) {
+      node = HostNode(ReplicaHost(s, r));
+    }
+    VAQ_CHECK(node != nullptr && node->has_run());
+    const int total = node->NumBatches(options_.batch_size);
+    result.batches_pruned += std::max(0, total - static_cast<int>(
+                                                     state.consumed_batches));
+    result.entries_total +=
+        static_cast<int64_t>(node->run()->entries.size());
+  }
+
+  // Merge, byte-identical to Repository::TopK: assemble the consumed
+  // candidates in (video name, per-video rank) order — the order the
+  // single-node loop appends them — then the shared stable merge.
+  std::sort(consumed.begin(), consumed.end(),
+            [](const ShardEntry& a, const ShardEntry& b) {
+              if (a.video != b.video) return a.video < b.video;
+              return a.rank_in_video < b.rank_in_video;
+            });
+  result.merged.top.reserve(consumed.size());
+  for (ShardEntry& entry : consumed) {
+    result.merged.top.push_back(offline::RepositoryRankedSequence{
+        std::move(entry.video), entry.sequence});
+  }
+  offline::MergeRankedCandidates(&result.merged.top, rvaq.k);
+  result.answer_ms = clock.now_ms();
+  result.merged.wall_ms = result.answer_ms;  // Virtual, not wall, time.
+  result.net = net.stats();
+
+  registry
+      .GetCounter("vaq_cluster_queries_total",
+                  {{"mode", "ranked"}, {"outcome", "ok"}})
+      ->Increment();
+  registry.GetCounter("vaq_cluster_batches_total", {{"result", "consumed"}})
+      ->Increment(result.batches_consumed);
+  registry.GetCounter("vaq_cluster_batches_total", {{"result", "pruned"}})
+      ->Increment(result.batches_pruned);
+  registry
+      .GetCounter("vaq_cluster_entries_total", {{"result", "consumed"}})
+      ->Increment(result.entries_consumed);
+  registry.GetCounter("vaq_cluster_entries_total", {{"result", "pruned"}})
+      ->Increment(result.entries_total - result.entries_consumed);
+  registry.GetHistogram("vaq_cluster_answer_ms", AnswerMsBounds())
+      ->Observe(result.answer_ms);
+  return result;
+}
+
+StatusOr<query::QueryResult> Coordinator::ExecuteRanked(
+    const query::QueryStatement& stmt) {
+  if (!stmt.IsConjunctive()) {
+    return Status::InvalidArgument(
+        "cluster ranked execution supports conjunctive statements only "
+        "(general CNF ranking is single-node; see DESIGN.md §11)");
+  }
+  offline::RvaqOptions options;
+  options.k = stmt.limit > 0 ? stmt.limit : 5;
+  VAQ_ASSIGN_OR_RETURN(ClusterTopKResult cluster,
+                       TopK(stmt.action, stmt.objects, scoring_, options));
+  query::QueryResult result;
+  result.online = false;
+  result.accesses = cluster.merged.accesses;
+  result.ranked.reserve(cluster.merged.top.size());
+  IntervalSet merged;
+  for (const offline::RepositoryRankedSequence& entry : cluster.merged.top) {
+    result.ranked.push_back(entry.sequence);
+    merged.Add(entry.sequence.clips);
+  }
+  result.sequences = std::move(merged);
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace vaq

@@ -1,0 +1,139 @@
+// Scatter–gather ranked execution over a sharded repository.
+//
+// The coordinator partitions an offline::Repository into N shards
+// (cluster::PartitionNames), places one primary Node per shard plus R
+// follower replicas, and answers a conjunctive ranked query with the
+// classic threshold-algorithm merge over per-shard sorted streams:
+//
+//   1. Scatter: the query is sent to every shard primary over the
+//      simulated network. A node runs shard-local RVAQ (once) and
+//      serves its candidate stream — per-video winners sorted by
+//      descending merge score — in fixed-size batches, each stamped
+//      with the shard's remaining upper bound (the best score still
+//      unsent).
+//   2. Gather: the coordinator pipelines one outstanding fetch per
+//      shard, folds arriving entries into a global top-k heap, and
+//      tracks each shard's bound.
+//   3. Stop: gathering ends when the k-th best consumed score STRICTLY
+//      exceeds every remaining bound — strict, so a tied candidate can
+//      never be pruned — and every shard has reported at least one
+//      batch (bounds start at +infinity, which enforces this). Unsent
+//      batches are pruned; the result is provably complete.
+//
+// The merged result is byte-identical to Repository::TopK by
+// construction: consumed candidates are re-assembled in (video name,
+// per-video rank) order — exactly the order the single-node loop emits —
+// then passed through the same offline::MergeRankedCandidates. And
+// because a clean run executes each per-video RVAQ exactly once across
+// the whole cluster, every logical vaq_* metric lands on the single-node
+// value too; only the vaq_cluster_* transport families differ by layout.
+//
+// Failover: if an expected batch does not arrive within
+// `failover_timeout_ms` of virtual time (the shard's host is inside a
+// fault-plan outage window, or was killed explicitly), the coordinator
+// re-points the fetch at the next follower replica. Batches are a pure
+// function of (shard, batch index), so the replica resumes mid-stream
+// with no hand-off state and the final result is unchanged; the replica
+// honestly re-executes its shard scan, which is visible in engine
+// metrics but never in results.
+//
+// Times are virtual (fault::SimClock): a node's reply is ready
+// `modeled_ms` (its shard's modeled disk time) after the query arrives,
+// so `answer_ms` reflects the parallel schedule — max over shards, not
+// sum — which is where the scatter–gather speedup shows up.
+#ifndef VAQ_CLUSTER_COORDINATOR_H_
+#define VAQ_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/net.h"
+#include "cluster/node.h"
+#include "cluster/partition.h"
+#include "common/status.h"
+#include "offline/repository.h"
+#include "offline/scoring.h"
+#include "query/session.h"
+
+namespace vaq {
+namespace cluster {
+
+// The coordinator's host id on the simulated network.
+inline constexpr int kCoordinatorHost = -1;
+
+struct ClusterOptions {
+  int num_shards = 2;
+  int num_replicas = 0;  // Follower replicas per shard.
+  PartitionScheme scheme = PartitionScheme::kHash;
+  int batch_size = 4;    // Candidates per gather batch.
+  NetOptions net;
+  // Drives node outages (FaultSpec::node_outage_rate) and network
+  // faults. Not owned; may be null (no faults).
+  const fault::FaultPlan* fault_plan = nullptr;
+  // Virtual ms without the expected batch before the coordinator fails
+  // over to the next replica.
+  double failover_timeout_ms = 50.0;
+  // Staged outage for tests and `vaqctl cluster --kill-node`: host
+  // `kill_node` is down from `kill_at_ms` onward (in addition to any
+  // fault-plan windows). -1 disables.
+  int kill_node = -1;
+  double kill_at_ms = 0.0;
+};
+
+struct ClusterTopKResult {
+  // Byte-identical to the single-node Repository::TopK outcome (the
+  // wall_ms field aside, which is real time there and virtual here).
+  offline::RepositoryTopKResult merged;
+  double answer_ms = 0.0;       // Virtual time the query completed.
+  double single_node_ms = 0.0;  // Modeled sequential (1-node) scan time.
+  double max_shard_ms = 0.0;    // Slowest shard's modeled scan time.
+  int64_t batches_consumed = 0;
+  int64_t batches_pruned = 0;   // Never fetched thanks to the bound.
+  int64_t entries_consumed = 0;
+  int64_t entries_total = 0;
+  int64_t failovers = 0;
+  NetStats net;                 // This query's traffic.
+};
+
+class Coordinator : public query::RankedBackend {
+ public:
+  // `repository` is not owned and must outlive the coordinator.
+  Coordinator(const offline::Repository* repository, ClusterOptions options);
+
+  const ClusterOptions& options() const { return options_; }
+  int num_shards() const { return options_.num_shards; }
+  const std::vector<std::string>& ShardVideos(int shard) const;
+
+  // Global top-K for a conjunctive query, scatter–gathered.
+  StatusOr<ClusterTopKResult> TopK(const std::string& action,
+                                   const std::vector<std::string>& objects,
+                                   const offline::ScoringModel& scoring,
+                                   offline::RvaqOptions rvaq) const;
+
+  // query::RankedBackend: routes a parsed ranked statement (conjunctive
+  // form) through TopK with the coordinator's own PaperScoring.
+  StatusOr<query::QueryResult> ExecuteRanked(
+      const query::QueryStatement& stmt) override;
+
+ private:
+  // Primary host of shard s is s; replica r of shard s is
+  // num_shards + s * num_replicas + r.
+  int ReplicaHost(int shard, int replica) const;
+  Node* HostNode(int host) const;
+  bool HostDown(int host, double at_ms) const;
+
+  const offline::Repository* repository_;
+  ClusterOptions options_;
+  offline::PaperScoring scoring_;
+  std::vector<std::vector<std::string>> shard_videos_;
+  // Primaries [0, S), then replicas in ReplicaHost order. Mutable: nodes
+  // cache the per-query shard run; TopK is logically const.
+  mutable std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace cluster
+}  // namespace vaq
+
+#endif  // VAQ_CLUSTER_COORDINATOR_H_

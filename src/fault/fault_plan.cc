@@ -13,6 +13,9 @@ constexpr uint64_t kCallSalt = 0x1a2b3c4d5e6f7081ULL;
 constexpr uint64_t kDropSalt = 0x9d8c7b6a594837f2ULL;
 constexpr uint64_t kPageSalt = 0x31415926535897e1ULL;
 constexpr uint64_t kCkptSalt = 0x8f1bbcdc62c1d6a5ULL;
+constexpr uint64_t kNetDropSalt = 0x243f6a8885a308d3ULL;
+constexpr uint64_t kNetDupSalt = 0x13198a2e03707344ULL;
+constexpr uint64_t kNodeSalt = 0xa4093822299f31d0ULL;
 
 // Stateless uniform in [0, 1) from a coordinate tuple.
 double UniformAt(uint64_t seed, uint64_t salt, uint64_t a, uint64_t b) {
@@ -89,6 +92,29 @@ double FaultPlan::CheckpointCorruptPosition(int64_t entry) const {
   return UniformAt(seed_, kCkptSalt ^ 0x5a5a5a5a5a5a5a5aULL,
                    static_cast<uint64_t>(FaultDomain::kCheckpoint),
                    static_cast<uint64_t>(entry));
+}
+
+bool FaultPlan::NetDrops(int64_t link, int64_t seq, int64_t attempt) const {
+  if (spec_.net_drop_rate <= 0.0) return false;
+  return UniformAt(seed_, kNetDropSalt, static_cast<uint64_t>(link),
+                   static_cast<uint64_t>(seq) * 0x10001ULL +
+                       static_cast<uint64_t>(attempt)) < spec_.net_drop_rate;
+}
+
+bool FaultPlan::NetDuplicates(int64_t link, int64_t seq) const {
+  if (spec_.net_dup_rate <= 0.0) return false;
+  return UniformAt(seed_, kNetDupSalt, static_cast<uint64_t>(link),
+                   static_cast<uint64_t>(seq)) < spec_.net_dup_rate;
+}
+
+bool FaultPlan::NodeDown(int64_t node, double at_ms) const {
+  if (spec_.node_outage_rate <= 0.0) return false;
+  VAQ_CHECK_GT(spec_.node_outage_len_ms, 0);
+  const int64_t window = static_cast<int64_t>(at_ms) / spec_.node_outage_len_ms;
+  return UniformAt(seed_, kNodeSalt, static_cast<uint64_t>(FaultDomain::kNode) *
+                                         0x9e37ULL +
+                                         static_cast<uint64_t>(node),
+                   static_cast<uint64_t>(window)) < spec_.node_outage_rate;
 }
 
 }  // namespace fault

@@ -41,6 +41,8 @@ enum class FaultDomain : uint64_t {
   kStorage = 4,
   kStream = 5,
   kCheckpoint = 6,
+  kNetwork = 7,
+  kNode = 8,
 };
 
 // What happened to one model-call attempt.
@@ -74,11 +76,26 @@ struct FaultSpec {
   // Per-read probability that a checkpoint store entry comes back with a
   // flipped bit (media corruption; see ckpt::RecoveryDriver).
   double checkpoint_corrupt_rate = 0.0;
+  // Per-transmission probability that a cluster network message copy is
+  // lost (cluster::Net retransmits after an RTO; each attempt draws a
+  // fresh decision).
+  double net_drop_rate = 0.0;
+  // Per-message probability that the network delivers a second, later
+  // copy of the message (receivers dedup by (link, seq)).
+  double net_dup_rate = 0.0;
+  // Fraction of virtual time each cluster node spends inside an outage
+  // window (block-structured like crash_rate, but on the millisecond
+  // axis of fault::SimClock).
+  double node_outage_rate = 0.0;
+  // Node outage window length in virtual milliseconds.
+  int64_t node_outage_len_ms = 50;
 
   bool any() const {
     return timeout_rate > 0.0 || crash_rate > 0.0 || nan_score_rate > 0.0 ||
            out_of_range_score_rate > 0.0 || drop_clip_rate > 0.0 ||
-           page_error_rate > 0.0 || checkpoint_corrupt_rate > 0.0;
+           page_error_rate > 0.0 || checkpoint_corrupt_rate > 0.0 ||
+           net_drop_rate > 0.0 || net_dup_rate > 0.0 ||
+           node_outage_rate > 0.0;
   }
 };
 
@@ -115,6 +132,21 @@ class FaultPlan {
   // Which bit of the corrupted entry flips, as a fraction of its length
   // in [0, 1). Only meaningful when CheckpointCorrupts(entry).
   double CheckpointCorruptPosition(int64_t entry) const;
+
+  // True when the `attempt`-th transmission of message `seq` on `link`
+  // is lost in flight (cluster::Net schedules a retransmission).
+  bool NetDrops(int64_t link, int64_t seq, int64_t attempt) const;
+
+  // True when the network spontaneously delivers a duplicate copy of
+  // message `seq` on `link`. Position-based: the same message always
+  // duplicates (or not) for a given plan.
+  bool NetDuplicates(int64_t link, int64_t seq) const;
+
+  // True when cluster node `node` is inside an outage window at virtual
+  // time `at_ms`. Block-structured on the SimClock axis; pure
+  // position-based, so probing any (node, time) in any order yields the
+  // same outage schedule.
+  bool NodeDown(int64_t node, double at_ms) const;
 
  private:
   FaultSpec spec_;

@@ -253,5 +253,21 @@ Snapshot FilterSnapshot(const Snapshot& in,
   return out;
 }
 
+Snapshot ExcludeSnapshot(const Snapshot& in,
+                         const std::vector<std::string>& prefixes) {
+  Snapshot out;
+  for (const Snapshot::Entry& entry : in.entries) {
+    bool excluded = false;
+    for (const std::string& prefix : prefixes) {
+      if (entry.name.rfind(prefix, 0) == 0) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) out.entries.push_back(entry);
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace vaq

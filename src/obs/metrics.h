@@ -203,6 +203,14 @@ void RestoreSnapshot(const Snapshot& snap);
 Snapshot FilterSnapshot(const Snapshot& in,
                         const std::vector<std::string>& prefixes);
 
+// The complement: every entry whose family name starts with none of
+// `prefixes`. The cluster determinism suite compares a distributed run
+// against the single-node reference after excluding the cluster's own
+// `vaq_cluster_*` transport accounting — everything that remains must
+// match byte-for-byte.
+Snapshot ExcludeSnapshot(const Snapshot& in,
+                         const std::vector<std::string>& prefixes);
+
 }  // namespace obs
 }  // namespace vaq
 

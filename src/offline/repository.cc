@@ -39,6 +39,34 @@ StatusOr<QueryTables> BindByName(const storage::VideoIndex& index,
   return out;
 }
 
+double RankedMergeScore(const RankedSequence& sequence) {
+  return sequence.has_exact ? sequence.exact_score : sequence.lower_bound;
+}
+
+void MergeRankedCandidates(std::vector<RepositoryRankedSequence>* candidates,
+                           int64_t k) {
+  // Merge: sort by exact score when available, lower bound otherwise.
+  std::stable_sort(candidates->begin(), candidates->end(),
+                   [](const RepositoryRankedSequence& a,
+                      const RepositoryRankedSequence& b) {
+                     return RankedMergeScore(a.sequence) >
+                            RankedMergeScore(b.sequence);
+                   });
+  if (static_cast<int64_t>(candidates->size()) > k) {
+    candidates->resize(static_cast<size_t>(k));
+  }
+}
+
+StatusOr<TopKResult> QueryVideoTopK(const storage::VideoIndex& index,
+                                    const std::string& action,
+                                    const std::vector<std::string>& objects,
+                                    const ScoringModel& scoring,
+                                    RvaqOptions options) {
+  VAQ_ASSIGN_OR_RETURN(QueryTables tables,
+                       BindByName(index, action, objects));
+  return Rvaq(&tables, &scoring, options).Run();
+}
+
 void Repository::Add(const std::string& name, storage::VideoIndex index) {
   videos_.insert_or_assign(name, std::move(index));
 }
@@ -76,17 +104,16 @@ StatusOr<RepositoryTopKResult> Repository::TopK(
   }
   RepositoryTopKResult result;
   for (const auto& [name, index] : videos_) {
-    auto tables_or = BindByName(index, action, objects);
-    if (!tables_or.ok()) {
-      if (tables_or.status().code() == StatusCode::kNotFound) {
+    auto top_or = QueryVideoTopK(index, action, objects, scoring, options);
+    if (!top_or.ok()) {
+      if (top_or.status().code() == StatusCode::kNotFound) {
         ++result.videos_skipped;  // This video cannot match the query.
         continue;
       }
-      return tables_or.status();
+      return top_or.status();
     }
     ++result.videos_queried;
-    const TopKResult video_top =
-        Rvaq(&tables_or.value(), &scoring, options).Run();
+    const TopKResult& video_top = top_or.value();
     result.accesses += video_top.accesses;
     result.candidate_sequences +=
         static_cast<int64_t>(video_top.pq.size());
@@ -94,20 +121,7 @@ StatusOr<RepositoryTopKResult> Repository::TopK(
       result.top.push_back(RepositoryRankedSequence{name, seq});
     }
   }
-  // Merge: sort by exact score when available, lower bound otherwise.
-  std::stable_sort(
-      result.top.begin(), result.top.end(),
-      [](const RepositoryRankedSequence& a,
-         const RepositoryRankedSequence& b) {
-        const double sa = a.sequence.has_exact ? a.sequence.exact_score
-                                               : a.sequence.lower_bound;
-        const double sb = b.sequence.has_exact ? b.sequence.exact_score
-                                               : b.sequence.lower_bound;
-        return sa > sb;
-      });
-  if (static_cast<int64_t>(result.top.size()) > options.k) {
-    result.top.resize(static_cast<size_t>(options.k));
-  }
+  MergeRankedCandidates(&result.top, options.k);
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

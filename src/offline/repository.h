@@ -33,6 +33,26 @@ struct RepositoryRankedSequence {
   RankedSequence sequence;
 };
 
+// The merge key of the global sort: the exact score when RVAQ resolved
+// one, the lower bound otherwise.
+double RankedMergeScore(const RankedSequence& sequence);
+
+// The global merge step of Repository::TopK, exposed so the cluster
+// coordinator reproduces single-node results *by construction*: callers
+// assemble candidates in (video name, per-video rank) order, and this
+// stable-sorts by RankedMergeScore descending and truncates to `k`.
+void MergeRankedCandidates(std::vector<RepositoryRankedSequence>* candidates,
+                           int64_t k);
+
+// One video's contribution to a repository query: binds the conjunctive
+// query by type names and runs RVAQ. kNotFound means the video did not
+// ingest one of the queried types (callers count it as skipped).
+StatusOr<TopKResult> QueryVideoTopK(const storage::VideoIndex& index,
+                                    const std::string& action,
+                                    const std::vector<std::string>& objects,
+                                    const ScoringModel& scoring,
+                                    RvaqOptions options);
+
 struct RepositoryTopKResult {
   std::vector<RepositoryRankedSequence> top;  // Best first.
   storage::AccessCounter accesses;            // Summed across videos.

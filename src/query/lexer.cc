@@ -1,6 +1,7 @@
 #include "query/lexer.h"
 
 #include <cctype>
+#include <limits>
 
 namespace vaq {
 namespace query {
@@ -40,9 +41,19 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
     } else if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t j = i;
       int64_t value = 0;
+      bool overflow = false;
       while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
-        value = value * 10 + (input[j] - '0');
+        const int64_t digit = input[j] - '0';
+        if (value > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+          overflow = true;
+        } else {
+          value = value * 10 + digit;
+        }
         ++j;
+      }
+      if (overflow) {
+        return Status::InvalidArgument("number literal overflows at offset " +
+                                       std::to_string(i));
       }
       token.kind = TokenKind::kNumber;
       token.text = input.substr(i, j - i);

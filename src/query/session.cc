@@ -150,6 +150,11 @@ void Session::RegisterRepository(const std::string& name,
   repositories_.insert_or_assign(name, std::move(index));
 }
 
+void Session::RegisterRankedBackend(const std::string& name,
+                                    RankedBackend* backend) {
+  backends_.insert_or_assign(name, backend);
+}
+
 StatusOr<QueryResult> Session::Execute(const std::string& sql) {
   VAQ_ASSIGN_OR_RETURN(QueryStatement stmt, Parse(sql));
   return Execute(stmt);
@@ -162,6 +167,10 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
                   {{"kind", offline_query ? "ranked" : "online"}})
       ->Increment();
   if (offline_query) {
+    auto backend = backends_.find(stmt.video);
+    if (backend != backends_.end()) {
+      return backend->second->ExecuteRanked(stmt);
+    }
     auto it = repositories_.find(stmt.video);
     if (it == repositories_.end()) {
       return Status::NotFound("no repository video named '" + stmt.video +

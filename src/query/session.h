@@ -77,6 +77,21 @@ StatusOr<QueryResult> ExecuteRankedStatement(
     const offline::ScoringModel& scoring,
     const offline::ScoringModel& cnf_scoring);
 
+// A pluggable executor for ranked statements over a named source that is
+// not a locally-held VideoIndex. The cluster coordinator implements this
+// (src/cluster/coordinator.h), so ranked statements whose FROM clause
+// names a registered backend route through sharded scatter–gather while
+// the query layer stays free of cluster types (the dependency points
+// cluster → query, never the reverse).
+class RankedBackend {
+ public:
+  virtual ~RankedBackend() = default;
+
+  // Executes a ranked statement; must return results identical to
+  // running the statement against the equivalent single-node repository.
+  virtual StatusOr<QueryResult> ExecuteRanked(const QueryStatement& stmt) = 0;
+};
+
 class Session {
  public:
   Session() = default;
@@ -90,6 +105,12 @@ class Session {
   // Registers an ingested repository video.
   void RegisterRepository(const std::string& name,
                           storage::VideoIndex index);
+
+  // Registers a ranked backend (e.g. a cluster coordinator) under a FROM
+  // name. Ranked statements naming it are routed to the backend; the
+  // backend is not owned and must outlive the session. A backend wins
+  // over a repository video of the same name.
+  void RegisterRankedBackend(const std::string& name, RankedBackend* backend);
 
   // Parses and runs one statement.
   StatusOr<QueryResult> Execute(const std::string& sql);
@@ -106,6 +127,7 @@ class Session {
 
   std::map<std::string, StreamSource> streams_;
   std::map<std::string, storage::VideoIndex> repositories_;
+  std::map<std::string, RankedBackend*> backends_;
   offline::PaperScoring scoring_;
   offline::CnfScoring cnf_scoring_;
 };

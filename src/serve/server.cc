@@ -811,12 +811,16 @@ Status Server::CheckpointLocked() {
   // Every registry instrument except the checkpoint subsystem's own
   // families: restoring those would mask the corruption/recovery counts
   // the *recovering* process accumulates while reading this very blob.
-  const obs::Snapshot metrics = obs::MetricRegistry::Global().TakeSnapshot();
-  for (const obs::Snapshot::Entry& entry : metrics.entries) {
-    if (entry.name.rfind("vaq_ckpt_", 0) == 0) continue;
-    ckpt::Payload p;
-    ckpt::EncodeMetricEntry(entry, &p);
-    snap.Append(kSnapMetric, p);
+  // Skipped entirely when the registry is shared beyond this server
+  // (ServeOptions::snapshot_metrics == false).
+  if (options_.snapshot_metrics) {
+    const obs::Snapshot metrics = obs::MetricRegistry::Global().TakeSnapshot();
+    for (const obs::Snapshot::Entry& entry : metrics.entries) {
+      if (entry.name.rfind("vaq_ckpt_", 0) == 0) continue;
+      ckpt::Payload p;
+      ckpt::EncodeMetricEntry(entry, &p);
+      snap.Append(kSnapMetric, p);
+    }
   }
   const std::string& blob = snap.blob();
   VAQ_RETURN_IF_ERROR(store->Put(ckpt::SnapshotName(ckpt_seq_), blob));

@@ -110,6 +110,12 @@ struct ServeOptions {
   // simulated engine milliseconds (0 = off), whichever trips first.
   int64_t snapshot_every_clips = 0;
   double snapshot_every_ms = 0.0;
+  // Embed the process-wide metric registry in snapshots (and restore it
+  // on Recover). True for a single-server process, where the registry's
+  // whole contents belong to this server. Cluster nodes set it false:
+  // the registry is shared by every node in the simulated cluster, and
+  // restoring one node's snapshot would clobber the others' live state.
+  bool snapshot_metrics = true;
 };
 
 // One admitted query's outcome.

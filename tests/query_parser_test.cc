@@ -120,6 +120,56 @@ TEST(ParserTest, ErrorMessagesCarryPosition) {
   EXPECT_NE(status.message().find("offset"), std::string::npos);
 }
 
+// Every malformed statement must come back as a clean kInvalidArgument
+// whose message names the byte offset of the failure — never a crash,
+// never a success, never a positionless error.
+TEST(ParserTest, MalformedStatementsReturnPositionedInvalidArgument) {
+  const char* const kMalformed[] = {
+      "",
+      "   ",
+      "SELECT",
+      "SELECT MERGE(c)",
+      "SELECT MERGE(c) FROM",
+      "SELECT MERGE(c) FROM v WHERE",
+      "SELECT MERGE(c) FROM v WHERE act=",
+      "SELECT MERGE(c) FROM v WHERE act='x' AND",
+      "SELECT MERGE(c) FROM v WHERE act='x' ORDER",
+      "SELECT MERGE(c) FROM v WHERE act='x' ORDER BY",
+      "SELECT MERGE(c) FROM v WHERE act='x' ORDER BY RANK(a) LIMIT",
+      "SELECT MERGE(c) FROM v WHERE act='x' ORDER BY RANK(a) LIMIT 'k'",
+      "SELECT MERGE(c) FROM v WHERE act='x' LIMIT 5",  // LIMIT needs ORDER.
+      "SELECT MERGE(c) FROM v WHERE obj.include()",
+      "SELECT MERGE(c) FROM v WHERE obj.include('a',)",
+      "SELECT MERGE(c) FROM v WHERE obj.include('a'",
+      "SELECT MERGE(c) FROM (PROCESS PRODUCE c) WHERE act='x'",
+      "SELECT MERGE(c) FROM v WHERE act='x' trailing garbage",
+      "MERGE(c) FROM v WHERE act='x'",
+      "SELECT MERGE FROM v WHERE act='x'",
+  };
+  for (const char* sql : kMalformed) {
+    const auto status = Parse(sql).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << sql;
+    EXPECT_NE(status.message().find("offset"), std::string::npos)
+        << sql << " -> " << status.message();
+  }
+}
+
+TEST(LexerTest, MalformedInputReturnsPositionedInvalidArgument) {
+  const char* const kMalformed[] = {
+      "SELECT 'unterminated",
+      "SELECT 99999999999999999999999",  // Number overflow.
+      "a ; b",
+      "act = `x`",
+      "#",
+  };
+  for (const char* text : kMalformed) {
+    const auto status = Tokenize(text).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << text;
+    EXPECT_NE(status.message().find("offset"), std::string::npos)
+        << text << " -> " << status.message();
+  }
+}
+
 TEST(ParserTest, MultipleActionsAreConjoinedClauses) {
   // Footnote 3: multiple actions combine conjunctively.
   auto stmt = Parse("SELECT MERGE(c) FROM v WHERE act='x' AND act='y'");
