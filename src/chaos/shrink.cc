@@ -1,0 +1,80 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace vaq {
+namespace chaos {
+namespace {
+
+// The events of `from` outside chunk `chunk` of `n` equal slices.
+Schedule Complement(const Schedule& from, size_t n, size_t chunk) {
+  Schedule out;
+  const size_t size = from.size();
+  const size_t lo = chunk * size / n;
+  const size_t hi = (chunk + 1) * size / n;
+  for (size_t i = 0; i < size; ++i) {
+    if (i < lo || i >= hi) out.push_back(from[i]);
+  }
+  return out;
+}
+
+Schedule Chunk(const Schedule& from, size_t n, size_t chunk) {
+  Schedule out;
+  const size_t size = from.size();
+  const size_t lo = chunk * size / n;
+  const size_t hi = (chunk + 1) * size / n;
+  for (size_t i = lo; i < hi; ++i) out.push_back(from[i]);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ShrinkResult> DdminSchedule(const Schedule& failing,
+                                     const ScheduleFails& fails) {
+  ShrinkResult result;
+  result.minimal = failing;
+  if (failing.size() <= 1) return result;
+
+  size_t n = 2;
+  while (result.minimal.size() >= 2) {
+    bool reduced = false;
+    // Subsets first: a single failing chunk is the fastest win.
+    for (size_t c = 0; c < n && !reduced; ++c) {
+      Schedule candidate = Chunk(result.minimal, n, c);
+      if (candidate.empty() || candidate.size() == result.minimal.size()) {
+        continue;
+      }
+      ++result.runs;
+      VAQ_ASSIGN_OR_RETURN(const bool still_fails, fails(candidate));
+      if (still_fails) {
+        result.minimal = std::move(candidate);
+        n = 2;
+        reduced = true;
+      }
+    }
+    // Then complements: drop one chunk at a time.
+    for (size_t c = 0; c < n && !reduced; ++c) {
+      Schedule candidate = Complement(result.minimal, n, c);
+      if (candidate.empty() || candidate.size() == result.minimal.size()) {
+        continue;
+      }
+      ++result.runs;
+      VAQ_ASSIGN_OR_RETURN(const bool still_fails, fails(candidate));
+      if (still_fails) {
+        result.minimal = std::move(candidate);
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (n >= result.minimal.size()) break;  // 1-minimal.
+      n = std::min(result.minimal.size(), n * 2);
+    }
+  }
+  return result;
+}
+
+}  // namespace chaos
+}  // namespace vaq

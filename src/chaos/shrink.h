@@ -1,0 +1,41 @@
+// Schedule shrinking by delta debugging.
+//
+// When a trial fails an oracle, the raw schedule is rarely the story:
+// most of its events are result-transparent noise around the one or two
+// that actually break the invariant. `DdminSchedule` is Zeller's ddmin
+// over the event list — try ever-finer chunk subsets and their
+// complements, keep any smaller schedule that still fails, stop at
+// 1-minimality (removing any single remaining event makes the failure
+// vanish). The predicate re-runs the whole trial, so shrinking is exact,
+// not heuristic; determinism of the stack is what makes it converge.
+#ifndef VAQ_CHAOS_SHRINK_H_
+#define VAQ_CHAOS_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "chaos/schedule.h"
+#include "common/status.h"
+
+namespace vaq {
+namespace chaos {
+
+// Returns whether the trial still fails under `schedule`. An error
+// status aborts the shrink (harness trouble, not an oracle verdict).
+using ScheduleFails = std::function<StatusOr<bool>(const Schedule&)>;
+
+struct ShrinkResult {
+  Schedule minimal;
+  int64_t runs = 0;  // Predicate evaluations spent.
+};
+
+// `failing` must fail under `fails` (the caller just observed it). The
+// result is 1-minimal; for an empty or single-event schedule it is the
+// input itself.
+StatusOr<ShrinkResult> DdminSchedule(const Schedule& failing,
+                                     const ScheduleFails& fails);
+
+}  // namespace chaos
+}  // namespace vaq
+
+#endif  // VAQ_CHAOS_SHRINK_H_

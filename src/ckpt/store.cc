@@ -186,5 +186,20 @@ Status SyncStores(const Store& from, Store* to, int64_t* bytes_shipped) {
   return Status::OK();
 }
 
+Status CorruptEntryByte(Store* store, const std::string& name,
+                        int64_t byte_index, uint8_t mask) {
+  if (mask == 0) {
+    return Status::InvalidArgument("corrupt: mask must flip at least one bit");
+  }
+  VAQ_ASSIGN_OR_RETURN(std::string bytes, store->Get(name));
+  if (bytes.empty()) {
+    return Status::InvalidArgument("corrupt: entry '" + name + "' is empty");
+  }
+  const size_t size = bytes.size();
+  size_t index = static_cast<size_t>(byte_index) % size;
+  bytes[index] = static_cast<char>(static_cast<uint8_t>(bytes[index]) ^ mask);
+  return store->Put(name, bytes);
+}
+
 }  // namespace ckpt
 }  // namespace vaq

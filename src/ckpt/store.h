@@ -13,6 +13,7 @@
 #ifndef VAQ_CKPT_STORE_H_
 #define VAQ_CKPT_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,16 @@ bool ValidEntryName(const std::string& name);
 // On success `*bytes_shipped` (optional) is the total size of the
 // entries that had to be copied.
 Status SyncStores(const Store& from, Store* to, int64_t* bytes_shipped);
+
+// XORs `mask` into one byte of an existing entry:
+// bytes[byte_index mod size] ^= mask. This is the chaos harness's
+// media-corruption event — a deterministic, schedule-placed bit flip
+// that RecoveryDriver must detect (checksum mismatch) and survive by
+// falling back to the retained predecessor snapshot. kInvalidArgument
+// when `mask` is zero (a no-op flip would silently weaken the test) or
+// the entry is empty; kNotFound when it does not exist.
+Status CorruptEntryByte(Store* store, const std::string& name,
+                        int64_t byte_index, uint8_t mask);
 
 class MemStore : public Store {
  public:

@@ -147,7 +147,14 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
 
   bool stopped = false;
   Status failure = Status::OK();
+  int64_t steps = 0;
   while (!stopped && !all_done() && failure.ok()) {
+    if (options_.max_steps > 0 && ++steps > options_.max_steps) {
+      failure = Status::DeadlineExceeded(
+          "cluster watchdog: gather exceeded " +
+          std::to_string(options_.max_steps) + " scheduler events");
+      break;
+    }
     // Next event: the earliest of the network and the failover timers.
     double timer_ms = kInf;
     int timer_shard = -1;

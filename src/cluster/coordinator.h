@@ -80,6 +80,13 @@ struct ClusterOptions {
   // fault-plan windows). -1 disables.
   int kill_node = -1;
   double kill_at_ms = 0.0;
+  // Deterministic watchdog: abort the gather with kDeadlineExceeded
+  // after this many scheduler events (timer fires + deliveries). 0
+  // disables. A bound on *events*, not wall time, so a livelocked
+  // gather trips it identically on every machine — this is how the
+  // chaos harness turns "hang" into a reproducible failure instead of
+  // a test timeout.
+  int64_t max_steps = 0;
 };
 
 struct ClusterTopKResult {

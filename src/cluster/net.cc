@@ -55,6 +55,22 @@ void Net::Send(int from, int to, uint32_t tag, const char* tag_name,
       depart_ms += options_.rto_ms;
       ++attempts;
     }
+    // Scheduled partition windows lose every copy transmitted inside
+    // them; the sender retries on its RTO until the window lifts. When
+    // the partition outlasts the attempt budget the final copy departs
+    // the instant connectivity returns — same contract as drops: a
+    // partition delays traffic, it never changes what is delivered.
+    while (plan_->NetPartitioned(depart_ms)) {
+      ++stats_.partition_drops;
+      registry.GetCounter("vaq_cluster_net_partition_drops_total", {})
+          ->Increment();
+      if (attempts < options_.max_attempts) {
+        depart_ms += options_.rto_ms;
+        ++attempts;
+      } else {
+        depart_ms = plan_->PartitionClearMs(depart_ms);
+      }
+    }
   }
   Delivery delivery;
   delivery.from = from;

@@ -17,7 +17,9 @@
 // second copy is suppressed at the receiver by (link, seq) dedup. Both
 // only delay or inflate traffic — they never change what is delivered,
 // which keeps the cluster's logical results byte-identical under any
-// fault plan.
+// fault plan. Scheduled partition windows (FaultSpec::windows with
+// domain kNetwork) behave like forced drops: copies transmitted inside
+// a window are lost and retried until connectivity returns.
 //
 // All traffic is accounted in the `vaq_cluster_net_*` metric families.
 #ifndef VAQ_CLUSTER_NET_H_
@@ -57,6 +59,7 @@ struct NetStats {
   int64_t messages = 0;               // Send() calls.
   int64_t deliveries = 0;             // Deliveries handed out.
   int64_t drops = 0;                  // Lost transmissions (retransmitted).
+  int64_t partition_drops = 0;        // Copies lost to partition windows.
   int64_t duplicates_suppressed = 0;  // Fault-plan copies deduped.
   int64_t bytes = 0;                  // Payload bytes sent.
 };

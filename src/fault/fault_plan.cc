@@ -1,5 +1,8 @@
 #include "fault/fault_plan.h"
 
+#include <string>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -25,6 +28,49 @@ double UniformAt(uint64_t seed, uint64_t salt, uint64_t a, uint64_t b) {
 
 }  // namespace
 
+Status ValidateFaultSpec(const FaultSpec& spec) {
+  const struct {
+    const char* name;
+    double value;
+  } rates[] = {
+      {"timeout_rate", spec.timeout_rate},
+      {"crash_rate", spec.crash_rate},
+      {"nan_score_rate", spec.nan_score_rate},
+      {"out_of_range_score_rate", spec.out_of_range_score_rate},
+      {"drop_clip_rate", spec.drop_clip_rate},
+      {"page_error_rate", spec.page_error_rate},
+      {"checkpoint_corrupt_rate", spec.checkpoint_corrupt_rate},
+      {"net_drop_rate", spec.net_drop_rate},
+      {"net_dup_rate", spec.net_dup_rate},
+      {"node_outage_rate", spec.node_outage_rate},
+  };
+  for (const auto& rate : rates) {
+    // NaN fails both comparisons' complements, so write the check as
+    // "not inside [0, 1]" to reject it too.
+    if (!(rate.value >= 0.0 && rate.value <= 1.0)) {
+      return Status::InvalidArgument(std::string("fault spec: ") + rate.name +
+                                     " must lie in [0, 1]");
+    }
+  }
+  if (spec.crash_len_units <= 0) {
+    return Status::InvalidArgument(
+        "fault spec: crash_len_units must be positive");
+  }
+  if (spec.node_outage_len_ms <= 0) {
+    return Status::InvalidArgument(
+        "fault spec: node_outage_len_ms must be positive");
+  }
+  for (size_t i = 0; i < spec.windows.size(); ++i) {
+    const ScheduledWindow& w = spec.windows[i];
+    if (!(w.from_ms >= 0.0) || !(w.to_ms >= w.from_ms)) {
+      return Status::InvalidArgument(
+          "fault spec: window " + std::to_string(i) +
+          " must satisfy 0 <= from_ms <= to_ms");
+    }
+  }
+  return Status::OK();
+}
+
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNone:
@@ -42,8 +88,13 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 FaultPlan::FaultPlan(FaultSpec spec, uint64_t seed)
-    : spec_(spec), seed_(seed) {
+    : spec_(std::move(spec)), seed_(seed) {
   VAQ_CHECK_GT(spec_.crash_len_units, 0);
+}
+
+StatusOr<FaultPlan> FaultPlan::Create(FaultSpec spec, uint64_t seed) {
+  VAQ_RETURN_IF_ERROR(ValidateFaultSpec(spec));
+  return FaultPlan(std::move(spec), seed);
 }
 
 bool FaultPlan::CrashActive(FaultDomain domain, int64_t unit) const {
@@ -108,6 +159,12 @@ bool FaultPlan::NetDuplicates(int64_t link, int64_t seq) const {
 }
 
 bool FaultPlan::NodeDown(int64_t node, double at_ms) const {
+  for (const ScheduledWindow& w : spec_.windows) {
+    if (w.domain == FaultDomain::kNode && (w.key < 0 || w.key == node) &&
+        at_ms >= w.from_ms && at_ms < w.to_ms) {
+      return true;
+    }
+  }
   if (spec_.node_outage_rate <= 0.0) return false;
   VAQ_CHECK_GT(spec_.node_outage_len_ms, 0);
   const int64_t window = static_cast<int64_t>(at_ms) / spec_.node_outage_len_ms;
@@ -115,6 +172,32 @@ bool FaultPlan::NodeDown(int64_t node, double at_ms) const {
                                          0x9e37ULL +
                                          static_cast<uint64_t>(node),
                    static_cast<uint64_t>(window)) < spec_.node_outage_rate;
+}
+
+bool FaultPlan::NetPartitioned(double at_ms) const {
+  for (const ScheduledWindow& w : spec_.windows) {
+    if (w.domain == FaultDomain::kNetwork && at_ms >= w.from_ms &&
+        at_ms < w.to_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::PartitionClearMs(double at_ms) const {
+  double t = at_ms;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const ScheduledWindow& w : spec_.windows) {
+      if (w.domain == FaultDomain::kNetwork && t >= w.from_ms &&
+          t < w.to_ms) {
+        t = w.to_ms;
+        moved = true;
+      }
+    }
+  }
+  return t;
 }
 
 }  // namespace fault

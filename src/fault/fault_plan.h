@@ -28,6 +28,9 @@
 #define VAQ_FAULT_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <vector>
+
+#include "common/status.h"
 
 namespace vaq {
 namespace fault {
@@ -55,6 +58,21 @@ enum class FaultKind {
 };
 
 const char* FaultKindName(FaultKind kind);
+
+// One schedule-driven fault window: key `key` of `domain` is down over
+// the half-open virtual-time interval [from_ms, to_ms). Unlike the rate
+// parameters below — which describe a *distribution* the seed samples —
+// a window is an explicit event: the chaos harness (src/chaos) composes
+// node kill/restart and network partitions out of these.
+//
+//   * kNode: `key` is the host id (-1 = every host).
+//   * kNetwork: a partition; `key` is ignored (the whole fabric).
+struct ScheduledWindow {
+  FaultDomain domain = FaultDomain::kNode;
+  int64_t key = -1;
+  double from_ms = 0.0;
+  double to_ms = 0.0;
+};
 
 // Fault rates; all default to zero (an empty plan injects nothing).
 struct FaultSpec {
@@ -89,19 +107,34 @@ struct FaultSpec {
   double node_outage_rate = 0.0;
   // Node outage window length in virtual milliseconds.
   int64_t node_outage_len_ms = 50;
+  // Explicit schedule-driven windows, consulted in addition to the rates
+  // (NodeDown, NetPartitioned).
+  std::vector<ScheduledWindow> windows;
 
   bool any() const {
     return timeout_rate > 0.0 || crash_rate > 0.0 || nan_score_rate > 0.0 ||
            out_of_range_score_rate > 0.0 || drop_clip_rate > 0.0 ||
            page_error_rate > 0.0 || checkpoint_corrupt_rate > 0.0 ||
            net_drop_rate > 0.0 || net_dup_rate > 0.0 ||
-           node_outage_rate > 0.0;
+           node_outage_rate > 0.0 || !windows.empty();
   }
 };
+
+// Validates a spec: every rate must lie in [0, 1], every length must be
+// positive, every window must be a well-formed non-negative interval.
+// kInvalidArgument (naming the offending field) otherwise. A rate of 1.1
+// or a negative latency silently *changes* the schedule semantics — 1.1
+// faults every coordinate, a negative length divides by it — so the
+// validated construction path (FaultPlan::Create) refuses them.
+Status ValidateFaultSpec(const FaultSpec& spec);
 
 class FaultPlan {
  public:
   FaultPlan(FaultSpec spec, uint64_t seed);
+
+  // The validated construction path: ValidateFaultSpec first,
+  // kInvalidArgument instead of a plan that silently misbehaves.
+  static StatusOr<FaultPlan> Create(FaultSpec spec, uint64_t seed);
 
   const FaultSpec& spec() const { return spec_; }
   uint64_t seed() const { return seed_; }
@@ -145,8 +178,21 @@ class FaultPlan {
   // True when cluster node `node` is inside an outage window at virtual
   // time `at_ms`. Block-structured on the SimClock axis; pure
   // position-based, so probing any (node, time) in any order yields the
-  // same outage schedule.
+  // same outage schedule. Scheduled kNode windows are honored in
+  // addition to the rate-driven blocks, so a node "restarts" the moment
+  // its window ends.
   bool NodeDown(int64_t node, double at_ms) const;
+
+  // True when a scheduled kNetwork window (a partition) covers `at_ms`.
+  // cluster::Net consults this at transmission time: copies sent inside
+  // a partition are lost and retransmitted, so a partition delays
+  // traffic but never changes what is ultimately delivered.
+  bool NetPartitioned(double at_ms) const;
+
+  // The earliest instant at or after `at_ms` outside every partition
+  // window (= `at_ms` itself when not partitioned). Overlapping windows
+  // are chained.
+  double PartitionClearMs(double at_ms) const;
 
  private:
   FaultSpec spec_;

@@ -584,6 +584,32 @@ Status Server::AdvanceStream(const std::string& source) {
   return AdvanceStreamLocked(source);
 }
 
+Status Server::WalTornAdvance(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.checkpoint_store == nullptr) {
+    return Status::FailedPrecondition(
+        "torn advance needs a checkpoint store");
+  }
+  if (standing_finished_) {
+    return Status::FailedPrecondition("standing queries already finished");
+  }
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + source + "'");
+  }
+  auto pos_it = stream_pos_.find(source);
+  const int64_t pos = pos_it == stream_pos_.end() ? 0 : pos_it->second;
+  const int64_t num_clips = it->second.scenario.layout().NumClips();
+  if (pos >= num_clips) {
+    return Status::OutOfRange("stream '" + source + "' is exhausted (" +
+                              std::to_string(num_clips) + " clips)");
+  }
+  ckpt::Payload wal;
+  wal.PutString(source);
+  wal.PutI64(pos);
+  return AppendWalLocked(kWalClip, wal);
+}
+
 Status Server::AdvanceStreamLocked(const std::string& source) {
   if (standing_finished_) {
     return Status::FailedPrecondition("standing queries already finished");

@@ -215,6 +215,16 @@ class Server {
   // uninterrupted run.
   StatusOr<ckpt::RecoveryReport> Recover();
 
+  // Chaos/test hook: performs ONLY the WAL append of the next advance of
+  // `source` — the bytes a crash between log and apply would leave
+  // behind — without touching engines, positions or the snapshot policy.
+  // The in-memory session no longer matches its log afterwards, so the
+  // server must be abandoned; Recover() on a fresh server replays the
+  // logged advance, which is exactly the log-before-apply discipline
+  // under test. Same preconditions as AdvanceStream, plus
+  // kFailedPrecondition without a checkpoint store.
+  Status WalTornAdvance(const std::string& source);
+
   // Clips advanced so far on `source` (0 when never advanced).
   int64_t StreamPosition(const std::string& source) const;
 

@@ -164,6 +164,45 @@ TEST(CkptRecoveryTest, RecoveredRunsAreByteIdenticalAtEveryCrashPoint) {
   }
 }
 
+TEST(CkptRecoveryTest, RecoveredRunsAreByteIdenticalAtAllCrashPoints) {
+  // The full sweep: crash after EVERY advance count in (0, kTotal), not
+  // just the three representative points above — every WAL offset,
+  // every snapshot boundary, every boundary±1. ~40 recoveries of an
+  // inference-heavy session is too slow for the sanitizer configs, and
+  // the representative points already run there, so the sweep is
+  // plain-config only.
+#ifdef VAQ_UNDER_SANITIZER
+  GTEST_SKIP() << "full crash-point sweep runs in the plain config only";
+#else
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), /*seed=*/21);
+  ckpt::MemStore ref_store;
+  const auto reference = RunUninterrupted(DemoSpec(&ref_store, &plan, true));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (int64_t crash = 1; crash < kTotalAdvances; ++crash) {
+    SCOPED_TRACE("crash after " + std::to_string(crash) + " advances");
+    ckpt::MemStore store;
+    const tools::StandingDemoSpec spec = DemoSpec(&store, &plan, true);
+    ASSERT_TRUE(RunUntilCrash(spec, crash).ok());
+    const auto recovered = RecoverAndFinish(spec);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    // Retention keeps the newest snapshot and its predecessor; the
+    // restore source is always the newest one taken before the crash.
+    const int64_t snapshots_taken = crash / kSnapshotEvery;
+    EXPECT_EQ(recovered.value().report.snapshot,
+              snapshots_taken == 0
+                  ? ""
+                  : ckpt::SnapshotName(snapshots_taken - 1));
+    EXPECT_EQ(recovered.value().report.snapshots_rejected, 0);
+    EXPECT_EQ(recovered.value().report.wal_bytes_dropped, 0);
+    EXPECT_EQ(recovered.value().run.described, reference.value().described);
+    EXPECT_EQ(recovered.value().run.metrics, reference.value().metrics);
+    EXPECT_EQ(CounterValue("vaq_ckpt_recoveries_total"), 1);
+    EXPECT_EQ(CounterValue("vaq_ckpt_corrupt_total"), 0);
+  }
+#endif
+}
+
 TEST(CkptRecoveryTest, PrivateBundleRecoveryIsByteIdentical) {
   // Same claim with the shared detection cache off: per-query bundles
   // carry their own cumulative model stats through the snapshot.

@@ -226,6 +226,57 @@ TEST(ClusterRanked, KillWithoutReplicaIsUnavailable) {
   EXPECT_EQ(run.status.code(), StatusCode::kUnavailable);
 }
 
+TEST(ClusterRanked, AllReplicasDownIsDeterministicUnavailable) {
+  // Every host serving shard 1 — the primary and both replicas — is
+  // inside a scheduled outage window for the whole query. The gather
+  // must end in the documented kUnavailable: deterministically (same
+  // status and message on every run), without hanging (the event-count
+  // watchdog would trip as kDeadlineExceeded, failing the test), and
+  // without leaking a partial result through the StatusOr.
+  constexpr int kShards = 3;
+  constexpr int kReplicas = 2;
+  fault::FaultSpec spec;
+  for (const int host : {1, kShards + 1 * kReplicas + 0,
+                         kShards + 1 * kReplicas + 1}) {
+    fault::ScheduledWindow w;
+    w.domain = fault::FaultDomain::kNode;
+    w.key = host;
+    w.from_ms = 0.0;
+    w.to_ms = 1e9;
+    spec.windows.push_back(w);
+  }
+  auto plan = fault::FaultPlan::Create(spec, 11);
+  ASSERT_TRUE(plan.ok());
+  ClusterOptions options;
+  options.num_shards = kShards;
+  options.num_replicas = kReplicas;
+  options.fault_plan = &plan.value();
+  options.max_steps = 100000;  // Hang -> kDeadlineExceeded, not a timeout.
+  const ClusterRun first = RunCluster(options);
+  const ClusterRun second = RunCluster(options);
+  EXPECT_EQ(first.status.code(), StatusCode::kUnavailable)
+      << first.status.ToString();
+  EXPECT_EQ(first.status.ToString(), second.status.ToString());
+  EXPECT_NE(first.status.ToString().find("shard 1"), std::string::npos)
+      << first.status.ToString();
+  // The failed runs exhausted both replicas before giving up.
+  EXPECT_TRUE(first.output.top.empty());  // No partial result leaked.
+}
+
+TEST(ClusterRanked, HealthyClusterUnderWatchdogCompletes) {
+  // The watchdog budget must be generous enough that a fault-free
+  // gather never trips it (the chaos harness runs every cluster trial
+  // under this budget).
+  const RankedOutput ref = SingleNodeReference();
+  ClusterOptions options;
+  options.num_shards = 4;
+  options.num_replicas = 1;
+  options.max_steps = 200000;
+  const ClusterRun run = RunCluster(options);
+  ASSERT_TRUE(run.status.ok()) << run.status.message();
+  ExpectMatchesReference(run.output, ref, "watchdog");
+}
+
 TEST(ClusterRanked, FaultPlanOutagesFailOverDeterministically) {
   const RankedOutput ref = SingleNodeReference();
   int64_t total_failovers = 0;

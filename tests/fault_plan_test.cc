@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace vaq {
 namespace fault {
@@ -131,6 +132,124 @@ TEST(FaultPlanTest, CrashesAreBlockStructuredWithExpectedCoverage) {
   const double fraction =
       static_cast<double>(down_units) / static_cast<double>(units);
   EXPECT_NEAR(fraction, spec.crash_rate, 0.06);  // 200 Bernoulli windows.
+}
+
+TEST(FaultSpecValidationTest, AcceptsAllRatesAtBounds) {
+  FaultSpec spec = AllFaultsSpec();
+  EXPECT_TRUE(ValidateFaultSpec(spec).ok());
+  spec.timeout_rate = 0.0;
+  spec.crash_rate = 1.0;
+  spec.net_drop_rate = 1.0;
+  spec.node_outage_rate = 0.0;
+  EXPECT_TRUE(ValidateFaultSpec(spec).ok());
+  EXPECT_TRUE(FaultPlan::Create(spec, 7).ok());
+}
+
+TEST(FaultSpecValidationTest, RejectsRateAboveOne) {
+  FaultSpec spec;
+  spec.timeout_rate = 1.1;
+  const Status status = ValidateFaultSpec(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("timeout_rate"), std::string::npos);
+  EXPECT_EQ(FaultPlan::Create(spec, 7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecValidationTest, RejectsNegativeRate) {
+  FaultSpec spec;
+  spec.net_drop_rate = -0.2;
+  const Status status = FaultPlan::Create(spec, 7).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("net_drop_rate"), std::string::npos);
+}
+
+TEST(FaultSpecValidationTest, RejectsNanRate) {
+  FaultSpec spec;
+  spec.checkpoint_corrupt_rate = std::nan("");
+  EXPECT_EQ(FaultPlan::Create(spec, 7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecValidationTest, RejectsEveryRateField) {
+  // Each of the ten rate fields is individually validated; a regression
+  // that drops one from the checklist fails here.
+  const std::vector<void (*)(FaultSpec&)> poke = {
+      [](FaultSpec& s) { s.timeout_rate = 2.0; },
+      [](FaultSpec& s) { s.crash_rate = 2.0; },
+      [](FaultSpec& s) { s.nan_score_rate = 2.0; },
+      [](FaultSpec& s) { s.out_of_range_score_rate = 2.0; },
+      [](FaultSpec& s) { s.drop_clip_rate = 2.0; },
+      [](FaultSpec& s) { s.page_error_rate = 2.0; },
+      [](FaultSpec& s) { s.checkpoint_corrupt_rate = 2.0; },
+      [](FaultSpec& s) { s.net_drop_rate = 2.0; },
+      [](FaultSpec& s) { s.net_dup_rate = 2.0; },
+      [](FaultSpec& s) { s.node_outage_rate = 2.0; },
+  };
+  for (size_t i = 0; i < poke.size(); ++i) {
+    FaultSpec spec;
+    poke[i](spec);
+    EXPECT_EQ(ValidateFaultSpec(spec).code(), StatusCode::kInvalidArgument)
+        << "rate field " << i;
+  }
+}
+
+TEST(FaultSpecValidationTest, RejectsNonPositiveLengths) {
+  FaultSpec spec;
+  spec.crash_len_units = 0;
+  EXPECT_EQ(ValidateFaultSpec(spec).code(), StatusCode::kInvalidArgument);
+  spec = FaultSpec{};
+  spec.node_outage_len_ms = -5;
+  const Status status = ValidateFaultSpec(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("node_outage_len_ms"), std::string::npos);
+}
+
+TEST(FaultSpecValidationTest, RejectsMalformedWindows) {
+  FaultSpec spec;
+  ScheduledWindow w;
+  w.from_ms = 50.0;
+  w.to_ms = 10.0;  // Ends before it starts.
+  spec.windows.push_back(w);
+  EXPECT_EQ(ValidateFaultSpec(spec).code(), StatusCode::kInvalidArgument);
+  spec.windows[0].from_ms = -1.0;
+  spec.windows[0].to_ms = 10.0;
+  EXPECT_EQ(ValidateFaultSpec(spec).code(), StatusCode::kInvalidArgument);
+  spec.windows[0].from_ms = 10.0;
+  spec.windows[0].to_ms = 10.0;  // Empty window is well-formed.
+  EXPECT_TRUE(ValidateFaultSpec(spec).ok());
+}
+
+TEST(FaultSpecValidationTest, ScheduledNodeWindowsDriveNodeDown) {
+  FaultSpec spec;
+  ScheduledWindow w;
+  w.domain = FaultDomain::kNode;
+  w.key = 2;
+  w.from_ms = 10.0;
+  w.to_ms = 20.0;
+  spec.windows.push_back(w);
+  auto plan = FaultPlan::Create(spec, 3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->NodeDown(2, 10.0));
+  EXPECT_TRUE(plan->NodeDown(2, 19.9));
+  EXPECT_FALSE(plan->NodeDown(2, 20.0));  // Half-open interval.
+  EXPECT_FALSE(plan->NodeDown(1, 15.0));  // Other hosts unaffected.
+  EXPECT_FALSE(plan->NodeDown(2, 5.0));
+}
+
+TEST(FaultSpecValidationTest, PartitionWindowsAndClearTime) {
+  FaultSpec spec;
+  ScheduledWindow w;
+  w.domain = FaultDomain::kNetwork;
+  w.from_ms = 30.0;
+  w.to_ms = 60.0;
+  spec.windows.push_back(w);
+  auto plan = FaultPlan::Create(spec, 3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->NetPartitioned(29.9));
+  EXPECT_TRUE(plan->NetPartitioned(30.0));
+  EXPECT_TRUE(plan->NetPartitioned(59.9));
+  EXPECT_FALSE(plan->NetPartitioned(60.0));
+  EXPECT_DOUBLE_EQ(plan->PartitionClearMs(45.0), 60.0);
 }
 
 TEST(FaultPlanTest, FaultKindNamesAreStable) {

@@ -69,6 +69,20 @@
 //       to single-node RVAQ (exit 1 if not), the modeled speedup, and
 //       gather/network statistics. --kill-node I stages a node outage at
 //       --kill-at virtual ms to demo replica failover.
+//
+//   vaqctl chaos [--trials N] [--seed S] [--canary on]
+//                [--replay FILE] [--out FILE] [--shrink off]
+//       Run N seeded whole-stack chaos trials (src/chaos/): each draws a
+//       random scenario (standing/cluster/serve shape) plus a random
+//       fault schedule (crashes, torn WAL advances, snapshot corruption,
+//       node kills, partitions) and checks the invariant oracles —
+//       byte-identical results vs. a fault-free reference, exact
+//       progress, documented status codes, consistent recovery counters.
+//       On failure the schedule is delta-debugged to a 1-minimal
+//       reproducer and written to --out (default chaos_repro.json);
+//       `vaqctl chaos --replay FILE` re-runs it byte-identically.
+//       --canary on arms a deliberate double-apply bug to prove the
+//       harness catches, shrinks and replays real failures.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +91,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/engine.h"
 #include "ckpt/recovery.h"
 #include "cluster/coordinator.h"
 #include "cluster/partition.h"
@@ -763,6 +778,107 @@ int CmdCluster(const Args& args) {
   return identical ? 0 : 1;
 }
 
+void ChaosProgress(const chaos::TrialResult& r) {
+  if (r.failed()) {
+    std::printf("trial %lld [%s]: FAIL (%zu violation(s))\n",
+                static_cast<long long>(r.trial), chaos::PhaseName(r.phase),
+                r.violations.size());
+  } else if (r.trial % 10 == 9) {
+    std::printf("trial %lld [%s]: ok\n", static_cast<long long>(r.trial),
+                chaos::PhaseName(r.phase));
+  }
+  std::fflush(stdout);
+}
+
+int CmdChaos(const Args& args) {
+  chaos::ChaosOptions options;
+  options.trials =
+      static_cast<int64_t>(std::atoll(args.Get("trials", "20").c_str()));
+  options.seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "1").c_str()));
+  options.canary = args.Get("canary", "off") == "on";
+  options.shrink = args.Get("shrink", "on") != "off";
+  options.progress = &ChaosProgress;
+  const std::string replay_path = args.Get("replay");
+  const std::string out_path = args.Get("out", "chaos_repro.json");
+  if (options.trials <= 0 && replay_path.empty()) {
+    std::fprintf(stderr, "chaos requires positive --trials\n");
+    return 2;
+  }
+
+  StatusOr<chaos::ChaosReport> report = Status::Internal("unreachable");
+  if (!replay_path.empty()) {
+    std::FILE* f = std::fopen(replay_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaos: cannot open %s\n", replay_path.c_str());
+      return 2;
+    }
+    std::string json;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+    auto spec = chaos::ReplayFromJson(json);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("replaying trial %lld of seed %llu (%zu event(s))\n",
+                static_cast<long long>(spec.value().trial),
+                static_cast<unsigned long long>(spec.value().seed),
+                spec.value().events.size());
+    report = chaos::RunReplay(spec.value(), options);
+  } else {
+    std::printf("chaos sweep: %lld trial(s), seed %llu%s\n",
+                static_cast<long long>(options.trials),
+                static_cast<unsigned long long>(options.seed),
+                options.canary ? ", canary armed" : "");
+    report = chaos::RunChaos(options);
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "chaos harness error: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const chaos::ChaosReport& r = report.value();
+  std::printf("ran %lld trial(s):", static_cast<long long>(r.trials_run));
+  for (const auto& [phase, count] : r.trials_per_phase) {
+    std::printf(" %s=%lld", phase.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\ncoverage:\n");
+  for (const auto& [key, count] : r.coverage) {
+    std::printf("  %-32s %lld\n", key.c_str(), static_cast<long long>(count));
+  }
+  if (!r.failed()) {
+    std::printf("all oracles held\n");
+    return 0;
+  }
+
+  std::printf("FAILURE in trial %lld [%s]:\n",
+              static_cast<long long>(r.failed_trial),
+              chaos::PhaseName(r.failed_phase));
+  for (const std::string& v : r.failure) {
+    std::printf("  %s\n", v.c_str());
+  }
+  std::printf("schedule shrunk %lld -> %zu event(s) in %lld run(s); "
+              "replay %s\n",
+              static_cast<long long>(r.original_events),
+              r.reproducer.events.size(),
+              static_cast<long long>(r.shrink_runs),
+              r.replay_confirmed ? "confirmed byte-identical"
+                                 : "NOT confirmed");
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "chaos: cannot write %s\n", out_path.c_str());
+  } else {
+    std::fwrite(r.replay_json.data(), 1, r.replay_json.size(), out);
+    std::fclose(out);
+    std::printf("reproducer written to %s\n", out_path.c_str());
+  }
+  return 1;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -780,6 +896,9 @@ int Usage() {
       "  recover  recover a durable session from its checkpoint dir\n"
       "  cluster  sharded scatter-gather top-k vs the single-node\n"
       "           reference (--nodes N --replicas R [--kill-node I])\n"
+      "  chaos    seeded whole-stack chaos sweep with invariant oracles\n"
+      "           (--trials N --seed S [--canary on] [--replay FILE]\n"
+      "           [--out FILE]); failures shrink to a minimal replay\n"
       "\n"
       "see the header of tools/vaqctl.cc for per-subcommand flags\n");
   return 2;
@@ -801,6 +920,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return vaq::CmdServe(args);
   if (command == "recover") return vaq::CmdRecover(args);
   if (command == "cluster") return vaq::CmdCluster(args);
+  if (command == "chaos") return vaq::CmdChaos(args);
   std::fprintf(stderr, "vaqctl: unknown subcommand '%s'\n", command.c_str());
   return vaq::Usage();
 }
