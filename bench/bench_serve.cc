@@ -22,8 +22,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "fault/fault_plan.h"
+#include "obs/query_trace.h"
 #include "serve/server.h"
 #include "tools/pipeline_setup.h"
 
@@ -42,6 +45,13 @@ struct ConfigResult {
   int64_t inferences = 0;
   int64_t bundle_reuses = 0;
   double makespan_ms = 0.0;
+  // Modeled per-query answer latency (simulated ms, nearest-rank exact
+  // percentiles over all served queries). The sample multiset is a pure
+  // function of the workload, so these are identical at every thread
+  // count — the sweep's SLO columns, not a scaling metric.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
 
 ConfigResult RunConfig(int threads, bool cache,
@@ -79,6 +89,15 @@ ConfigResult RunConfig(int threads, bool cache,
       stats.detector_stats.inferences + stats.recognizer_stats.inferences;
   out.bundle_reuses = stats.cache_bundle_reuses;
   out.makespan_ms = serve::ModeledMakespanMs(results, threads);
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const serve::ServedQuery& q : results) {
+    latencies.push_back(q.simulated_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_ms = obs::PercentileNearestRank(latencies, 0.5);
+  out.p99_ms = obs::PercentileNearestRank(latencies, 0.99);
+  out.p999_ms = obs::PercentileNearestRank(latencies, 0.999);
   return out;
 }
 
@@ -94,7 +113,7 @@ int main() {
   bench::TablePrinter table(
       "Serve — modeled makespan vs worker count, shared cache on/off",
       {"threads", "cache", "completed", "inferences", "bundle_reuses",
-       "makespan_ms", "speedup_vs_1"});
+       "makespan_ms", "speedup_vs_1", "p50_ms", "p99_ms", "p999_ms"});
   std::vector<ConfigResult> rows;
   for (const bool cache : {true, false}) {
     double base_ms = 0.0;
@@ -107,7 +126,10 @@ int main() {
                     bench::Fmt(r.inferences),
                     bench::Fmt(r.bundle_reuses),
                     bench::Fmt("%.1f", r.makespan_ms),
-                    bench::Fmt("%.2f", base_ms / r.makespan_ms)});
+                    bench::Fmt("%.2f", base_ms / r.makespan_ms),
+                    bench::Fmt("%.2f", r.p50_ms),
+                    bench::Fmt("%.2f", r.p99_ms),
+                    bench::Fmt("%.2f", r.p999_ms)});
       rows.push_back(r);
     }
   }
@@ -118,6 +140,7 @@ int main() {
   double makespan_1 = 0.0, makespan_8 = 0.0;
   int64_t inferences_on = 0, inferences_off = 0, reuses_on = 0;
   int64_t completed = 0, failed = 0;
+  double p50 = 0.0, p99 = 0.0, p999 = 0.0;
   for (const ConfigResult& r : rows) {
     completed += r.completed;
     failed += r.failed;
@@ -126,6 +149,9 @@ int main() {
       makespan_8 = r.makespan_ms;
       inferences_on = r.inferences;
       reuses_on = r.bundle_reuses;
+      p50 = r.p50_ms;
+      p99 = r.p99_ms;
+      p999 = r.p999_ms;
     }
     if (!r.cache && r.threads == 8) inferences_off = r.inferences;
   }
@@ -159,12 +185,16 @@ int main() {
     std::fprintf(json,
                  "    {\"threads\": %d, \"cache\": %s, \"completed\": %" PRId64
                  ", \"inferences\": %" PRId64 ", \"bundle_reuses\": %" PRId64
-                 ", \"modeled_makespan_ms\": %.3f}%s\n",
+                 ", \"modeled_makespan_ms\": %.3f, \"latency_p50_ms\": %.3f"
+                 ", \"latency_p99_ms\": %.3f, \"latency_p999_ms\": %.3f}%s\n",
                  r.threads, r.cache ? "true" : "false", r.completed,
-                 r.inferences, r.bundle_reuses, r.makespan_ms,
-                 i + 1 < rows.size() ? "," : "");
+                 r.inferences, r.bundle_reuses, r.makespan_ms, r.p50_ms,
+                 r.p99_ms, r.p999_ms, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"latency_p50_ms\": %.3f,\n", p50);
+  std::fprintf(json, "  \"latency_p99_ms\": %.3f,\n", p99);
+  std::fprintf(json, "  \"latency_p999_ms\": %.3f,\n", p999);
   std::fprintf(json, "  \"speedup_8_threads\": %.4f,\n", speedup);
   std::fprintf(json, "  \"cache_invocation_reduction\": %.4f,\n", reduction);
   std::fprintf(json, "  \"speedup_ok\": %s,\n", speedup_ok ? "true" : "false");

@@ -50,9 +50,13 @@ std::string DescribeTop(
 std::string NonCkptMetrics() {
   // vaq_ckpt_* legitimately differs between a run that crashed and one
   // that did not (that *is* the durability work); everything else is
-  // logical and must match byte for byte.
+  // logical and must match byte for byte. vaq_log_* is also out: the
+  // rate-limited log suppression counter feeds off per-call-site static
+  // counters that span both runs of a trial, so its split between them
+  // is an artifact of process history, not of either run.
   return obs::ExportPrometheus(obs::ExcludeSnapshot(
-      obs::MetricRegistry::Global().TakeSnapshot(), {"vaq_ckpt_"}));
+      obs::MetricRegistry::Global().TakeSnapshot(),
+      {"vaq_ckpt_", "vaq_log_"}));
 }
 
 // One run's comparable output.
@@ -428,13 +432,17 @@ Status RunCluster(const TrialScenario& s, const Schedule& schedule,
 
   // Two identical chaos runs: the event loop itself must be a pure
   // function of the plan (self-determinism), independently of whether
-  // the outcome matches the reference.
+  // the outcome matches the reference. Each run carries its own query
+  // trace; the rendered profiles must match byte for byte too — the
+  // per-shard attribution is part of the deterministic surface.
   obs::MetricRegistry::Global().Reset();
-  const StatusOr<cluster::ClusterTopKResult> run1 =
-      coordinator.TopK("running", {"dog"}, scoring, rvaq);
+  obs::QueryTrace trace1("chaos");
+  const StatusOr<cluster::ClusterTopKResult> run1 = coordinator.TopK(
+      "running", {"dog"}, scoring, rvaq, obs::QueryContext{&trace1, 0});
   obs::MetricRegistry::Global().Reset();
-  const StatusOr<cluster::ClusterTopKResult> run2 =
-      coordinator.TopK("running", {"dog"}, scoring, rvaq);
+  obs::QueryTrace trace2("chaos");
+  const StatusOr<cluster::ClusterTopKResult> run2 = coordinator.TopK(
+      "running", {"dog"}, scoring, rvaq, obs::QueryContext{&trace2, 0});
 
   const auto violation = [&](const std::string& msg) {
     r->violations.push_back("cluster: " + msg);
@@ -449,6 +457,10 @@ Status RunCluster(const TrialScenario& s, const Schedule& schedule,
   if (run1.ok() &&
       DescribeTop(run1->merged.top) != DescribeTop(run2->merged.top)) {
     violation("two identical runs returned different top lists");
+    return Status::OK();
+  }
+  if (trace1.RenderProfile() != trace2.RenderProfile()) {
+    violation("two identical runs produced different query profiles");
     return Status::OK();
   }
 
@@ -496,6 +508,7 @@ struct ServeOut {
   std::string described;
   std::string metrics;
   std::string stats;
+  std::string profiles;  // Concatenated per-query RenderProfile, id order.
 };
 
 StatusOr<ServeOut> RunServeOnce(const TrialScenario& s, IndexCache* cache,
@@ -508,6 +521,7 @@ StatusOr<ServeOut> RunServeOnce(const TrialScenario& s, IndexCache* cache,
   so.queue_capacity = s.num_queries;  // Sized to fit: no overflow path.
   so.share_detection_cache = true;
   so.fault_plan = plan;
+  so.trace_queries = true;  // Profiles join the determinism surface.
   serve::Server server(so);
   for (int i = 0; i < s.num_streams; ++i) {
     server.RegisterStream(SourceName(i), cache->Scenario(i, s.minutes),
@@ -525,7 +539,11 @@ StatusOr<ServeOut> RunServeOnce(const TrialScenario& s, IndexCache* cache,
     }
   }
   ServeOut out;
-  out.described = DescribeAll(server.Drain());
+  const std::vector<serve::ServedQuery> drained = server.Drain();
+  for (const serve::ServedQuery& q : drained) {
+    if (q.trace != nullptr) out.profiles += q.trace->RenderProfile();
+  }
+  out.described = DescribeAll(drained);
   out.metrics = obs::ExportPrometheus(
       obs::FilterSnapshot(obs::MetricRegistry::Global().TakeSnapshot(),
                           serve::LogicalMetricPrefixes()));
@@ -569,6 +587,10 @@ Status RunServe(const TrialScenario& s, const TrialOptions& options,
   if (chaos.stats != ref.stats) {
     r->violations.push_back(
         "serve: lifetime stats are thread-count-dependent");
+  }
+  if (chaos.profiles != ref.profiles) {
+    r->violations.push_back(
+        "serve: per-query profiles are thread-count-dependent");
   }
   return Status::OK();
 }

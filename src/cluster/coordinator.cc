@@ -50,7 +50,10 @@ struct ShardState {
 
 Coordinator::Coordinator(const offline::Repository* repository,
                          ClusterOptions options)
-    : repository_(repository), options_(options) {
+    : repository_(repository),
+      options_(options),
+      latency_(std::make_unique<obs::LatencyRecorder>("vaq_query_latency_ms",
+                                                      "cluster")) {
   VAQ_CHECK_GT(options_.num_shards, 0);
   VAQ_CHECK_GE(options_.num_replicas, 0);
   VAQ_CHECK_GT(options_.batch_size, 0);
@@ -90,8 +93,15 @@ bool Coordinator::HostDown(int host, double at_ms) const {
 
 StatusOr<ClusterTopKResult> Coordinator::TopK(
     const std::string& action, const std::vector<std::string>& objects,
-    const offline::ScoringModel& scoring, offline::RvaqOptions rvaq) const {
+    const offline::ScoringModel& scoring, offline::RvaqOptions rvaq,
+    const obs::QueryContext& ctx) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  // The query id that rides every simulated wire message of this query
+  // (a no-op "-" when untraced). Appending it to the payload leaves the
+  // modeled byte counts — and therefore every delivery time — unchanged.
+  const std::string qid =
+      ctx.active() ? ctx.trace->root_name() : std::string("-");
+  const obs::QueryContext phase = ctx.Child("scatter_gather");
   if (repository_->num_videos() == 0) {
     registry
         .GetCounter("vaq_cluster_queries_total",
@@ -124,7 +134,7 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
     shards[static_cast<size_t>(s)].expected = 0;
     shards[static_cast<size_t>(s)].deadline = options_.failover_timeout_ms;
     net.Send(kCoordinatorHost, s, kTagQuery, "query",
-             std::to_string(s) + ",0", query_wire_bytes, 0.0);
+             std::to_string(s) + ",0," + qid, query_wire_bytes, 0.0);
   }
 
   // The consumed candidate pool and the global top-k heap over it.
@@ -184,6 +194,8 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
         registry
             .GetCounter("vaq_cluster_failovers_total", {{"mode", "ranked"}})
             ->Increment();
+        phase.Child("shard" + std::to_string(timer_shard))
+            .AddStat("failovers", 1);
         if (state.replicas_used >= options_.num_replicas) {
           failure = Status::Unavailable(
               "shard " + std::to_string(timer_shard) +
@@ -195,7 +207,7 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       }
       net.Send(kCoordinatorHost, state.active_host, kTagFetch, "fetch",
                std::to_string(timer_shard) + "," +
-                   std::to_string(state.expected),
+                   std::to_string(state.expected) + "," + qid,
                16, clock.now_ms());
       state.deadline = clock.now_ms() + options_.failover_timeout_ms;
       continue;
@@ -250,7 +262,12 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
     }
     Node* sender = HostNode(delivery.from);
     VAQ_CHECK(sender != nullptr && sender->has_run());
+    // The node echoed the request payload back, query id included — the
+    // batch provably belongs to this query's context.
+    VAQ_CHECK(delivery.payload.substr(delivery.payload.rfind(',') + 1) == qid);
     ShardBatch batch = sender->Batch(shard, index, options_.batch_size);
+    const obs::QueryContext shard_ctx =
+        phase.Child("shard" + std::to_string(shard));
     if (!state.folded) {
       // Shard accounting folds exactly once, replica re-runs included.
       const ShardRun* run = sender->run();
@@ -261,10 +278,16 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       result.single_node_ms += run->modeled_ms;
       result.max_shard_ms = std::max(result.max_shard_ms, run->modeled_ms);
       state.folded = true;
+      shard_ctx.AddMs(run->modeled_ms);
+      shard_ctx.AddStat("videos_queried", run->videos_queried);
+      shard_ctx.AddStat("videos_skipped", run->videos_skipped);
     }
     ++state.consumed_batches;
     ++result.batches_consumed;
     result.entries_consumed += static_cast<int64_t>(batch.entries.size());
+    shard_ctx.AddStat("batches", 1);
+    shard_ctx.AddStat("entries", static_cast<int64_t>(batch.entries.size()));
+    shard_ctx.AddStat("net_bytes", batch.wire_bytes);
     for (ShardEntry& entry : batch.entries) {
       heap.push(entry.merge_score);
       if (heap.size() > static_cast<size_t>(rvaq.k)) heap.pop();
@@ -286,8 +309,9 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
     }
     if (batch.more) {
       net.Send(kCoordinatorHost, state.active_host, kTagFetch, "fetch",
-               std::to_string(shard) + "," + std::to_string(index + 1), 16,
-               now);
+               std::to_string(shard) + "," + std::to_string(index + 1) + "," +
+                   qid,
+               16, now);
       state.expected = index + 1;
       state.deadline = now + options_.failover_timeout_ms;
     }
@@ -354,11 +378,25 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       ->Increment(result.entries_total - result.entries_consumed);
   registry.GetHistogram("vaq_cluster_answer_ms", AnswerMsBounds())
       ->Observe(result.answer_ms);
+  latency_->Record(result.answer_ms);
+  // Coordinator-level attribution: self_ms is the end-to-end virtual
+  // answer latency (the shards' scan ms sits on their child nodes and
+  // overlaps it — the scatter–gather runs them in parallel).
+  phase.AddMs(result.answer_ms);
+  phase.AddStat("shards", num_shards);
+  phase.AddStat("batches_consumed", result.batches_consumed);
+  phase.AddStat("batches_pruned", result.batches_pruned);
+  phase.AddStat("entries_consumed", result.entries_consumed);
+  phase.AddStat("entries_pruned",
+                result.entries_total - result.entries_consumed);
+  phase.AddStat("failovers", result.failovers);
+  phase.AddStat("net_messages", result.net.messages);
+  phase.AddStat("net_bytes", result.net.bytes);
   return result;
 }
 
 StatusOr<query::QueryResult> Coordinator::ExecuteRanked(
-    const query::QueryStatement& stmt) {
+    const query::QueryStatement& stmt, const obs::QueryContext& ctx) {
   if (!stmt.IsConjunctive()) {
     return Status::InvalidArgument(
         "cluster ranked execution supports conjunctive statements only "
@@ -367,7 +405,7 @@ StatusOr<query::QueryResult> Coordinator::ExecuteRanked(
   offline::RvaqOptions options;
   options.k = stmt.limit > 0 ? stmt.limit : 5;
   VAQ_ASSIGN_OR_RETURN(ClusterTopKResult cluster,
-                       TopK(stmt.action, stmt.objects, scoring_, options));
+                       TopK(stmt.action, stmt.objects, scoring_, options, ctx));
   query::QueryResult result;
   result.online = false;
   result.accesses = cluster.merged.accesses;

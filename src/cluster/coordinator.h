@@ -53,6 +53,7 @@
 #include "cluster/node.h"
 #include "cluster/partition.h"
 #include "common/status.h"
+#include "obs/query_trace.h"
 #include "offline/repository.h"
 #include "offline/scoring.h"
 #include "query/session.h"
@@ -113,16 +114,22 @@ class Coordinator : public query::RankedBackend {
   int num_shards() const { return options_.num_shards; }
   const std::vector<std::string>& ShardVideos(int shard) const;
 
-  // Global top-K for a conjunctive query, scatter–gathered.
+  // Global top-K for a conjunctive query, scatter–gathered. `ctx`
+  // (optional) attributes the scatter–gather to a per-query trace: the
+  // query id rides the simulated wire with every query/fetch message
+  // (appended to the payload; the modeled byte counts are unchanged, so
+  // timing is too), and each shard's scan, batches, bytes and failovers
+  // land on a per-shard child node.
   StatusOr<ClusterTopKResult> TopK(const std::string& action,
                                    const std::vector<std::string>& objects,
                                    const offline::ScoringModel& scoring,
-                                   offline::RvaqOptions rvaq) const;
+                                   offline::RvaqOptions rvaq,
+                                   const obs::QueryContext& ctx = {}) const;
 
   // query::RankedBackend: routes a parsed ranked statement (conjunctive
   // form) through TopK with the coordinator's own PaperScoring.
   StatusOr<query::QueryResult> ExecuteRanked(
-      const query::QueryStatement& stmt) override;
+      const query::QueryStatement& stmt, const obs::QueryContext& ctx) override;
 
  private:
   // Primary host of shard s is s; replica r of shard s is
@@ -138,6 +145,9 @@ class Coordinator : public query::RankedBackend {
   // Primaries [0, S), then replicas in ReplicaHost order. Mutable: nodes
   // cache the per-query shard run; TopK is logically const.
   mutable std::vector<std::unique_ptr<Node>> nodes_;
+  // Exact-sample answer-latency percentiles
+  // (vaq_query_latency_ms{path="cluster"}).
+  std::unique_ptr<obs::LatencyRecorder> latency_;
 };
 
 }  // namespace cluster

@@ -88,6 +88,7 @@ struct SinkConfig {
   LogLevel min_level;
   bool json;
   std::function<void(const std::string&)> sink;
+  std::function<void(int64_t)> suppression_listener;
   int64_t sequence = 0;
 };
 
@@ -118,10 +119,20 @@ void SetLogSink(std::function<void(const std::string&)> sink) {
   Config().sink = std::move(sink);
 }
 
+void SetLogSuppressionListener(std::function<void(int64_t)> listener) {
+  std::lock_guard<std::mutex> lock(Config().mu);
+  Config().suppression_listener = std::move(listener);
+}
+
 int64_t RateLimitTick(std::atomic<int64_t>* counter, int64_t every_n) {
   if (every_n <= 1) return 0;
   const int64_t count = counter->fetch_add(1, std::memory_order_relaxed);
-  if (count % every_n != 0) return -1;
+  if (count % every_n != 0) {
+    SinkConfig& config = Config();
+    std::lock_guard<std::mutex> lock(config.mu);
+    if (config.suppression_listener) config.suppression_listener(1);
+    return -1;
+  }
   return count == 0 ? 0 : every_n - 1;
 }
 

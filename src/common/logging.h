@@ -58,6 +58,12 @@ void EmitLogLine(LogLevel level, const char* file, int line,
 // or -1 when this occurrence should be suppressed.
 int64_t RateLimitTick(std::atomic<int64_t>* counter, int64_t every_n);
 
+// Observes every suppressed rate-limited occurrence (called with 1 per
+// suppressed tick). The obs layer installs a listener that mirrors the
+// count into `vaq_log_suppressed_total`; common/ cannot depend on obs/,
+// so the hook is inverted. nullptr uninstalls.
+void SetLogSuppressionListener(std::function<void(int64_t)> listener);
+
 // Stream-style message builder; hands the line to the sink on
 // destruction and aborts for kFatal.
 class LogMessage {

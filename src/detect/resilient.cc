@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/query_trace.h"
+
 namespace vaq {
 namespace detect {
 namespace internal_detect {
@@ -49,6 +51,14 @@ ResilientCore::ResilientCore(const fault::FaultPlan* plan,
   breaker_closed_ = registry.GetCounter(
       "vaq_breaker_transitions_total",
       {{"domain", domain_name}, {"model", model_name}, {"to", "closed"}});
+}
+
+void ResilientCore::CountCall(obs::Counter* counter, const char* outcome) {
+  counter->Increment();
+  const obs::QueryContext& ctx = obs::CurrentQueryContext();
+  if (ctx.active()) {
+    ctx.AddStat(std::string("model_calls_") + outcome, 1);
+  }
 }
 
 double ResilientCore::Corrupt(double score, fault::FaultKind kind) {

@@ -88,7 +88,7 @@ class ResilientCore {
     if (plan_ == nullptr) return score_fn();  // Zero-overhead pass-through.
     if (breaker_open_ && clock_->now_ms() < breaker_reopen_ms_) {
       ++stats->failures;
-      calls_breaker_open_->Increment();
+      CountCall(calls_breaker_open_, "breaker_open");
       return Status::Unavailable("circuit breaker open");
       // (Once the cool-down has passed, the call below is the half-open
       // probe: success closes the breaker, failure re-arms it.)
@@ -108,13 +108,13 @@ class ResilientCore {
         // within it is futile. Fail fast and let the breaker absorb the
         // outage.
         ++stats->faults_injected;
-        calls_outage_->Increment();
+        CountCall(calls_outage_, "outage");
         last_error = Status::Unavailable("model outage");
         break;
       }
       if (kind == fault::FaultKind::kTimeout) {
         ++stats->faults_injected;
-        calls_timeout_->Increment();
+        CountCall(calls_timeout_, "timeout");
         clock_->Advance(options_.deadline_ms);  // The deadline budget burned.
         last_error = Status::DeadlineExceeded("model call timed out");
         continue;
@@ -124,7 +124,7 @@ class ResilientCore {
       score = Corrupt(score, kind);
       if (!(score >= 0.0 && score <= 1.0)) {  // NaN also fails this test.
         ++stats->faults_injected;
-        calls_invalid_->Increment();
+        CountCall(calls_invalid_, "invalid_score");
         last_error = Status::Unavailable("model returned invalid score");
         continue;
       }
@@ -133,11 +133,11 @@ class ResilientCore {
         breaker_open_ = false;
         breaker_closed_->Increment();
       }
-      calls_ok_->Increment();
+      CountCall(calls_ok_, "ok");
       return score;
     }
     ++stats->failures;
-    calls_failed_->Increment();
+    CountCall(calls_failed_, "abandoned");
     if (++consecutive_failures_ >= options_.breaker_threshold) {
       if (!breaker_open_) {
         ++stats->breaker_trips;
@@ -172,6 +172,12 @@ class ResilientCore {
   }
 
  private:
+  // Increments the registry counter and mirrors the outcome into the
+  // current thread's per-query trace (obs::CurrentQueryContext) as a
+  // `model_calls_<outcome>` stat — per-query outcomes cannot be
+  // reconstructed from ModelStats deltas, so they are attributed here at
+  // the only site that knows them.
+  void CountCall(obs::Counter* counter, const char* outcome);
   // Applies an injected score fault to the true score.
   static double Corrupt(double score, fault::FaultKind kind);
   // Small integer power (avoids pulling <cmath> into every include).

@@ -3,7 +3,11 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <utility>
+#include <vector>
 
 namespace vaq {
 namespace obs {
@@ -322,6 +326,250 @@ std::string JsonLintError(const std::string& text) {
   cursor.SkipSpace();
   if (cursor.pos != text.size()) {
     return "trailing content at offset " + std::to_string(cursor.pos);
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text lint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+bool IsLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty() || !IsMetricNameStart(name[0])) return false;
+  for (const char c : name) {
+    if (!IsMetricNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool ParsePromValue(const std::string& text, double* value) {
+  if (text == "+Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+// Parses `{k="v",...}` starting at `pos` (which must point at '{').
+// Leaves `pos` one past the closing '}'. Returns false with `error` set
+// on malformed input; fills sorted (name, value) pairs.
+bool ParseLabelBlock(const std::string& line, size_t* pos,
+                     std::vector<std::pair<std::string, std::string>>* labels,
+                     std::string* error) {
+  ++*pos;  // '{'
+  while (*pos < line.size() && line[*pos] != '}') {
+    size_t start = *pos;
+    if (!IsLabelNameStart(line[*pos])) {
+      *error = "bad label name";
+      return false;
+    }
+    while (*pos < line.size() && IsLabelNameChar(line[*pos])) ++*pos;
+    const std::string name = line.substr(start, *pos - start);
+    if (*pos >= line.size() || line[*pos] != '=') {
+      *error = "expected '=' after label name";
+      return false;
+    }
+    ++*pos;
+    if (*pos >= line.size() || line[*pos] != '"') {
+      *error = "label value must be quoted";
+      return false;
+    }
+    ++*pos;
+    std::string value;
+    while (*pos < line.size() && line[*pos] != '"') {
+      if (line[*pos] == '\\') {
+        ++*pos;
+        if (*pos >= line.size() ||
+            (line[*pos] != '\\' && line[*pos] != '"' && line[*pos] != 'n')) {
+          *error = "bad escape in label value";
+          return false;
+        }
+      }
+      value += line[*pos];
+      ++*pos;
+    }
+    if (*pos >= line.size()) {
+      *error = "unterminated label value";
+      return false;
+    }
+    ++*pos;  // '"'
+    labels->emplace_back(name, value);
+    if (*pos < line.size() && line[*pos] == ',') ++*pos;
+  }
+  if (*pos >= line.size()) {
+    *error = "unterminated label block";
+    return false;
+  }
+  ++*pos;  // '}'
+  return true;
+}
+
+// Per-histogram-series state, keyed by (family, labels-without-le).
+struct HistogramSeries {
+  double last_cumulative = -1.0;
+  bool saw_inf = false;
+  double inf_cumulative = 0.0;
+};
+
+}  // namespace
+
+std::string PromLintError(const std::string& text) {
+  std::map<std::string, std::string> family_kind;  // name -> kind.
+  std::map<std::string, HistogramSeries> histograms;
+  int line_no = 0;
+  size_t pos = 0;
+  std::string pending_error;
+  const auto fail = [&](const std::string& message) {
+    return "line " + std::to_string(line_no) + ": " + message;
+  };
+  while (pos < text.size()) {
+    ++line_no;
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) return fail("missing trailing newline");
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) return fail("empty line");
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <kind>` comments are emitted; `# HELP` is
+      // tolerated for future-proofing, anything else is an error.
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line.rfind("# TYPE ", 0) != 0) return fail("unknown comment form");
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) return fail("malformed TYPE line");
+      const std::string name = rest.substr(0, space);
+      const std::string kind = rest.substr(space + 1);
+      if (!ValidMetricName(name)) return fail("bad metric name in TYPE");
+      if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+          kind != "summary" && kind != "untyped") {
+        return fail("unknown metric kind '" + kind + "'");
+      }
+      if (family_kind.count(name) != 0) {
+        return fail("family '" + name + "' declared twice");
+      }
+      family_kind[name] = kind;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t cursor = 0;
+    if (!IsMetricNameStart(line[0])) return fail("bad sample name");
+    while (cursor < line.size() && IsMetricNameChar(line[cursor])) ++cursor;
+    const std::string name = line.substr(0, cursor);
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (cursor < line.size() && line[cursor] == '{') {
+      if (!ParseLabelBlock(line, &cursor, &labels, &pending_error)) {
+        return fail(pending_error);
+      }
+    }
+    if (cursor >= line.size() || line[cursor] != ' ') {
+      return fail("expected ' ' before sample value");
+    }
+    ++cursor;
+    double value = 0.0;
+    if (!ParsePromValue(line.substr(cursor), &value)) {
+      return fail("unparsable sample value '" + line.substr(cursor) + "'");
+    }
+    // Resolve the family: exact for counters/gauges, suffixed for
+    // histograms. A `_bucket`/`_sum`/`_count` suffix binds to a declared
+    // histogram family first, so a counter literally named *_count can
+    // still coexist with an unrelated histogram.
+    std::string family = name;
+    std::string suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      const std::string s(candidate);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        auto it = family_kind.find(base);
+        if (it != family_kind.end() && it->second == "histogram") {
+          family = base;
+          suffix = s;
+          break;
+        }
+      }
+    }
+    auto declared = family_kind.find(family);
+    if (declared == family_kind.end()) {
+      return fail("sample '" + name + "' has no TYPE declaration");
+    }
+    if (declared->second == "histogram") {
+      if (suffix.empty()) {
+        return fail("histogram family '" + family +
+                    "' sampled without _bucket/_sum/_count");
+      }
+      // Series key: family + labels minus `le`, in appearance order
+      // (the exporter emits labels canonically sorted).
+      std::string key = family;
+      std::string le_value;
+      bool saw_le = false;
+      for (const auto& [label_name, label_value] : labels) {
+        if (label_name == "le") {
+          le_value = label_value;
+          saw_le = true;
+          continue;
+        }
+        key += "|" + label_name + "=" + label_value;
+      }
+      HistogramSeries& series = histograms[key];
+      if (suffix == "_bucket") {
+        if (!saw_le) return fail("_bucket sample without an le label");
+        if (series.saw_inf) {
+          return fail("bucket after le=\"+Inf\" in histogram '" + family +
+                      "'");
+        }
+        if (value < series.last_cumulative) {
+          return fail("non-cumulative bucket counts in histogram '" +
+                      family + "'");
+        }
+        series.last_cumulative = value;
+        if (le_value == "+Inf") {
+          series.saw_inf = true;
+          series.inf_cumulative = value;
+        }
+      } else if (suffix == "_count") {
+        if (!series.saw_inf) {
+          return fail("histogram '" + family +
+                      "' has _count before an le=\"+Inf\" bucket");
+        }
+        if (value != series.inf_cumulative) {
+          return fail("histogram '" + family +
+                      "' _count disagrees with the +Inf bucket");
+        }
+      }
+    } else if (!suffix.empty()) {
+      return fail("suffix sample for non-histogram family '" + family + "'");
+    }
+  }
+  for (const auto& [key, series] : histograms) {
+    if (!series.saw_inf) {
+      return "histogram series '" + key + "' never reached le=\"+Inf\"";
+    }
   }
   return "";
 }

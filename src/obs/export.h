@@ -40,6 +40,17 @@ std::string FormatMetricValue(double v);
 // external parser dependency.
 std::string JsonLintError(const std::string& text);
 
+// Promlint-style validator for the Prometheus text exposition format.
+// Returns an empty string when `text` is a well-formed exposition,
+// otherwise a line-numbered diagnostic. Checks: every line is a `# TYPE`
+// declaration or a sample; names and label names match the Prometheus
+// charset; label values are quoted with valid escapes; sample values
+// parse (including +Inf/-Inf/NaN); every sample belongs to a declared
+// family (histograms via `_bucket`/`_sum`/`_count`); histogram bucket
+// series are cumulative-monotone, end with le="+Inf", and `_count`
+// equals the +Inf bucket. Used by `vaqctl metrics --selfcheck`.
+std::string PromLintError(const std::string& text);
+
 }  // namespace obs
 }  // namespace vaq
 

@@ -40,6 +40,7 @@ std::string QueryStatement::ToString() const {
   }
   if (ranked) os << ", ranked";
   if (limit >= 0) os << ", limit=" << limit;
+  if (explain_analyze) os << ", explain";
   os << "}";
   return os.str();
 }

@@ -17,7 +17,8 @@
 //
 // `obj.inc(...)` is accepted as an alias of `obj.include(...)`; keywords
 // are case-insensitive; either or both of the act/obj predicates may be
-// present.
+// present. An optional `EXPLAIN ANALYZE` prefix executes the statement
+// and attaches a deterministic per-phase cost profile to the result.
 #ifndef VAQ_QUERY_AST_H_
 #define VAQ_QUERY_AST_H_
 
@@ -47,6 +48,9 @@ struct QueryStatement {
   bool ranked = false;
   // LIMIT K; -1 when absent.
   int64_t limit = -1;
+  // EXPLAIN ANALYZE prefix: execute the statement and attach a per-phase
+  // profile tree (query/session.h fills QueryResult::profile_text).
+  bool explain_analyze = false;
 
   // True when the statement is a plain conjunction of at most one action
   // and object presences (the paper's core form); false when it uses

@@ -15,6 +15,11 @@ class Parser {
 
   StatusOr<QueryStatement> ParseStatement() {
     QueryStatement stmt;
+    if (AtKeyword("EXPLAIN")) {
+      Advance();
+      VAQ_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      stmt.explain_analyze = true;
+    }
     VAQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     VAQ_RETURN_IF_ERROR(ParseSelectList(&stmt));
     VAQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));

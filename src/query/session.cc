@@ -75,8 +75,11 @@ detect::ModelBundle MakeStatementModels(const std::vector<std::string>& names,
 StatusOr<QueryResult> ExecuteRankedStatement(
     const QueryStatement& stmt, const storage::VideoIndex& index,
     const offline::ScoringModel& scoring,
-    const offline::ScoringModel& cnf_scoring) {
+    const offline::ScoringModel& cnf_scoring,
+    const obs::QueryContext& ctx) {
   VAQ_TRACE_SPAN("session/ranked_query");
+  const obs::QueryContext phase = ctx.Child("ranked");
+  obs::ScopedQueryContext scoped(phase);
   QueryResult result;
   offline::QueryTables tables;
   const offline::ScoringModel* bound_scoring = &scoring;
@@ -99,13 +102,30 @@ StatusOr<QueryResult> ExecuteRankedStatement(
     merged.Add(seq.clips);
   }
   result.sequences = std::move(merged);
+  phase.AddMs(result.accesses.ModeledMs(kModeledSeekMs, kModeledRowMs));
+  phase.AddStat("seeks", result.accesses.seeks());
+  phase.AddStat("sequential_rows", result.accesses.sequential_rows());
+  phase.AddStat("results", static_cast<int64_t>(result.ranked.size()));
   return result;
 }
 
 StatusOr<QueryResult> ExecuteOnlineStatement(
     const QueryStatement& stmt, const synth::Scenario& scenario,
-    const online::SvaqdOptions& options, detect::ModelBundle* models) {
+    const online::SvaqdOptions& options, detect::ModelBundle* models,
+    const obs::QueryContext& ctx) {
   VAQ_TRACE_SPAN("session/online_query");
+  const obs::QueryContext phase = ctx.Child("online");
+  // The resilient model wrappers read the thread-local context, so their
+  // per-outcome call counts land on this query's "online" node.
+  obs::ScopedQueryContext scoped(phase);
+  const auto charge = [&phase](const QueryResult& r) {
+    phase.AddMs(r.detector_stats.simulated_ms +
+                r.recognizer_stats.simulated_ms);
+    phase.AddStat("detector_inferences", r.detector_stats.inferences);
+    phase.AddStat("recognizer_inferences", r.recognizer_stats.inferences);
+    if (r.degraded_clips > 0) phase.AddStat("degraded_clips", r.degraded_clips);
+    if (r.dropped_clips > 0) phase.AddStat("dropped_clips", r.dropped_clips);
+  };
   QueryResult result;
   result.online = true;
   if (stmt.IsConjunctive()) {
@@ -120,6 +140,7 @@ StatusOr<QueryResult> ExecuteOnlineStatement(
     result.recognizer_stats = online_result.recognizer_stats;
     result.degraded_clips = online_result.degraded_clips;
     result.dropped_clips = online_result.dropped_clips;
+    charge(result);
     return result;
   }
   // General CNF statement (footnotes 3-4): the disjunction-aware engine.
@@ -134,6 +155,7 @@ StatusOr<QueryResult> ExecuteOnlineStatement(
   result.sequences = std::move(cnf_result.sequences);
   result.detector_stats = cnf_result.detector_stats;
   result.recognizer_stats = cnf_result.recognizer_stats;
+  charge(result);
   return result;
 }
 
@@ -161,6 +183,21 @@ StatusOr<QueryResult> Session::Execute(const std::string& sql) {
 }
 
 StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
+  if (stmt.explain_analyze) {
+    // EXPLAIN ANALYZE outside a serving context: profile into a private
+    // trace and render it. The root name is fixed so the output is a
+    // pure function of the statement's execution.
+    obs::QueryTrace trace("explain");
+    const obs::QueryContext root{&trace, 0};
+    VAQ_ASSIGN_OR_RETURN(QueryResult result, Execute(stmt, root));
+    result.profile_text = trace.RenderProfile();
+    return result;
+  }
+  return Execute(stmt, obs::QueryContext{});
+}
+
+StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt,
+                                       const obs::QueryContext& ctx) {
   const bool offline_query = stmt.ranked || stmt.limit >= 0;
   obs::MetricRegistry::Global()
       .GetCounter("vaq_session_statements_total",
@@ -169,14 +206,15 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
   if (offline_query) {
     auto backend = backends_.find(stmt.video);
     if (backend != backends_.end()) {
-      return backend->second->ExecuteRanked(stmt);
+      return backend->second->ExecuteRanked(stmt, ctx);
     }
     auto it = repositories_.find(stmt.video);
     if (it == repositories_.end()) {
       return Status::NotFound("no repository video named '" + stmt.video +
                               "'");
     }
-    return ExecuteRankedStatement(stmt, it->second, scoring_, cnf_scoring_);
+    return ExecuteRankedStatement(stmt, it->second, scoring_, cnf_scoring_,
+                                  ctx);
   }
 
   auto it = streams_.find(stmt.video);
@@ -187,7 +225,7 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt) {
   detect::ModelBundle models = MakeStatementModels(
       stmt.models, source.scenario.truth(), source.model_seed);
   return ExecuteOnlineStatement(stmt, source.scenario, source.options,
-                                &models);
+                                &models, ctx);
 }
 
 }  // namespace query

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "detect/models.h"
+#include "obs/query_trace.h"
 #include "offline/rvaq.h"
 #include "online/svaqd.h"
 #include "query/ast.h"
@@ -26,6 +27,13 @@
 
 namespace vaq {
 namespace query {
+
+// Modeled disk cost of the offline access path: every seek-like access
+// costs kModeledSeekMs, every sequentially streamed row kModeledRowMs.
+// One definition shared by EXPLAIN ANALYZE profiles, the serving layer's
+// per-query accounting and the benches, so the numbers reconcile.
+inline constexpr double kModeledSeekMs = 5.0;
+inline constexpr double kModeledRowMs = 0.01;
 
 // Uniform result of a statement.
 struct QueryResult {
@@ -44,6 +52,9 @@ struct QueryResult {
   // clips lost wholesale (nonzero only under fault injection).
   int64_t degraded_clips = 0;
   int64_t dropped_clips = 0;
+  // EXPLAIN ANALYZE only: the rendered per-phase profile tree
+  // (obs::QueryTrace::RenderProfile). Empty otherwise.
+  std::string profile_text;
 };
 
 // --- Stateless execution cores -----------------------------------------
@@ -64,18 +75,23 @@ const char* StatementModelStack(const std::vector<std::string>& names);
 // caller-owned `models` (whose stack must match the statement; see
 // MakeStatementModels). The returned stats are per-run deltas, so a
 // bundle shared across successive statements reports each statement's
-// marginal cost only.
+// marginal cost only. `ctx` (optional) attributes the run's simulated ms
+// and model-call outcomes to a per-query trace; the context is also
+// installed thread-locally for the duration so the resilient model
+// wrappers charge the same query.
 StatusOr<QueryResult> ExecuteOnlineStatement(
     const QueryStatement& stmt, const synth::Scenario& scenario,
-    const online::SvaqdOptions& options, detect::ModelBundle* models);
+    const online::SvaqdOptions& options, detect::ModelBundle* models,
+    const obs::QueryContext& ctx = {});
 
 // Runs a ranked (repository) statement against `index`. `scoring` serves
 // conjunctive statements, `cnf_scoring` general CNF ones; both are
-// stateless and may be shared across threads.
+// stateless and may be shared across threads. `ctx` as above.
 StatusOr<QueryResult> ExecuteRankedStatement(
     const QueryStatement& stmt, const storage::VideoIndex& index,
     const offline::ScoringModel& scoring,
-    const offline::ScoringModel& cnf_scoring);
+    const offline::ScoringModel& cnf_scoring,
+    const obs::QueryContext& ctx = {});
 
 // A pluggable executor for ranked statements over a named source that is
 // not a locally-held VideoIndex. The cluster coordinator implements this
@@ -89,7 +105,11 @@ class RankedBackend {
 
   // Executes a ranked statement; must return results identical to
   // running the statement against the equivalent single-node repository.
-  virtual StatusOr<QueryResult> ExecuteRanked(const QueryStatement& stmt) = 0;
+  // `ctx` attributes the backend's work (shard fan-out, batches, bytes on
+  // the simulated network) to the query's trace; backends must tolerate
+  // an inactive context.
+  virtual StatusOr<QueryResult> ExecuteRanked(const QueryStatement& stmt,
+                                              const obs::QueryContext& ctx) = 0;
 };
 
 class Session {
@@ -112,11 +132,18 @@ class Session {
   // over a repository video of the same name.
   void RegisterRankedBackend(const std::string& name, RankedBackend* backend);
 
-  // Parses and runs one statement.
+  // Parses and runs one statement. An EXPLAIN ANALYZE statement executes
+  // normally and additionally fills QueryResult::profile_text with the
+  // deterministic per-phase profile tree.
   StatusOr<QueryResult> Execute(const std::string& sql);
 
   // Runs an already-parsed statement.
   StatusOr<QueryResult> Execute(const QueryStatement& stmt);
+
+  // Runs a statement, attributing its cost to `ctx` (the serving layer
+  // passes each admitted query's own trace node here).
+  StatusOr<QueryResult> Execute(const QueryStatement& stmt,
+                                const obs::QueryContext& ctx);
 
  private:
   struct StreamSource {

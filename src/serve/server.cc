@@ -15,10 +15,11 @@ namespace vaq {
 namespace serve {
 namespace {
 
-// The repo-wide disk cost model (bench/bench_util.h uses the same scale):
-// a seek-like operation costs 5 ms, a sequentially streamed row 0.01 ms.
-constexpr double kSeekMs = 5.0;
-constexpr double kRowMs = 0.01;
+// The repo-wide disk cost model (query/session.h; bench/bench_util.h uses
+// the same scale): a seek-like operation costs 5 ms, a sequentially
+// streamed row 0.01 ms.
+constexpr double kSeekMs = query::kModeledSeekMs;
+constexpr double kRowMs = query::kModeledRowMs;
 // Modeled cost of writing one snapshot byte (sequential, row-rate scaled
 // down to bytes); a snapshot charges one seek plus this per byte.
 constexpr double kSnapshotByteMs = 1e-5;
@@ -203,6 +204,11 @@ Server::Server(ServeOptions options) : options_(options) {
   ckpt_wal_records_ = registry.GetCounter("vaq_ckpt_wal_records_total");
   ckpt_snapshot_ms_ = registry.GetHistogram("vaq_ckpt_snapshot_modeled_ms",
                                             obs::DefaultLatencyBucketsMs());
+  latency_ = std::make_unique<obs::LatencyRecorder>("vaq_query_latency_ms",
+                                                    "serve");
+  if (options_.trace_queries) {
+    session_trace_ = std::make_unique<obs::QueryTrace>("session");
+  }
   if (options_.threads <= 0) {
     // Inline mode: Drain() runs queries on the calling thread with this
     // dedicated accumulator.
@@ -296,6 +302,12 @@ StatusOr<int64_t> Server::Submit(const std::string& sql) {
   }
   pending.id = next_id_++;
   const int64_t id = pending.id;
+  if (options_.trace_queries) {
+    // The root span is minted here, on the submitting thread; the worker
+    // that later claims the query parents its spans under it.
+    pending.trace =
+        std::make_shared<obs::QueryTrace>("q" + std::to_string(id));
+  }
   shards_[pending.shard].queue.push_back(std::move(pending));
   ++pending_;
   queue_depth_->Set(static_cast<double>(pending_));
@@ -360,11 +372,21 @@ ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
   out.sql = pending.sql;
   out.shard = pending.shard;
   out.kind = pending.ranked ? "ranked" : "online";
+  out.trace = pending.trace;
+  // Cross-thread span parenting: the submitter minted the root; this
+  // worker's "execute" span (and everything the engines hang below it)
+  // parents under that root. Inactive (one branch) when tracing is off.
+  obs::QueryContext root;
+  if (pending.trace != nullptr) {
+    root = obs::QueryContext{pending.trace.get(), 0};
+  }
+  const obs::QueryContext exec = root.Child("execute");
+  obs::ScopedQueryContext scoped(exec);
   if (pending.ranked) {
     const storage::VideoIndex& index = repositories_.at(pending.source);
     auto run =
         query::ExecuteRankedStatement(pending.stmt, index, scoring_,
-                                      cnf_scoring_);
+                                      cnf_scoring_, exec);
     if (!run.ok()) {
       out.status = run.status();
     } else {
@@ -389,13 +411,14 @@ ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
           },
           &created);
       (created ? cache_misses_bundle_ : cache_hits_bundle_)->Increment();
+      exec.AddStat(created ? "cache_bundle_misses" : "cache_bundle_hits", 1);
     } else {
       local_models = query::MakeStatementModels(
           pending.stmt.models, source.scenario.truth(), source.model_seed);
       models = &local_models;
     }
     auto run = query::ExecuteOnlineStatement(pending.stmt, source.scenario,
-                                             source.options, models);
+                                             source.options, models, exec);
     if (!run.ok()) {
       out.status = run.status();
     } else {
@@ -413,9 +436,11 @@ ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
                             out.result.recognizer_stats.inferences;
       cache_misses_inference_->Increment(fresh);
       cache_hits_inference_->Increment(lookups - fresh);
+      exec.AddStat("inference_cache_hits", lookups - fresh);
     }
     query_ms_online_->Observe(out.simulated_ms);
   }
+  latency_->Record(out.simulated_ms);
   obs::MetricRegistry::Global()
       .GetCounter("vaq_serve_queries_total",
                   {{"kind", out.kind},
@@ -530,6 +555,9 @@ Status Server::AdmitStandingLocked(int64_t id, const std::string& sql,
   q.sql = sql;
   q.source = stmt.video;
   q.stack = query::StatementModelStack(stmt.models);
+  if (options_.trace_queries) {
+    q.trace = std::make_shared<obs::QueryTrace>("q" + std::to_string(id));
+  }
   q.stmt = std::move(stmt);
   const StreamSource& source = streams_.at(q.source);
   if (options_.share_detection_cache) {
@@ -643,6 +671,14 @@ Status Server::AdvanceStreamLocked(const std::string& source) {
     const detect::ModelStats rec_before =
         q.models->recognizer != nullptr ? q.models->recognizer->stats()
                                         : detect::ModelStats();
+    // Every clip of a standing query folds into its single "advance"
+    // node; installing the context here routes the resilient wrappers'
+    // per-outcome call counts onto it as well.
+    obs::QueryContext adv;
+    if (q.trace != nullptr) {
+      adv = obs::QueryContext{q.trace.get(), 0}.Child("advance");
+    }
+    obs::ScopedQueryContext scoped(adv);
     StatusOr<bool> indicator =
         q.svaqd != nullptr
             ? q.svaqd->PushClip(q.models->detector.get(),
@@ -665,6 +701,10 @@ Status Server::AdvanceStreamLocked(const std::string& source) {
     q.det_acc += det_delta;
     q.rec_acc += rec_delta;
     advance_ms += det_delta.simulated_ms + rec_delta.simulated_ms;
+    adv.AddMs(det_delta.simulated_ms + rec_delta.simulated_ms);
+    adv.AddStat("clips", 1);
+    adv.AddStat("detector_inferences", det_delta.inferences);
+    adv.AddStat("recognizer_inferences", rec_delta.inferences);
   }
   stream_pos_[source] = pos + 1;
   ++clips_since_snapshot_;
@@ -699,6 +739,7 @@ std::vector<ServedQuery> Server::FinishStanding() {
     served.shard = "stream/" + q.source;
     served.kind = "online";
     served.status = q.status;
+    served.trace = q.trace;
     if (q.status.ok()) {
       served.result.online = true;
       if (q.svaqd != nullptr) {
@@ -719,6 +760,7 @@ std::vector<ServedQuery> Server::FinishStanding() {
       cache_hits_inference_->Increment(lookups - fresh);
     }
     query_ms_online_->Observe(served.simulated_ms);
+    latency_->Record(served.simulated_ms);
     obs::MetricRegistry::Global()
         .GetCounter("vaq_serve_queries_total",
                     {{"kind", "online"},
@@ -749,6 +791,12 @@ Status Server::AppendWalLocked(uint32_t tag, const ckpt::Payload& payload) {
   VAQ_RETURN_IF_ERROR(
       options_.checkpoint_store->Append(ckpt::WalName(ckpt_seq_), record));
   ckpt_wal_records_->Increment();
+  if (session_trace_ != nullptr) {
+    const obs::QueryContext wal =
+        obs::QueryContext{session_trace_.get(), 0}.Child("wal_append");
+    wal.AddStat("records", 1);
+    wal.AddStat("bytes", static_cast<int64_t>(record.size()));
+  }
   return Status::OK();
 }
 
@@ -871,6 +919,13 @@ Status Server::CheckpointLocked() {
   ckpt_snapshot_bytes_->Increment(static_cast<int64_t>(blob.size()));
   ckpt_snapshot_ms_->Observe(kSeekMs +
                              static_cast<double>(blob.size()) * kSnapshotByteMs);
+  if (session_trace_ != nullptr) {
+    const obs::QueryContext snap_ctx =
+        obs::QueryContext{session_trace_.get(), 0}.Child("snapshot");
+    snap_ctx.AddMs(kSeekMs + static_cast<double>(blob.size()) * kSnapshotByteMs);
+    snap_ctx.AddStat("snapshots", 1);
+    snap_ctx.AddStat("bytes", static_cast<int64_t>(blob.size()));
+  }
   ++ckpt_seq_;
   clips_since_snapshot_ = 0;
   sim_ms_since_snapshot_ = 0.0;
@@ -898,6 +953,15 @@ StatusOr<ckpt::RecoveryReport> Server::Recover() {
   };
   auto report = driver.Run(hooks);
   replaying_ = false;
+  if (report.ok() && session_trace_ != nullptr) {
+    const obs::QueryContext rec =
+        obs::QueryContext{session_trace_.get(), 0}.Child("recover");
+    rec.AddStat("recoveries", 1);
+    rec.AddStat("snapshot_restored", report->snapshot.empty() ? 0 : 1);
+    rec.AddStat("snapshots_rejected", report->snapshots_rejected);
+    rec.AddStat("wal_records_replayed", report->wal_records);
+    rec.AddStat("wal_bytes_dropped", report->wal_bytes_dropped);
+  }
   return report;
 }
 
@@ -1167,6 +1231,9 @@ const std::vector<std::string>& LogicalMetricPrefixes() {
           "vaq_serve_query_simulated_ms",
           "vaq_model_",
           "vaq_breaker_",
+          // Pure function of the per-query sample multiset, which the
+          // deterministic shard schedule fixes regardless of threads.
+          "vaq_query_latency_ms",
       };
   return *prefixes;
 }

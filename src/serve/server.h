@@ -71,6 +71,7 @@
 #include "detect/models.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "offline/scoring.h"
 #include "online/cnf_engine.h"
 #include "online/streaming.h"
@@ -100,6 +101,13 @@ struct ServeOptions {
   // Applied to every stream whose SvaqdOptions carry no plan of their
   // own. Not owned; must outlive the server.
   const fault::FaultPlan* fault_plan = nullptr;
+  // Mint a per-query obs::QueryTrace at admission (root "q<id>", created
+  // on the submitting thread) and thread it through execution: batch
+  // queries fill ServedQuery::trace, standing queries accumulate across
+  // advances, and the server keeps a "session" trace for WAL appends,
+  // snapshots and recovery (session_trace()). The trees are a pure
+  // function of (seed, workload) — byte-identical at any thread count.
+  bool trace_queries = false;
 
   // --- Durability (standing-query mode; DESIGN.md §10) -------------------
   // Checkpoint store for standing queries. Null disables WAL and
@@ -129,6 +137,10 @@ struct ServedQuery {
   // Modeled cost: simulated inference ms (online) or modeled disk ms
   // (ranked).
   double simulated_ms = 0;
+  // Per-query profile tree (ServeOptions::trace_queries); null otherwise.
+  // Shared: the admitting thread mints it, one worker fills it, the
+  // caller of Drain/FinishStanding reads it.
+  std::shared_ptr<obs::QueryTrace> trace;
 };
 
 // Aggregate accounting over a server's lifetime, merged at Drain.
@@ -228,6 +240,12 @@ class Server {
   // Clips advanced so far on `source` (0 when never advanced).
   int64_t StreamPosition(const std::string& source) const;
 
+  // The server-lifetime trace (root "session") carrying WAL-append,
+  // snapshot and recovery attribution. Null unless
+  // ServeOptions::trace_queries. Read it only from the admission thread
+  // while no worker is running (e.g. after Drain/FinishStanding).
+  const obs::QueryTrace* session_trace() const { return session_trace_.get(); }
+
   // Lifetime totals; call after Drain (worker-local stats merge there).
   ServeStats stats() const;
 
@@ -246,6 +264,9 @@ class Server {
     bool ranked = false;
     std::string source;  // Registered name (sans shard prefix).
     std::string shard;
+    // Minted under mu_ at admission (trace_queries); the claiming worker
+    // parents its spans under the root the submitter created.
+    std::shared_ptr<obs::QueryTrace> trace;
   };
   // FIFO of one source's admitted queries. `busy` pins the shard (and
   // with it the source's shared model bundle) to a single worker; the
@@ -279,6 +300,9 @@ class Server {
     detect::ModelStats rec_acc;  // accumulated across advances.
     Status status;               // First construction/advance failure.
     bool finished = false;
+    // Per-query trace (trace_queries): every advance folds into one
+    // "advance" child node, so the tree stays bounded.
+    std::shared_ptr<obs::QueryTrace> trace;
   };
 
   void StartWorkersLocked();
@@ -349,6 +373,12 @@ class Server {
   obs::Counter* ckpt_snapshot_bytes_;
   obs::Counter* ckpt_wal_records_;
   obs::Histogram* ckpt_snapshot_ms_;
+
+  // Exact-sample per-query modeled-latency percentiles
+  // (vaq_query_latency_ms{path="serve"}); thread-safe.
+  std::unique_ptr<obs::LatencyRecorder> latency_;
+  // Root "session": WAL/snapshot/recovery attribution (trace_queries).
+  std::unique_ptr<obs::QueryTrace> session_trace_;
 };
 
 // Virtual-time list-scheduling makespan (ms) of `queries` on `threads`

@@ -102,8 +102,13 @@ RankedOutput SingleNodeReference(int64_t k = kK) {
   out.videos_queried = result->videos_queried;
   out.videos_skipped = result->videos_skipped;
   out.candidate_sequences = result->candidate_sequences;
+  // vaq_query_latency_ms{path="cluster"} exists only on the clustered
+  // path (the single-node reference records none), and vaq_log_* feeds
+  // off per-call-site static rate-limit counters that span runs within
+  // this process — neither is part of the logical comparison surface.
   out.logical_metrics = obs::ExportPrometheus(obs::ExcludeSnapshot(
-      obs::MetricRegistry::Global().TakeSnapshot(), {"vaq_cluster_"}));
+      obs::MetricRegistry::Global().TakeSnapshot(),
+      {"vaq_cluster_", "vaq_query_latency_ms", "vaq_log_"}));
   obs::Tracer::Global().SetClock(nullptr);
   return out;
 }
@@ -132,7 +137,8 @@ ClusterRun RunCluster(ClusterOptions options, int64_t k = kK) {
     run.output.videos_skipped = result->merged.videos_skipped;
     run.output.candidate_sequences = result->merged.candidate_sequences;
     run.output.logical_metrics = obs::ExportPrometheus(obs::ExcludeSnapshot(
-        obs::MetricRegistry::Global().TakeSnapshot(), {"vaq_cluster_"}));
+        obs::MetricRegistry::Global().TakeSnapshot(),
+        {"vaq_cluster_", "vaq_query_latency_ms", "vaq_log_"}));
   }
   obs::Tracer::Global().SetClock(nullptr);
   return run;

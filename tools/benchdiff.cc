@@ -1,0 +1,250 @@
+// benchdiff — the CI perf-regression gate over BENCH_*.json artifacts.
+//
+//   benchdiff BASELINE.json CURRENT.json [--tolerance 0.10]
+//
+// Compares the top-level scalar fields of a freshly produced bench
+// artifact against the committed baseline (bench/baselines/) and exits
+// nonzero when the run regressed:
+//
+//   * numeric keys containing "speedup" or "reduction" must not drop
+//     more than --tolerance (default 10%) below the baseline — these
+//     are the modeled-performance headlines of each bench;
+//   * boolean keys must not change at all — they encode pass/fail
+//     assertions (byte-identity vs the single-node reference, cache
+//     effectiveness, zero failed queries), and a flipped bit is a
+//     correctness regression no tolerance excuses;
+//   * keys present in the baseline must still exist — a silently
+//     dropped metric would otherwise retire the gate guarding it.
+//
+// Everything else (latency percentiles, raw counts) is reported as an
+// informational delta only: those values legitimately move when the
+// cost model or the workload changes, and the committed baseline is
+// refreshed in the same commit. The "meta" object (seed, git_rev,
+// config summary) is ignored — it differs on every checkout by design.
+//
+// The parser is deliberately minimal: a depth-tracking scan that
+// collects `"key": scalar` pairs at nesting depth 1 and skips nested
+// objects/arrays wholesale. The artifacts are machine-written by
+// bench/*.cc, so this is a contract, not a guess.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vaq {
+namespace {
+
+struct Scalar {
+  enum class Kind { kNumber, kBool, kString } kind = Kind::kNumber;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;
+};
+
+// Reads a whole file; exits loudly on failure — a missing artifact must
+// fail the gate, not skip it.
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string out;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+// Extracts `"key": scalar` pairs at object depth 1 of a JSON document.
+// Nested objects and arrays are skipped (their keys never surface), so
+// "meta" and per-config rows are ignored automatically.
+std::map<std::string, Scalar> TopLevelScalars(const std::string& json) {
+  std::map<std::string, Scalar> out;
+  int depth = 0;
+  size_t i = 0;
+  const size_t n = json.size();
+  auto skip_ws = [&] {
+    while (i < n && (json[i] == ' ' || json[i] == '\t' || json[i] == '\n' ||
+                     json[i] == '\r' || json[i] == ',')) {
+      ++i;
+    }
+  };
+  auto parse_string = [&]() -> std::string {
+    // Called with json[i] == '"'. The artifacts never escape quotes.
+    std::string s;
+    for (++i; i < n && json[i] != '"'; ++i) s += json[i];
+    if (i < n) ++i;  // Closing quote.
+    return s;
+  };
+  while (i < n) {
+    skip_ws();
+    if (i >= n) break;
+    const char c = json[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+      continue;
+    }
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    const std::string key = parse_string();
+    skip_ws();
+    if (i >= n || json[i] != ':') continue;  // A bare string value.
+    ++i;
+    skip_ws();
+    if (i >= n) break;
+    if (json[i] == '{' || json[i] == '[') {
+      // Nested value: skip it wholesale by depth counting.
+      const int start_depth = depth;
+      ++depth;
+      ++i;
+      while (i < n && depth > start_depth) {
+        if (json[i] == '"') {
+          parse_string();
+          continue;
+        }
+        if (json[i] == '{' || json[i] == '[') ++depth;
+        if (json[i] == '}' || json[i] == ']') --depth;
+        ++i;
+      }
+      continue;
+    }
+    Scalar value;
+    if (json[i] == '"') {
+      value.kind = Scalar::Kind::kString;
+      value.text = parse_string();
+    } else if (json.compare(i, 4, "true") == 0) {
+      value.kind = Scalar::Kind::kBool;
+      value.boolean = true;
+      i += 4;
+    } else if (json.compare(i, 5, "false") == 0) {
+      value.kind = Scalar::Kind::kBool;
+      value.boolean = false;
+      i += 5;
+    } else {
+      value.kind = Scalar::Kind::kNumber;
+      char* end = nullptr;
+      value.number = std::strtod(json.c_str() + i, &end);
+      i = static_cast<size_t>(end - json.c_str());
+    }
+    if (depth == 1) out[key] = value;
+  }
+  return out;
+}
+
+bool IsGatedNumeric(const std::string& key) {
+  return key.find("speedup") != std::string::npos ||
+         key.find("reduction") != std::string::npos;
+}
+
+int Run(const std::string& baseline_path, const std::string& current_path,
+        double tolerance) {
+  const std::map<std::string, Scalar> baseline =
+      TopLevelScalars(ReadFileOrDie(baseline_path));
+  const std::map<std::string, Scalar> current =
+      TopLevelScalars(ReadFileOrDie(current_path));
+  if (baseline.empty()) {
+    std::fprintf(stderr, "benchdiff: no top-level scalars in %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::printf("FAIL %-32s present in baseline, missing from current\n",
+                  key.c_str());
+      ++failures;
+      continue;
+    }
+    const Scalar& cur = it->second;
+    if (base.kind != cur.kind) {
+      std::printf("FAIL %-32s type changed\n", key.c_str());
+      ++failures;
+      continue;
+    }
+    switch (base.kind) {
+      case Scalar::Kind::kBool:
+        if (base.boolean != cur.boolean) {
+          std::printf("FAIL %-32s %s -> %s (assertion flipped)\n", key.c_str(),
+                      base.boolean ? "true" : "false",
+                      cur.boolean ? "true" : "false");
+          ++failures;
+        } else {
+          std::printf("ok   %-32s %s\n", key.c_str(),
+                      base.boolean ? "true" : "false");
+        }
+        break;
+      case Scalar::Kind::kNumber: {
+        const double floor = base.number * (1.0 - tolerance);
+        if (IsGatedNumeric(key) && cur.number < floor) {
+          std::printf("FAIL %-32s %.4f -> %.4f (floor %.4f, -%.1f%%)\n",
+                      key.c_str(), base.number, cur.number, floor,
+                      100.0 * (1.0 - cur.number / base.number));
+          ++failures;
+        } else {
+          std::printf("%s %-32s %.4f -> %.4f\n",
+                      IsGatedNumeric(key) ? "ok  " : "info", key.c_str(),
+                      base.number, cur.number);
+        }
+        break;
+      }
+      case Scalar::Kind::kString:
+        std::printf("info %-32s \"%s\" -> \"%s\"\n", key.c_str(),
+                    base.text.c_str(), cur.text.c_str());
+        break;
+    }
+  }
+  for (const auto& [key, cur] : current) {
+    (void)cur;
+    if (baseline.find(key) == baseline.end()) {
+      std::printf("info %-32s new key (not in baseline)\n", key.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("benchdiff: %d regression(s) vs %s\n", failures,
+                baseline_path.c_str());
+    return 1;
+  }
+  std::printf("benchdiff: no regressions vs %s (tolerance %.0f%%)\n",
+              baseline_path.c_str(), tolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vaq
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2 || tolerance <= 0.0 || tolerance >= 1.0) {
+    std::fprintf(stderr,
+                 "usage: benchdiff BASELINE.json CURRENT.json "
+                 "[--tolerance 0.10]\n");
+    return 2;
+  }
+  return vaq::Run(positional[0], positional[1], tolerance);
+}

@@ -25,8 +25,10 @@
 //       Prometheus text and/or JSON form. The output is a pure function
 //       of (--scenario, --seed): the tracer clock is pinned and only
 //       logical quantities are recorded, so two runs with the same flags
-//       emit byte-identical snapshots. The JSON snapshot is always
-//       self-checked with the built-in linter; lint failures exit 1.
+//       emit byte-identical snapshots. Both export formats are always
+//       self-checked with the built-in linters (JSON shape + promlint
+//       rules); lint failures exit 1. --selfcheck runs the pipeline and
+//       the linters but prints only the verdict — the CI entry point.
 //
 //   vaqctl serve [--threads N] [--queries M] [--streams K] [--seed S]
 //                [--cache on|off] [--capacity C] [--format text|prom|both]
@@ -36,6 +38,17 @@
 //       source and executed by N workers with a shared detection cache.
 //       Per-query results and merged statistics are deterministic for a
 //       fixed --seed regardless of --threads.
+//
+//   vaqctl trace [--threads N] [--queries M] [--streams K] [--seed S]
+//                [--out FILE]
+//       The same serve demo with per-query tracing armed: every query
+//       gets a span tree (root "q<id>", children per execution phase
+//       with modeled-ms self times and logical stats), the session gets
+//       one for WAL/snapshot/recovery work. Prints each query's profile
+//       tree and dumps all spans as Chrome trace-event JSON to --out
+//       (stdout if omitted) — open in chrome://tracing or Perfetto.
+//       The JSON is linted before it is written and is byte-identical
+//       across runs and across --threads for a fixed workload.
 //
 //   vaqctl serve --checkpoint-dir DIR [--snapshot-every N]
 //                [--crash-after K] [--queries M] [--streams K] [--seed S]
@@ -95,6 +108,7 @@
 #include "ckpt/recovery.h"
 #include "cluster/coordinator.h"
 #include "cluster/partition.h"
+#include "obs/query_trace.h"
 #include "ckpt/serializer.h"
 #include "ckpt/store.h"
 #include "tools/pipeline_setup.h"
@@ -125,6 +139,17 @@ struct Args {
                   const std::string& fallback = "") const {
     auto it = flags.find(name);
     return it == flags.end() ? fallback : it->second;
+  }
+
+  // Presence test for valueless flags (e.g. --selfcheck). The parser
+  // above pairs "--flag value"; a trailing bare flag lands in
+  // positional, so accept either spelling.
+  bool Has(const std::string& name) const {
+    if (flags.count(name) != 0) return true;
+    for (const std::string& p : positional) {
+      if (p == "--" + name) return true;
+    }
+    return false;
   }
 };
 
@@ -302,6 +327,10 @@ int CmdSql(const Args& args) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
+  // EXPLAIN ANALYZE renders the per-phase profile tree before the rows.
+  if (!result->profile_text.empty()) {
+    std::fputs(result->profile_text.c_str(), stdout);
+  }
   for (size_t i = 0; i < result->ranked.size(); ++i) {
     std::printf("#%zu  clips [%lld, %lld]  score %.1f\n", i + 1,
                 static_cast<long long>(result->ranked[i].clips.lo),
@@ -372,8 +401,8 @@ int CmdMetrics(const Args& args) {
 
   obs::Tracer::Global().SetClock(nullptr);
 
-  // Export. The JSON form is always linted, even when only the
-  // Prometheus text is printed: a malformed snapshot must fail loudly.
+  // Export. Both forms are always linted, even when only one is
+  // printed: a malformed snapshot must fail loudly.
   const obs::Snapshot snapshot = obs::MetricRegistry::Global().TakeSnapshot();
   const std::string json = obs::ExportJson(snapshot);
   const std::string lint = obs::JsonLintError(json);
@@ -381,8 +410,26 @@ int CmdMetrics(const Args& args) {
     std::fprintf(stderr, "metrics JSON failed selfcheck: %s\n", lint.c_str());
     return 1;
   }
+  const std::string prom = obs::ExportPrometheus(snapshot);
+  const std::string prom_lint = obs::PromLintError(prom);
+  if (!prom_lint.empty()) {
+    std::fprintf(stderr, "metrics Prometheus text failed selfcheck: %s\n",
+                 prom_lint.c_str());
+    return 1;
+  }
+  if (args.Has("selfcheck")) {
+    // --selfcheck: run the full pipeline and lint both export formats,
+    // but print only the verdict. Exit status is the contract for CI.
+    std::printf("selfcheck passed: %zu metric families, "
+                "%zu Prometheus line(s), %zu JSON byte(s)\n",
+                snapshot.entries.size(),
+                static_cast<size_t>(
+                    std::count(prom.begin(), prom.end(), '\n')),
+                json.size());
+    return 0;
+  }
   if (format == "prom" || format == "both") {
-    std::fputs(obs::ExportPrometheus(snapshot).c_str(), stdout);
+    std::fputs(prom.c_str(), stdout);
   }
   if (format == "json" || format == "both") {
     std::printf("%s\n", json.c_str());
@@ -667,6 +714,88 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// vaqctl trace: the same seeded serve demo as `vaqctl serve`, but with
+// per-query tracing armed. Prints every query's profile tree and dumps
+// all spans (session trace + per-query traces, admission order) as
+// Chrome trace-event JSON — load the file in chrome://tracing or
+// Perfetto. The JSON is a pure function of (--seed, --queries,
+// --streams): timestamps come from modeled milliseconds, not wall
+// time, so --threads only changes real duration, never the bytes.
+int CmdTrace(const Args& args) {
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  const int threads = std::atoi(args.Get("threads", "4").c_str());
+  const int queries = std::atoi(args.Get("queries", "24").c_str());
+  const int streams = std::atoi(args.Get("streams", "4").c_str());
+  const std::string out_path = args.Get("out");
+  if (queries < 1 || streams < 1 || threads < 0) {
+    std::fprintf(stderr, "--queries/--streams must be >= 1, --threads >= 0\n");
+    return 2;
+  }
+
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+
+  const fault::FaultPlan plan(tools::DemoFaultSpec(), seed);
+  serve::ServeOptions options;
+  options.threads = threads;
+  options.queue_capacity = queries;
+  options.share_detection_cache = true;
+  options.fault_plan = &plan;
+  options.trace_queries = true;
+  serve::Server server(options);
+  const Status registered =
+      tools::RegisterDemoSources(&server, streams, /*with_repository=*/true,
+                                 seed);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& sql :
+       tools::DemoWorkload(streams, queries, /*with_repository=*/true)) {
+    (void)server.Submit(sql);
+  }
+  std::vector<serve::ServedQuery> results = server.Drain();
+  obs::Tracer::Global().SetClock(nullptr);
+
+  std::sort(results.begin(), results.end(),
+            [](const serve::ServedQuery& a, const serve::ServedQuery& b) {
+              return a.id < b.id;
+            });
+  std::vector<const obs::QueryTrace*> traces;
+  if (server.session_trace() != nullptr) {
+    traces.push_back(server.session_trace());
+  }
+  for (const serve::ServedQuery& q : results) {
+    if (q.trace != nullptr) traces.push_back(q.trace.get());
+  }
+
+  const std::string json = obs::ExportChromeTrace(traces);
+  const std::string lint = obs::JsonLintError(json);
+  if (!lint.empty()) {
+    std::fprintf(stderr, "trace JSON failed selfcheck: %s\n", lint.c_str());
+    return 1;
+  }
+
+  for (const serve::ServedQuery& q : results) {
+    if (q.trace != nullptr) std::fputs(q.trace->RenderProfile().c_str(), stdout);
+  }
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::FILE* out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "trace: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("chrome trace written to %s (%zu byte(s), %zu trace(s))\n",
+                out_path.c_str(), json.size(), traces.size());
+  }
+  return 0;
+}
+
 // vaqctl cluster: scatter–gather ranked retrieval over an in-process
 // sharded cluster, checked against the single-node reference.
 int CmdCluster(const Args& args) {
@@ -891,8 +1020,11 @@ int Usage() {
       "  topk     repository-wide ranked retrieval (RVAQ per video)\n"
       "  sql      run an offline statement of the paper's dialect\n"
       "  metrics  seeded end-to-end pipeline, dump the metric snapshot\n"
+      "           (--selfcheck lints both export formats, prints verdict)\n"
       "  serve    concurrent serving runtime over demo streams\n"
       "           (--checkpoint-dir for the durable variant)\n"
+      "  trace    serve demo with per-query tracing: prints profile\n"
+      "           trees, dumps Chrome trace-event JSON (--out FILE)\n"
       "  recover  recover a durable session from its checkpoint dir\n"
       "  cluster  sharded scatter-gather top-k vs the single-node\n"
       "           reference (--nodes N --replicas R [--kill-node I])\n"
@@ -918,6 +1050,7 @@ int main(int argc, char** argv) {
   if (command == "sql") return vaq::CmdSql(args);
   if (command == "metrics") return vaq::CmdMetrics(args);
   if (command == "serve") return vaq::CmdServe(args);
+  if (command == "trace") return vaq::CmdTrace(args);
   if (command == "recover") return vaq::CmdRecover(args);
   if (command == "cluster") return vaq::CmdCluster(args);
   if (command == "chaos") return vaq::CmdChaos(args);
