@@ -1,0 +1,85 @@
+// Ingest-time proxy score index (DESIGN.md §14).
+//
+// The cascade subsystem's data tier: for every (clip, concept) pair of a
+// video, one approximate score from the cheap proxy detector
+// (detect::ModelProfile::ProxyCnn), computed ONCE at ingest and never at
+// query time. This is the Focus/BlazeIt architecture — an offline pass
+// with a tiny specialized model buys the planner a per-concept signal it
+// can threshold against a user-supplied recall target, so the expensive
+// detectors only run on clips the proxy could not rule out.
+//
+// Alongside the scores each column carries a *held-out calibration
+// sample*: the proxy scores of a seeded subset of truth-positive clips.
+// The planner derives score thresholds from these order statistics
+// (planner.h); keeping the sample inside the index means calibration
+// survives persistence and is identical on every shard.
+//
+// Determinism: every score is a pure function of (seed, concept, clip),
+// independent of sharding, thread count and visit order, so cascade
+// plans — and therefore pruned result sets — are byte-identical across
+// cluster layouts.
+#ifndef VAQ_CASCADE_PROXY_INDEX_H_
+#define VAQ_CASCADE_PROXY_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/model_profile.h"
+#include "synth/scenario.h"
+
+namespace vaq {
+namespace cascade {
+
+// Concept keys use the query-layer spelling: "act:running", "obj:dog".
+std::string ActionConcept(const std::string& name);
+std::string ObjectConcept(const std::string& name);
+
+// One concept's proxy scores across a video.
+struct ProxyColumn {
+  std::string concept_name;
+  std::vector<double> scores;            // One per clip, in [0, 1).
+  std::vector<double> heldout_positive;  // Sorted ascending.
+};
+
+// The per-video proxy index: one column per vocabulary concept, plus the
+// clip geometry the planner needs for modeled-cost accounting.
+struct ProxyVideoIndex {
+  std::string video;
+  int64_t num_clips = 0;
+  double frames_per_clip = 0.0;
+  double shots_per_clip = 0.0;
+  // Invalidation key: proxy model profile + builder seed + format. A
+  // persisted index whose fingerprint no longer matches is stale and
+  // must be rebuilt (store.h).
+  uint64_t fingerprint = 0;
+  std::vector<ProxyColumn> columns;  // Sorted by concept.
+
+  // nullptr when the video has no column for `concept`.
+  const ProxyColumn* Find(const std::string& concept_name) const;
+};
+
+// A repository-wide proxy tier, keyed by video name (the same keys as
+// offline::Repository).
+using ProxySet = std::map<std::string, ProxyVideoIndex>;
+
+// The invalidation fingerprint of (profile, seed) under the current
+// index format.
+uint64_t ProxyFingerprint(const detect::ModelProfile& profile,
+                          uint64_t seed);
+
+// The ingest-time pass: scores every (clip, concept) of `scenario` with
+// the simulated proxy detector. Scores are drawn per (seed, concept,
+// clip); truth-positive clips score high with a heavy low tail, absent
+// clips score low with a heavy high tail — the overlap IS the proxy's
+// inaccuracy, and the held-out sample measures it.
+ProxyVideoIndex BuildProxyIndex(const std::string& video,
+                                const synth::Scenario& scenario,
+                                const detect::ModelProfile& profile,
+                                uint64_t seed);
+
+}  // namespace cascade
+}  // namespace vaq
+
+#endif  // VAQ_CASCADE_PROXY_INDEX_H_

@@ -1,0 +1,58 @@
+// Persistence of the proxy index over ckpt::Store (DESIGN.md §14).
+//
+// Proxy scores are an ingest artifact: built once, reused by every
+// query. When a checkpoint store is available the index is persisted as
+// one entry per video ("proxy-<name>") using the standard ckpt blob
+// framing, and LoadOrBuild turns later ingests into cheap loads.
+//
+// Invalidation: every blob carries the ProxyFingerprint of the (model
+// profile, seed) that produced it, and the blob header pins the ckpt
+// format version. A fingerprint mismatch — the proxy model changed, the
+// seed changed, the score derivation was revised — deletes the stale
+// entry and rebuilds. The entry name is deliberately outside the
+// "snap-*"/"wal-*" namespaces, so ckpt::RecoveryDriver never interprets
+// proxy entries (the same convention as serve's durable "config" entry).
+//
+// Persistence counters live under the vaq_ckpt_ prefix
+// (vaq_ckpt_proxy_{builds,loads,stores,invalidations}_total): like every
+// other durability counter they depend on crash/recovery schedules, not
+// on query semantics, and the chaos oracles exclude that prefix.
+#ifndef VAQ_CASCADE_STORE_H_
+#define VAQ_CASCADE_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cascade/proxy_index.h"
+#include "ckpt/store.h"
+#include "common/status.h"
+
+namespace vaq {
+namespace cascade {
+
+// The store entry name for a video's proxy index: "proxy-<video>".
+std::string ProxyEntryName(const std::string& video);
+
+// Serializes `index` into `store` under ProxyEntryName(index.video).
+Status SaveProxyIndex(ckpt::Store* store, const ProxyVideoIndex& index);
+
+// Loads a persisted index. kNotFound when absent; kFailedPrecondition
+// when present but fingerprint-stale (the caller decides whether to
+// rebuild); kCorruption on framing/checksum damage.
+StatusOr<ProxyVideoIndex> LoadProxyIndex(const ckpt::Store& store,
+                                         const std::string& video,
+                                         uint64_t expected_fingerprint);
+
+// The ingest-path entry point: load when fresh, otherwise build (and
+// persist when `store` is non-null). A stale or damaged entry is
+// deleted, rebuilt and re-persisted. With store == nullptr this is a
+// plain in-memory build.
+StatusOr<ProxyVideoIndex> LoadOrBuildProxyIndex(
+    ckpt::Store* store, const std::string& video,
+    const synth::Scenario& scenario, const detect::ModelProfile& profile,
+    uint64_t seed);
+
+}  // namespace cascade
+}  // namespace vaq
+
+#endif  // VAQ_CASCADE_STORE_H_

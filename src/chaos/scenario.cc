@@ -134,6 +134,12 @@ TrialScenario MakeTrialScenario(uint64_t seed, int64_t trial) {
       break;
     }
   }
+  // Cascade mix, drawn last so the established per-phase draw sequences
+  // stay put: ~40% of trials carry an approximate recall target and run
+  // the proxy cascade under the same oracles as the exact path.
+  if (rng.Bernoulli(0.4)) {
+    s.recall = rng.Bernoulli(0.5) ? 0.95 : 0.9;
+  }
   return s;
 }
 
@@ -141,7 +147,17 @@ std::vector<std::string> ChaosWorkload(const TrialScenario& s) {
   std::vector<std::string> out;
   out.reserve(static_cast<size_t>(s.num_queries));
   const int streams = s.num_streams > 0 ? s.num_streams : 1;
+  // The trial's recall target only admits the two fixed values drawn in
+  // MakeTrialScenario, so the clause renders without float formatting.
+  const std::string recall_clause =
+      s.recall >= 1.0 ? ""
+      : s.recall == 0.95 ? " WITH RECALL 0.95"
+                         : " WITH RECALL 0.9";
   for (int q = 0; q < s.num_queries; ++q) {
+    // Every ranked statement and every odd online statement carries the
+    // clause; even online statements stay exact so each trial compares
+    // both paths under one schedule.
+    const std::string online_clause = (q % 2 == 1) ? recall_clause : "";
     if (s.with_repository && q % 4 == 3) {
       out.push_back(
           "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
@@ -150,7 +166,8 @@ std::vector<std::string> ChaosWorkload(const TrialScenario& s) {
           " PRODUCE clipID, obj USING ObjectTracker, "
           "act USING ActionRecognizer) "
           "WHERE act='running' AND obj.include('dog') "
-          "ORDER BY RANK(act, obj) LIMIT " + std::to_string(2 + q % 3));
+          "ORDER BY RANK(act, obj) LIMIT " + std::to_string(2 + q % 3) +
+          recall_clause);
       continue;
     }
     const int stream = q % streams;
@@ -161,20 +178,23 @@ std::vector<std::string> ChaosWorkload(const TrialScenario& s) {
     switch ((q / streams) % 3) {
       case 0:
         out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
-                      "WHERE act='running' AND obj.include('dog')");
+                      "WHERE act='running' AND obj.include('dog')" +
+                      online_clause);
         break;
       case 1:
         out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
-                      "WHERE obj.include('dog')");
+                      "WHERE obj.include('dog')" + online_clause);
         break;
       default:
         if (stream > 0) {
-          // Only the variant streams (index > 0) carry "car".
+          // Only the variant streams (index > 0) carry "car". With a
+          // recall clause this is the CNF exact-fallback path.
           out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
-                        "WHERE (obj='dog' OR obj='car') AND act='running'");
+                        "WHERE (obj='dog' OR obj='car') AND act='running'" +
+                        online_clause);
         } else {
           out.push_back("SELECT MERGE(clipID) AS Sequence " + from +
-                        "WHERE act='running'");
+                        "WHERE act='running'" + online_clause);
         }
         break;
     }

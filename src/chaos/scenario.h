@@ -64,6 +64,15 @@ struct TrialScenario {
   int threads = 2;          // Chaos-side worker count (reference runs 0).
   bool with_repository = false;  // Mix ranked statements into the batch.
 
+  // Cascade (all phases). Below 1.0, part of the workload carries a
+  // WITH RECALL clause — standing queries plan proxy cascades over their
+  // streams, ranked serve statements exercise the exact fallback — and
+  // cluster trials pre-filter both the single-node reference and the
+  // coordinator run through one shared proxy plan, so every oracle
+  // (byte-identity, status hygiene, recovery accounting) covers the
+  // cascade subsystem. Exactly 1.0 keeps the trial on the exact path.
+  double recall = 1.0;
+
   // Cluster.
   int num_videos = 2;
   int num_shards = 2;
@@ -89,7 +98,10 @@ TrialScenario MakeTrialScenario(uint64_t seed, int64_t trial);
 // conjunctive, object-only and (on streams that carry "car") CNF online
 // statements, plus ranked top-k statements against repository "lib"
 // when `with_repository`. Mirrors tools::DemoWorkload's shapes at chaos
-// scale.
+// scale. When `scenario.recall` < 1.0, a deterministic subset of the
+// statements (every ranked statement and every odd-numbered online one,
+// CNF included — the exact-fallback path) carries a matching WITH
+// RECALL clause.
 std::vector<std::string> ChaosWorkload(const TrialScenario& scenario);
 
 // The repository name serve-phase trials register.

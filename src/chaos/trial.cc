@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "cascade/planner.h"
+#include "cascade/store.h"
 #include "ckpt/store.h"
 #include "cluster/coordinator.h"
 #include "detect/models.h"
@@ -392,6 +394,36 @@ Status RunCluster(const TrialScenario& s, const Schedule& schedule,
   const offline::PaperScoring scoring;
   offline::RvaqOptions rvaq;
   rvaq.k = s.k;
+
+  // Cascade-enabled trials pre-filter BOTH sides through one shared
+  // plan: the single-node reference and every shard resolve identical
+  // surviving-clip sets (the planner is a pure function of the proxy
+  // index), so the merged-vs-reference and self-determinism oracles
+  // cover the cascade path, failover re-runs included.
+  cascade::ProxySet proxies;
+  std::unique_ptr<cascade::PlanFilters> filters;
+  if (s.recall < 1.0) {
+    for (int i = 0; i < s.num_videos; ++i) {
+      const std::string name = "v" + std::to_string(i);
+      VAQ_ASSIGN_OR_RETURN(
+          cascade::ProxyVideoIndex proxy_index,
+          cascade::LoadOrBuildProxyIndex(
+              /*store=*/nullptr, name, cache->Scenario(i, s.minutes),
+              detect::ModelProfile::ProxyCnn(),
+              s.model_seed + static_cast<uint64_t>(i)));
+      proxies.emplace(name, std::move(proxy_index));
+    }
+    const cascade::Planner planner(&proxies);
+    VAQ_ASSIGN_OR_RETURN(const cascade::CascadePlan plan,
+                         planner.Plan("running", {"dog"}, s.recall));
+    if (plan.use_cascade) {
+      filters = std::make_unique<cascade::PlanFilters>(&proxies, plan);
+      rvaq.prefilter = filters.get();
+      ++r->coverage["cascade.cluster_plans"];
+    } else {
+      ++r->coverage["cascade.cluster_exact_fallbacks"];
+    }
+  }
 
   obs::MetricRegistry::Global().Reset();
   VAQ_ASSIGN_OR_RETURN(const offline::RepositoryTopKResult ref,

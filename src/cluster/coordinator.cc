@@ -94,7 +94,7 @@ bool Coordinator::HostDown(int host, double at_ms) const {
 StatusOr<ClusterTopKResult> Coordinator::TopK(
     const std::string& action, const std::vector<std::string>& objects,
     const offline::ScoringModel& scoring, offline::RvaqOptions rvaq,
-    const obs::QueryContext& ctx) const {
+    const obs::QueryContext& ctx, int64_t plan_wire_bytes) const {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   // The query id that rides every simulated wire message of this query
   // (a no-op "-" when untraced). Appending it to the payload leaves the
@@ -125,10 +125,11 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
     return host_ready[static_cast<size_t>(host)];
   };
 
-  // Scatter: the query goes to every shard primary at t = 0.
+  // Scatter: the query goes to every shard primary at t = 0. A planned
+  // cascade's thresholds ride along (plan_wire_bytes; 0 when exact).
   const int64_t query_wire_bytes =
       64 + static_cast<int64_t>(action.size()) +
-      static_cast<int64_t>(objects.size()) * 16;
+      static_cast<int64_t>(objects.size()) * 16 + plan_wire_bytes;
   for (int s = 0; s < num_shards; ++s) {
     shards[static_cast<size_t>(s)].active_host = s;
     shards[static_cast<size_t>(s)].expected = 0;
@@ -274,6 +275,8 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       result.merged.accesses += run->accesses;
       result.merged.videos_queried += run->videos_queried;
       result.merged.videos_skipped += run->videos_skipped;
+      result.merged.videos_pruned += run->videos_pruned;
+      result.merged.candidates_pruned += run->candidates_pruned;
       result.merged.candidate_sequences += run->candidate_sequences;
       result.single_node_ms += run->modeled_ms;
       result.max_shard_ms = std::max(result.max_shard_ms, run->modeled_ms);
@@ -281,6 +284,12 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       shard_ctx.AddMs(run->modeled_ms);
       shard_ctx.AddStat("videos_queried", run->videos_queried);
       shard_ctx.AddStat("videos_skipped", run->videos_skipped);
+      if (run->videos_pruned > 0) {
+        shard_ctx.AddStat("videos_pruned", run->videos_pruned);
+      }
+      if (run->candidates_pruned > 0) {
+        shard_ctx.AddStat("candidates_pruned", run->candidates_pruned);
+      }
     }
     ++state.consumed_batches;
     ++result.batches_consumed;
@@ -404,9 +413,40 @@ StatusOr<query::QueryResult> Coordinator::ExecuteRanked(
   }
   offline::RvaqOptions options;
   options.k = stmt.limit > 0 ? stmt.limit : 5;
-  VAQ_ASSIGN_OR_RETURN(ClusterTopKResult cluster,
-                       TopK(stmt.action, stmt.objects, scoring_, options, ctx));
+  // Cascade planning (WITH RECALL < 1.0), mirroring the single-node
+  // session: the plan is made once here and its thresholds ship with the
+  // scatter, so every shard prunes locally before binding tables. A
+  // target of exactly 1.0 skips this block — no plan, no counters, no
+  // extra wire bytes — keeping the exact path byte-identical.
+  cascade::CascadePlan plan;
+  std::unique_ptr<cascade::PlanFilters> filters;
+  int64_t plan_wire_bytes = 0;
   query::QueryResult result;
+  if (stmt.recall_target < 1.0) {
+    const obs::QueryContext cascade_phase = ctx.Child("cascade");
+    if (options_.proxy != nullptr) {
+      cascade::Planner planner(options_.proxy);
+      VAQ_ASSIGN_OR_RETURN(
+          plan, planner.Plan(stmt.action, stmt.objects, stmt.recall_target));
+    } else {
+      plan.recall_target = stmt.recall_target;  // Exact fallback.
+    }
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_cascade_plans_total",
+                    {{"mode", plan.use_cascade ? "cascade" : "exact"}})
+        ->Increment();
+    result.cascade_plan = plan.ToString();
+    cascade_phase.AddStat("clips_total", plan.clips_total);
+    cascade_phase.AddStat("clips_surviving", plan.clips_surviving);
+    if (plan.use_cascade) {
+      filters.reset(new cascade::PlanFilters(options_.proxy, plan));
+      options.prefilter = filters.get();
+      plan_wire_bytes = plan.WireBytes();
+    }
+  }
+  VAQ_ASSIGN_OR_RETURN(ClusterTopKResult cluster,
+                       TopK(stmt.action, stmt.objects, scoring_, options, ctx,
+                            plan_wire_bytes));
   result.online = false;
   result.accesses = cluster.merged.accesses;
   result.ranked.reserve(cluster.merged.top.size());

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "cascade/planner.h"
 #include "cluster/net.h"
 #include "cluster/node.h"
 #include "cluster/partition.h"
@@ -88,6 +89,14 @@ struct ClusterOptions {
   // chaos harness turns "hang" into a reproducible failure instead of
   // a test timeout.
   int64_t max_steps = 0;
+  // Ingest-time proxy tier (src/cascade/) consulted when a ranked
+  // statement carries WITH RECALL < 1.0: the coordinator plans the
+  // cascade once and ships the thresholds with the scatter, so every
+  // shard prefilters locally. Not owned; null disables (approximate
+  // statements then run the exact path). Keys are repository video
+  // names; thresholds are layout-independent, so the surviving set
+  // never depends on the shard count.
+  const cascade::ProxySet* proxy = nullptr;
 };
 
 struct ClusterTopKResult {
@@ -119,12 +128,16 @@ class Coordinator : public query::RankedBackend {
   // query id rides the simulated wire with every query/fetch message
   // (appended to the payload; the modeled byte counts are unchanged, so
   // timing is too), and each shard's scan, batches, bytes and failovers
-  // land on a per-shard child node.
+  // land on a per-shard child node. When `rvaq.prefilter` is set (a
+  // planned cascade), `plan_wire_bytes` models the thresholds riding the
+  // scatter message to every shard; 0 on the exact path keeps the wire
+  // byte-identical to pre-cascade builds.
   StatusOr<ClusterTopKResult> TopK(const std::string& action,
                                    const std::vector<std::string>& objects,
                                    const offline::ScoringModel& scoring,
                                    offline::RvaqOptions rvaq,
-                                   const obs::QueryContext& ctx = {}) const;
+                                   const obs::QueryContext& ctx = {},
+                                   int64_t plan_wire_bytes = 0) const;
 
   // query::RankedBackend: routes a parsed ranked statement (conjunctive
   // form) through TopK with the coordinator's own PaperScoring.

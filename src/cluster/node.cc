@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vaq {
 namespace cluster {
@@ -25,6 +26,19 @@ StatusOr<const ShardRun*> Node::RunRanked(
   for (const std::string& name : videos_) {
     const storage::VideoIndex* index = repository_->Find(name);
     VAQ_CHECK(index != nullptr);
+    if (options.prefilter != nullptr) {
+      // Shard-local cascade prefilter: same per-video resolution as
+      // Repository::TopK, so shard layout never changes what survives.
+      const IntervalSet* surviving = options.prefilter->SurvivingClips(name);
+      if (surviving != nullptr && surviving->empty()) {
+        ++run_.videos_pruned;
+        obs::MetricRegistry::Global()
+            .GetCounter("vaq_cascade_videos_pruned_total")
+            ->Increment(1);
+        continue;
+      }
+      options.clip_filter = surviving;  // nullptr: unconstrained video.
+    }
     auto top_or =
         offline::QueryVideoTopK(*index, action, objects, scoring, options);
     if (!top_or.ok()) {
@@ -38,6 +52,7 @@ StatusOr<const ShardRun*> Node::RunRanked(
     const offline::TopKResult& video_top = top_or.value();
     run_.accesses += video_top.accesses;
     run_.candidate_sequences += static_cast<int64_t>(video_top.pq.size());
+    run_.candidates_pruned += video_top.candidates_pruned;
     for (size_t rank = 0; rank < video_top.top.size(); ++rank) {
       ShardEntry entry;
       entry.video = name;

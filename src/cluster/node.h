@@ -55,6 +55,11 @@ struct ShardRun {
   storage::AccessCounter accesses;
   int64_t videos_queried = 0;
   int64_t videos_skipped = 0;
+  // Cascade prefilter accounting (zero on the exact path): videos whose
+  // every clip the proxy ruled out, and candidate intervals dropped
+  // before table binds on surviving videos.
+  int64_t videos_pruned = 0;
+  int64_t candidates_pruned = 0;
   int64_t candidate_sequences = 0;
   double modeled_ms = 0.0;  // Modeled sequential disk time of the scan.
 };

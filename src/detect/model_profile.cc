@@ -45,6 +45,22 @@ ModelProfile ModelProfile::IdealObject() {
   return p;
 }
 
+ModelProfile ModelProfile::ProxyCnn() {
+  ModelProfile p;
+  p.name = "ProxyCNN";
+  p.tpr = 0.95;  // Tuned for recall: the cascade must rarely miss.
+  p.fpr = 0.20;  // ...at the price of a heavy false-positive tail.
+  p.threshold = 0.25;
+  p.fp_block = 1;
+  p.fn_block = 1;
+  p.pos_alpha = 2.0;
+  p.pos_beta = 2.0;
+  p.fp_alpha = 1.1;
+  p.fp_beta = 3.0;
+  p.inference_ms = 2.0;  // Tiny CNN, per clip (not per frame).
+  return p;
+}
+
 ModelProfile ModelProfile::I3d() {
   ModelProfile p;
   p.name = "I3D";

@@ -57,6 +57,11 @@ struct ModelProfile {
   static ModelProfile YoloV3();
   // Ground-truth oracle (Table 4's "Ideal Models" row).
   static ModelProfile IdealObject();
+  // Cascade proxy tier: a tiny specialized CNN in the Focus/BlazeIt
+  // mold — orders of magnitude cheaper than the full detectors, far
+  // noisier. Scored once per clip at ingest (src/cascade/), never at
+  // query time.
+  static ModelProfile ProxyCnn();
 
   // --- Action recognizer presets ------------------------------------------
   // I3D two-stream 3D ConvNet on shots.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vaq {
 namespace offline {
@@ -104,6 +105,18 @@ StatusOr<RepositoryTopKResult> Repository::TopK(
   }
   RepositoryTopKResult result;
   for (const auto& [name, index] : videos_) {
+    if (options.prefilter != nullptr) {
+      const IntervalSet* surviving = options.prefilter->SurvivingClips(name);
+      if (surviving != nullptr && surviving->empty()) {
+        // The proxy ruled out every clip: no table is even bound.
+        ++result.videos_pruned;
+        obs::MetricRegistry::Global()
+            .GetCounter("vaq_cascade_videos_pruned_total")
+            ->Increment(1);
+        continue;
+      }
+      options.clip_filter = surviving;  // nullptr: unconstrained video.
+    }
     auto top_or = QueryVideoTopK(index, action, objects, scoring, options);
     if (!top_or.ok()) {
       if (top_or.status().code() == StatusCode::kNotFound) {
@@ -117,6 +130,7 @@ StatusOr<RepositoryTopKResult> Repository::TopK(
     result.accesses += video_top.accesses;
     result.candidate_sequences +=
         static_cast<int64_t>(video_top.pq.size());
+    result.candidates_pruned += video_top.candidates_pruned;
     for (const RankedSequence& seq : video_top.top) {
       result.top.push_back(RepositoryRankedSequence{name, seq});
     }

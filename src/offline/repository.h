@@ -59,6 +59,11 @@ struct RepositoryTopKResult {
   int64_t videos_queried = 0;
   int64_t videos_skipped = 0;   // Videos missing a queried type.
   int64_t candidate_sequences = 0;
+  // Cascade pre-filter accounting (0 on the exact path): videos whose
+  // every clip the proxy ruled out, and candidate sequences dropped
+  // inside queried videos.
+  int64_t videos_pruned = 0;
+  int64_t candidates_pruned = 0;
   double wall_ms = 0.0;
 };
 

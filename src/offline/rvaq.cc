@@ -62,10 +62,41 @@ TopKResult Rvaq::Run() const {
     result.pq = tables_->ComputePq();
   }
 
+  // Cascade pre-filter: drop candidate sequences with no surviving clip.
+  // Retained intervals keep their FULL extent — the proxy only decides
+  // which sequences participate, never which of their clips score — so
+  // every retained sequence's bounds and exact score are byte-identical
+  // to an unfiltered run.
+  IntervalSet candidates = result.pq;
+  if (options_.clip_filter != nullptr) {
+    std::vector<Interval> retained;
+    const std::vector<Interval>& surviving =
+        options_.clip_filter->intervals();
+    for (const Interval& iv : result.pq.intervals()) {
+      bool keep = false;
+      for (const Interval& f : surviving) {
+        if (f.lo > iv.hi) break;
+        if (iv.Overlaps(f)) {
+          keep = true;
+          break;
+        }
+      }
+      if (keep) {
+        retained.push_back(iv);
+      } else {
+        ++result.candidates_pruned;
+      }
+    }
+    candidates = IntervalSet::FromIntervals(std::move(retained));
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_cascade_candidates_pruned_total")
+        ->Increment(result.candidates_pruned);
+  }
+
   // Candidate sequence states.
   std::vector<SeqState> seqs;
-  seqs.reserve(result.pq.size());
-  for (const Interval& iv : result.pq.intervals()) {
+  seqs.reserve(candidates.size());
+  for (const Interval& iv : candidates.intervals()) {
     SeqState s;
     s.clips = iv;
     s.s_up = scoring_->Identity();
@@ -76,8 +107,9 @@ TopKResult Rvaq::Run() const {
   }
 
   // Skip set: clips outside P_q never participate (§4.3, first bullet).
+  // Clips of pruned candidate sequences stay skipped too.
   std::vector<bool> skip(static_cast<size_t>(tables_->num_clips), true);
-  for (const Interval& iv : result.pq.intervals()) {
+  for (const Interval& iv : candidates.intervals()) {
     for (ClipIndex c = iv.lo; c <= iv.hi; ++c) {
       skip[static_cast<size_t>(c)] = false;
     }

@@ -22,6 +22,18 @@
 namespace vaq {
 namespace offline {
 
+// Resolves, per video, the set of clips an approximate pre-filter (the
+// cascade proxy tier, src/cascade/) could not rule out. nullptr means
+// the video is unconstrained (scan everything); an EMPTY set means the
+// whole video is pruned before any table is bound. Implementations must
+// be usable concurrently from multiple shards.
+class ClipFilterProvider {
+ public:
+  virtual ~ClipFilterProvider() = default;
+  virtual const IntervalSet* SurvivingClips(
+      const std::string& video) const = 0;
+};
+
 struct RvaqOptions {
   int64_t k = 5;
   // The dynamic skip mechanism of §4.3; disabling it yields the paper's
@@ -41,6 +53,19 @@ struct RvaqOptions {
   // mis-ranked at exhaustion. The literal one-sided bookkeeping of the
   // paper's notation is kept as an ablation (set to false).
   bool two_sided_bounds = true;
+  // Cascade pre-filter hooks (both nullptr on the exact path, which
+  // keeps recall-1.0 execution byte-identical to a build without the
+  // cascade subsystem):
+  //  * `clip_filter` constrains THIS video's run: candidate sequences
+  //    with no surviving clip are dropped from the bound loop before
+  //    any access is charged. Retained sequences keep their full
+  //    extent, so their scores and bounds are byte-identical to an
+  //    unfiltered run.
+  //  * `prefilter` is the repository/cluster-scope resolver consulted
+  //    by Repository::TopK and cluster::Node per video; it is how one
+  //    plan ships across shards (each node resolves locally).
+  const IntervalSet* clip_filter = nullptr;
+  const ClipFilterProvider* prefilter = nullptr;
 };
 
 // One ranked result sequence.
@@ -60,6 +85,9 @@ struct TopKResult {
   IntervalSet pq;                   // All candidate sequences.
   storage::AccessCounter accesses;  // Table accesses charged to the run.
   int64_t iterations = 0;           // TBClip invocations (RVAQ only).
+  // Candidate sequences dropped by RvaqOptions::clip_filter before the
+  // bound loop (always 0 on the exact path).
+  int64_t candidates_pruned = 0;
   double wall_ms = 0.0;
 };
 

@@ -202,6 +202,34 @@ StatusOr<bool> StreamingSvaqd::PushClip(detect::ObjectDetector* detector,
   return eval.positive;
 }
 
+StatusOr<bool> StreamingSvaqd::PushPrunedClip() {
+  if (finished_) {
+    return Status::FailedPrecondition("PushClip after Finish");
+  }
+  if (next_clip_ >= layout_.NumClips()) {
+    return Status::OutOfRange(
+        "stream exceeds the layout's design horizon of " +
+        std::to_string(layout_.NumClips()) + " clips");
+  }
+  const ClipIndex clip = next_clip_++;
+  if (options_.fault_plan != nullptr) {
+    // Keep virtual time on the clip cadence so the resilience wrappers'
+    // breaker/backoff windows line up with the clips that DO run models.
+    state_->clock.Advance(options_.resilience.clip_interval_ms);
+  }
+  if (open_start_ >= 0) {
+    const Interval closed(open_start_, clip - 1);
+    sequences_.Add(closed);
+    open_start_ = -1;
+    state_->metric_event_closed->Increment();
+    if (callback_) {
+      callback_({SequenceEvent::Kind::kClosed, closed, clip});
+    }
+  }
+  state_->metric_open_len->Set(0.0);
+  return false;
+}
+
 namespace {
 
 // Record tags of the StreamingSvaqd snapshot blob (append-only within a

@@ -67,6 +67,14 @@ class StreamingSvaqd {
   StatusOr<bool> PushClip(detect::ObjectDetector* detector,
                           detect::ActionRecognizer* recognizer);
 
+  // Skips the next clip without invoking any model: the caller (e.g. the
+  // serving layer's cascade prefilter, src/cascade/) already knows the
+  // clip cannot satisfy the query. Behaves like a clip whose query
+  // indicator is false — an open sequence closes, the stream cursor and
+  // the virtual clock advance — but performs no observation and no
+  // adaptive update. Returns false, or the same errors as PushClip.
+  StatusOr<bool> PushPrunedClip();
+
   // Ends the stream, closing any open sequence.
   void Finish();
 

@@ -40,6 +40,7 @@ std::string QueryStatement::ToString() const {
   }
   if (ranked) os << ", ranked";
   if (limit >= 0) os << ", limit=" << limit;
+  if (recall_target < 1.0) os << ", recall=" << recall_target;
   if (explain_analyze) os << ", explain";
   os << "}";
   return os.str();

@@ -48,6 +48,10 @@ struct QueryStatement {
   bool ranked = false;
   // LIMIT K; -1 when absent.
   int64_t limit = -1;
+  // WITH RECALL τ; 1.0 when absent. τ < 1.0 lets the session/cluster
+  // plan a proxy-model cascade (src/cascade/) that meets the target at
+  // minimum modeled cost; exactly 1.0 always executes the exact path.
+  double recall_target = 1.0;
   // EXPLAIN ANALYZE prefix: execute the statement and attach a per-phase
   // profile tree (query/session.h fills QueryResult::profile_text).
   bool explain_analyze = false;

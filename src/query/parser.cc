@@ -41,6 +41,11 @@ class Parser {
       stmt.limit = Current().number;
       Advance();
     }
+    if (AtKeyword("WITH")) {
+      Advance();
+      VAQ_RETURN_IF_ERROR(ExpectKeyword("RECALL"));
+      VAQ_RETURN_IF_ERROR(ParseRecallTarget(&stmt));
+    }
     if (Current().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input");
     }
@@ -82,6 +87,39 @@ class Parser {
     os << message << " at offset " << Current().offset << " (near '"
        << Current().text << "')";
     return Status::InvalidArgument(os.str());
+  }
+
+  // WITH RECALL τ: the lexer has no float token, so the target arrives
+  // as kNumber [kDot kNumber] and is assembled here (the fractional
+  // scale comes from the token's digit count, so trailing zeros in
+  // "0.90" are honored). Valid range is (0, 1].
+  Status ParseRecallTarget(QueryStatement* stmt) {
+    const Token first = Current();
+    if (first.kind != TokenKind::kNumber) {
+      return Error("expected recall target after RECALL");
+    }
+    double value = static_cast<double>(first.number);
+    Advance();
+    if (Current().kind == TokenKind::kDot) {
+      Advance();
+      if (Current().kind != TokenKind::kNumber) {
+        return Error("expected digits after '.' in recall target");
+      }
+      double scale = 1.0;
+      for (size_t i = 0; i < Current().text.size(); ++i) scale *= 10.0;
+      value += static_cast<double>(Current().number) / scale;
+      Advance();
+    }
+    if (!(value > 0.0) || value > 1.0) {
+      // Anchored at the number's FIRST token; Error() would point past
+      // the already-consumed digits.
+      std::ostringstream os;
+      os << "recall target must be in (0, 1] at offset " << first.offset
+         << " (near '" << first.text << "')";
+      return Status::InvalidArgument(os.str());
+    }
+    stmt->recall_target = value;
+    return Status::OK();
   }
 
   // Skips a balanced parenthesized group, e.g. the argument list of

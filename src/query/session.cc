@@ -76,11 +76,49 @@ StatusOr<QueryResult> ExecuteRankedStatement(
     const QueryStatement& stmt, const storage::VideoIndex& index,
     const offline::ScoringModel& scoring,
     const offline::ScoringModel& cnf_scoring,
-    const obs::QueryContext& ctx) {
+    const obs::QueryContext& ctx,
+    const cascade::ProxySet* proxy) {
   VAQ_TRACE_SPAN("session/ranked_query");
+  QueryResult result;
+  // Cascade planning (WITH RECALL < 1.0). A target of exactly 1.0 skips
+  // this block entirely — no plan, no counters, no extra phase node — so
+  // exact-path results stay byte-identical to pre-cascade builds.
+  cascade::CascadePlan plan;
+  std::unique_ptr<cascade::PlanFilters> filters;
+  const IntervalSet* surviving = nullptr;
+  if (stmt.recall_target < 1.0) {
+    const obs::QueryContext cascade_phase = ctx.Child("cascade");
+    if (proxy != nullptr && stmt.IsConjunctive()) {
+      cascade::Planner planner(proxy);
+      VAQ_ASSIGN_OR_RETURN(
+          plan, planner.Plan(stmt.action, stmt.objects, stmt.recall_target));
+    } else {
+      // No proxy tier registered, or a CNF statement the planner does not
+      // model: fall back to the exact path while honoring the clause.
+      plan.recall_target = stmt.recall_target;
+    }
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_cascade_plans_total",
+                    {{"mode", plan.use_cascade ? "cascade" : "exact"}})
+        ->Increment();
+    result.cascade_plan = plan.ToString();
+    cascade_phase.AddStat("clips_total", plan.clips_total);
+    cascade_phase.AddStat("clips_surviving", plan.clips_surviving);
+    if (plan.use_cascade) {
+      filters.reset(new cascade::PlanFilters(proxy, plan));
+      surviving = filters->SurvivingClips(stmt.video);
+      if (surviving != nullptr && surviving->empty()) {
+        // The proxy rules out the whole video: answer without binding.
+        obs::MetricRegistry::Global()
+            .GetCounter("vaq_cascade_videos_pruned_total")
+            ->Increment();
+        result.online = false;
+        return result;
+      }
+    }
+  }
   const obs::QueryContext phase = ctx.Child("ranked");
   obs::ScopedQueryContext scoped(phase);
-  QueryResult result;
   offline::QueryTables tables;
   const offline::ScoringModel* bound_scoring = &scoring;
   if (stmt.IsConjunctive()) {
@@ -92,8 +130,12 @@ StatusOr<QueryResult> ExecuteRankedStatement(
   }
   offline::RvaqOptions options;
   options.k = stmt.limit > 0 ? stmt.limit : 5;
+  options.clip_filter = surviving;
   offline::Rvaq rvaq(&tables, bound_scoring, options);
   offline::TopKResult topk = rvaq.Run();
+  if (topk.candidates_pruned > 0) {
+    phase.AddStat("candidates_pruned", topk.candidates_pruned);
+  }
   result.online = false;
   result.ranked = std::move(topk.top);
   result.accesses = topk.accesses;
@@ -214,7 +256,7 @@ StatusOr<QueryResult> Session::Execute(const QueryStatement& stmt,
                               "'");
     }
     return ExecuteRankedStatement(stmt, it->second, scoring_, cnf_scoring_,
-                                  ctx);
+                                  ctx, proxy_);
   }
 
   auto it = streams_.find(stmt.video);

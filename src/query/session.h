@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cascade/planner.h"
 #include "common/status.h"
 #include "detect/models.h"
 #include "obs/query_trace.h"
@@ -55,6 +56,13 @@ struct QueryResult {
   // EXPLAIN ANALYZE only: the rendered per-phase profile tree
   // (obs::QueryTrace::RenderProfile). Empty otherwise.
   std::string profile_text;
+  // WITH RECALL < 1.0 only: the chosen plan, rendered
+  // (cascade::CascadePlan::ToString, or "exact(...)" on fallback).
+  // Empty on the exact path so recall-1.0 results stay byte-identical.
+  std::string cascade_plan;
+  // Standing-query cascade only: clips the proxy ruled out and the
+  // engine skipped without a model call.
+  int64_t clips_pruned = 0;
 };
 
 // --- Stateless execution cores -----------------------------------------
@@ -86,12 +94,18 @@ StatusOr<QueryResult> ExecuteOnlineStatement(
 
 // Runs a ranked (repository) statement against `index`. `scoring` serves
 // conjunctive statements, `cnf_scoring` general CNF ones; both are
-// stateless and may be shared across threads. `ctx` as above.
+// stateless and may be shared across threads. `ctx` as above. When the
+// statement carries WITH RECALL < 1.0 and `proxy` covers the video, a
+// cascade is planned (src/cascade/) and the proxy pre-filter prunes
+// candidate sequences before RVAQ binds tables; otherwise the statement
+// falls back to the exact path. A recall target of exactly 1.0 never
+// consults the planner.
 StatusOr<QueryResult> ExecuteRankedStatement(
     const QueryStatement& stmt, const storage::VideoIndex& index,
     const offline::ScoringModel& scoring,
     const offline::ScoringModel& cnf_scoring,
-    const obs::QueryContext& ctx = {});
+    const obs::QueryContext& ctx = {},
+    const cascade::ProxySet* proxy = nullptr);
 
 // A pluggable executor for ranked statements over a named source that is
 // not a locally-held VideoIndex. The cluster coordinator implements this
@@ -132,6 +146,12 @@ class Session {
   // over a repository video of the same name.
   void RegisterRankedBackend(const std::string& name, RankedBackend* backend);
 
+  // Registers the ingest-time proxy tier consulted by WITH RECALL
+  // statements over repository videos (keys must match the repository
+  // names). Not owned; nullptr unregisters. Without one, approximate
+  // statements fall back to the exact path.
+  void RegisterProxySet(const cascade::ProxySet* proxy) { proxy_ = proxy; }
+
   // Parses and runs one statement. An EXPLAIN ANALYZE statement executes
   // normally and additionally fills QueryResult::profile_text with the
   // deterministic per-phase profile tree.
@@ -155,6 +175,7 @@ class Session {
   std::map<std::string, StreamSource> streams_;
   std::map<std::string, storage::VideoIndex> repositories_;
   std::map<std::string, RankedBackend*> backends_;
+  const cascade::ProxySet* proxy_ = nullptr;
   offline::PaperScoring scoring_;
   offline::CnfScoring cnf_scoring_;
 };

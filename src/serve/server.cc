@@ -5,8 +5,10 @@
 #include <limits>
 #include <utility>
 
+#include "cascade/store.h"
 #include "ckpt/metrics_io.h"
 #include "common/logging.h"
+#include "detect/model_profile.h"
 #include "query/parser.h"
 #include "video/cnf_query.h"
 #include "video/query_spec.h"
@@ -600,10 +602,53 @@ Status Server::AdmitStandingLocked(int64_t id, const std::string& sql,
           std::move(cnf).value(), source.scenario.layout(), cnf_options);
     }
   }
+  if (q.stmt.recall_target < 1.0 && q.status.ok()) {
+    VAQ_RETURN_IF_ERROR(PlanStandingCascadeLocked(&q, source));
+  }
   stream_pos_.emplace(q.source, 0);
   standing_.push_back(std::move(owner));
   submitted_accepted_->Increment();
   ++stats_.accepted;
+  return Status::OK();
+}
+
+Status Server::PlanStandingCascadeLocked(StandingQuery* q,
+                                         const StreamSource& source) {
+  cascade::CascadePlan plan;
+  if (q->svaqd != nullptr) {
+    cascade::ProxySet& set = proxies_[q->source];
+    if (set.find(q->source) == set.end()) {
+      // First approximate query on this stream: load the persisted proxy
+      // index (or build it from the scenario and persist it). A stale or
+      // damaged entry rebuilds — scores are a pure function of
+      // (seed, concept, clip), so the result is the same either way.
+      VAQ_ASSIGN_OR_RETURN(
+          cascade::ProxyVideoIndex index,
+          cascade::LoadOrBuildProxyIndex(
+              options_.checkpoint_store, q->source, source.scenario,
+              detect::ModelProfile::ProxyCnn(), source.model_seed));
+      set.emplace(q->source, std::move(index));
+    }
+    cascade::Planner planner(&set);
+    VAQ_ASSIGN_OR_RETURN(plan, planner.Plan(q->stmt.action, q->stmt.objects,
+                                            q->stmt.recall_target));
+  } else {
+    // CNF statements are outside the planner's cost model: exact path.
+    plan.recall_target = q->stmt.recall_target;
+  }
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_cascade_plans_total",
+                  {{"mode", plan.use_cascade ? "cascade" : "exact"}})
+      ->Increment();
+  q->cascade_plan = plan.ToString();
+  if (plan.use_cascade) {
+    cascade::PlanFilters filters(&proxies_[q->source], plan);
+    const IntervalSet* surviving = filters.SurvivingClips(q->source);
+    if (surviving != nullptr) {
+      q->surviving = *surviving;
+      q->cascade_active = true;
+    }
+  }
   return Status::OK();
 }
 
@@ -679,8 +724,14 @@ Status Server::AdvanceStreamLocked(const std::string& source) {
       adv = obs::QueryContext{q.trace.get(), 0}.Child("advance");
     }
     obs::ScopedQueryContext scoped(adv);
+    // Cascade prefilter: a clip the proxy ruled out advances the engine
+    // without any model call (per-query proxy-vs-expensive attribution
+    // lands on the advance node as clips_pruned).
+    const bool pruned = q.cascade_active && q.svaqd != nullptr &&
+                        !q.surviving.Contains(pos);
     StatusOr<bool> indicator =
-        q.svaqd != nullptr
+        pruned ? q.svaqd->PushPrunedClip()
+        : q.svaqd != nullptr
             ? q.svaqd->PushClip(q.models->detector.get(),
                                 q.models->recognizer.get())
             : q.cnf->PushClip(q.models->detector.get(),
@@ -705,6 +756,13 @@ Status Server::AdvanceStreamLocked(const std::string& source) {
     adv.AddStat("clips", 1);
     adv.AddStat("detector_inferences", det_delta.inferences);
     adv.AddStat("recognizer_inferences", rec_delta.inferences);
+    if (pruned) {
+      ++q.clips_pruned;
+      adv.AddStat("clips_pruned", 1);
+      obs::MetricRegistry::Global()
+          .GetCounter("vaq_cascade_standing_clips_pruned_total")
+          ->Increment();
+    }
   }
   stream_pos_[source] = pos + 1;
   ++clips_since_snapshot_;
@@ -751,6 +809,8 @@ std::vector<ServedQuery> Server::FinishStanding() {
       }
       served.result.detector_stats = q.det_acc;
       served.result.recognizer_stats = q.rec_acc;
+      served.result.cascade_plan = q.cascade_plan;
+      served.result.clips_pruned = q.clips_pruned;
       served.simulated_ms = q.det_acc.simulated_ms + q.rec_acc.simulated_ms;
       stats_.detector_stats.Merge(q.det_acc);
       stats_.recognizer_stats.Merge(q.rec_acc);
@@ -834,6 +894,11 @@ Status Server::CheckpointLocked() {
     p.PutString(engine_blob);
     EncodeModelStats(q.det_acc, &p);
     EncodeModelStats(q.rec_acc, &p);
+    // Cascade pruning is an accumulator, not derivable from the engine
+    // blob: the plan (thresholds, surviving set) is replanned
+    // deterministically at admission, but clips pruned before this
+    // snapshot would otherwise be forgotten by a recovered session.
+    p.PutI64(q.clips_pruned);
     snap.Append(kSnapStanding, p);
   }
   for (const auto& [source, pos] : stream_pos_) {
@@ -978,6 +1043,7 @@ Status Server::RestoreBlobLocked(uint32_t /*version*/,
         uint32_t kind = 0;
         std::string engine_blob;
         detect::ModelStats det_acc, rec_acc;
+        int64_t clips_pruned = 0;
         VAQ_RETURN_IF_ERROR(in.GetI64(&id));
         VAQ_RETURN_IF_ERROR(in.GetString(&sql));
         VAQ_RETURN_IF_ERROR(DecodeStatus(&in, &saved_status));
@@ -986,6 +1052,7 @@ Status Server::RestoreBlobLocked(uint32_t /*version*/,
         VAQ_RETURN_IF_ERROR(in.GetString(&engine_blob));
         VAQ_RETURN_IF_ERROR(DecodeModelStats(&in, &det_acc));
         VAQ_RETURN_IF_ERROR(DecodeModelStats(&in, &rec_acc));
+        VAQ_RETURN_IF_ERROR(in.GetI64(&clips_pruned));
         auto parsed = query::Parse(sql);
         if (!parsed.ok()) {
           return Status::Corruption("unparsable standing query in snapshot: " +
@@ -1011,6 +1078,7 @@ Status Server::RestoreBlobLocked(uint32_t /*version*/,
         q.finished = finished;
         q.det_acc = det_acc;
         q.rec_acc = rec_acc;
+        q.clips_pruned = clips_pruned;
         next_id_ = std::max(next_id_, id + 1);
         break;
       }
@@ -1202,6 +1270,11 @@ std::string DescribeServedQuery(const ServedQuery& q) {
     if (q.result.degraded_clips > 0 || q.result.dropped_clips > 0) {
       out += " degraded=" + std::to_string(q.result.degraded_clips) +
              " dropped=" + std::to_string(q.result.dropped_clips);
+    }
+    // Proxy-vs-expensive attribution; exact queries render unchanged.
+    if (!q.result.cascade_plan.empty()) {
+      out += " clips_pruned=" + std::to_string(q.result.clips_pruned) +
+             " cascade=" + q.result.cascade_plan;
     }
   } else {
     out += " ranked=[";

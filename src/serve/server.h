@@ -64,6 +64,7 @@
 #include <thread>
 #include <vector>
 
+#include "cascade/planner.h"
 #include "ckpt/recovery.h"
 #include "ckpt/serializer.h"
 #include "ckpt/store.h"
@@ -300,6 +301,13 @@ class Server {
     detect::ModelStats rec_acc;  // accumulated across advances.
     Status status;               // First construction/advance failure.
     bool finished = false;
+    // Cascade prefilter (WITH RECALL < 1.0 on a conjunctive statement;
+    // DESIGN.md §14): clips outside `surviving` are pushed through
+    // StreamingSvaqd::PushPrunedClip — no model call is made for them.
+    bool cascade_active = false;
+    IntervalSet surviving;
+    std::string cascade_plan;  // Rendered plan; exact fallback included.
+    int64_t clips_pruned = 0;
     // Per-query trace (trace_queries): every advance folds into one
     // "advance" child node, so the tree stays bounded.
     std::shared_ptr<obs::QueryTrace> trace;
@@ -317,6 +325,15 @@ class Server {
   // the snapshot policy via replaying_).
   Status AdmitStandingLocked(int64_t id, const std::string& sql,
                              query::QueryStatement stmt);
+  // Plans the proxy cascade for a freshly admitted standing query whose
+  // statement carries WITH RECALL < 1.0: loads (or builds and persists,
+  // via the checkpoint store) the stream's proxy index, calibrates
+  // thresholds, and fills the query's surviving-clip set. CNF statements
+  // fall back to the exact path. Shared by live admission, snapshot
+  // restore and WAL replay, so a recovered session prunes the exact same
+  // clips the crashed one would have.
+  Status PlanStandingCascadeLocked(StandingQuery* q,
+                                   const StreamSource& source);
   Status AdvanceStreamLocked(const std::string& source);
   Status CheckpointLocked();
   Status AppendWalLocked(uint32_t tag, const ckpt::Payload& payload);
@@ -350,6 +367,10 @@ class Server {
   // Standing-query mode. unique_ptr keeps `models = &owned_models`
   // stable across vector growth.
   std::vector<std::unique_ptr<StandingQuery>> standing_;
+  // Per-stream proxy indexes, loaded/built on the first approximate
+  // standing query against the stream (each set holds that one stream's
+  // index, keyed by its name — the planner's expected shape).
+  std::map<std::string, cascade::ProxySet> proxies_;
   std::map<std::string, int64_t> stream_pos_;  // Clips advanced per source.
   int64_t ckpt_seq_ = 0;               // Next snapshot sequence number.
   int64_t clips_since_snapshot_ = 0;   // Snapshot-policy accumulators.

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cascade/planner.h"
+#include "cascade/proxy_index.h"
 #include "cluster/coordinator.h"
 #include "cluster/standing.h"
 #include "detect/models.h"
@@ -86,14 +88,18 @@ struct RankedOutput {
   std::string logical_metrics;  // Everything but vaq_cluster_*.
 };
 
-// The single-node reference for the demo query.
-RankedOutput SingleNodeReference(int64_t k = kK) {
+// The single-node reference for the demo query. A non-null `prefilter`
+// applies a planned cascade's surviving-clip sets (the cluster run under
+// comparison must use the same one).
+RankedOutput SingleNodeReference(
+    int64_t k = kK, const offline::ClipFilterProvider* prefilter = nullptr) {
   DemoRepository();  // Ingest before the reset: only query metrics count.
   obs::MetricRegistry::Global().Reset();
   obs::Tracer::Global().SetClock([] { return 0.0; });
   offline::PaperScoring scoring;
   offline::RvaqOptions options;
   options.k = k;
+  options.prefilter = prefilter;
   auto result = DemoRepository().TopK("running", {"dog"}, scoring, options);
   EXPECT_TRUE(result.ok()) << result.status().message();
   RankedOutput out;
@@ -119,14 +125,18 @@ struct ClusterRun {
   ClusterTopKResult result;
 };
 
-ClusterRun RunCluster(ClusterOptions options, int64_t k = kK) {
+ClusterRun RunCluster(ClusterOptions options, int64_t k = kK,
+                      const offline::ClipFilterProvider* prefilter = nullptr,
+                      int64_t plan_wire_bytes = 0) {
   obs::MetricRegistry::Global().Reset();
   obs::Tracer::Global().SetClock([] { return 0.0; });
   offline::PaperScoring scoring;
   offline::RvaqOptions rvaq;
   rvaq.k = k;
+  rvaq.prefilter = prefilter;
   Coordinator coordinator(&DemoRepository(), options);
-  auto result = coordinator.TopK("running", {"dog"}, scoring, rvaq);
+  auto result =
+      coordinator.TopK("running", {"dog"}, scoring, rvaq, {}, plan_wire_bytes);
   ClusterRun run;
   run.status = result.status();
   if (result.ok()) {
@@ -345,6 +355,132 @@ TEST(ClusterRanked, RoutesThroughQuerySession) {
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_FALSE(result->online);
   EXPECT_EQ(result->ranked.size(), 3u);
+}
+
+// --- Cascade (WITH RECALL) over the cluster -----------------------------
+
+// The proxy tier matching DemoRepository: same video names, same
+// per-video seeds, so the planner's thresholds correspond to the data
+// the shards actually hold.
+const cascade::ProxySet& DemoProxies() {
+  static const cascade::ProxySet* const set = [] {
+    auto* s = new cascade::ProxySet();
+    for (int i = 0; i < kVideos; ++i) {
+      const std::string name = "vid" + std::to_string(i);
+      s->emplace(name, cascade::BuildProxyIndex(
+                           name, tools::DemoScenario(i),
+                           detect::ModelProfile::ProxyCnn(),
+                           kSeed + static_cast<uint64_t>(i)));
+    }
+    return s;
+  }();
+  return *set;
+}
+
+constexpr char kBackendSql[] =
+    "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+    "FROM (PROCESS library PRODUCE clipID, obj USING ObjectTracker, "
+    "act USING ActionRecognizer) "
+    "WHERE act='running' AND obj.include('dog') "
+    "ORDER BY RANK(act, obj) LIMIT 5";
+
+struct BackendRun {
+  std::string described;
+  std::string metrics;
+  std::string cascade_plan;
+};
+
+// One ranked statement routed through a session-registered coordinator
+// (the full WITH RECALL wire: parse -> plan -> scatter with thresholds).
+BackendRun RunThroughBackend(const std::string& sql, int shards,
+                             const std::vector<std::string>& exclude) {
+  DemoRepository();
+  DemoProxies();
+  obs::MetricRegistry::Global().Reset();
+  obs::Tracer::Global().SetClock([] { return 0.0; });
+  ClusterOptions options;
+  options.num_shards = shards;
+  options.proxy = &DemoProxies();
+  Coordinator coordinator(&DemoRepository(), options);
+  query::Session session;
+  session.RegisterRankedBackend("library", &coordinator);
+  const auto result = session.Execute(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  BackendRun run;
+  if (result.ok()) {
+    std::ostringstream os;
+    for (const offline::RankedSequence& s : result->ranked) {
+      os << s.clips.ToString() << " lb=" << Fmt(s.lower_bound)
+         << " ub=" << Fmt(s.upper_bound) << "\n";
+    }
+    os << result->accesses.ToString();
+    run.described = os.str();
+    run.cascade_plan = result->cascade_plan;
+  }
+  run.metrics = obs::ExportPrometheus(obs::ExcludeSnapshot(
+      obs::MetricRegistry::Global().TakeSnapshot(), exclude));
+  obs::Tracer::Global().SetClock(nullptr);
+  return run;
+}
+
+TEST(ClusterCascade, PrefilteredGatherIsByteIdenticalAcrossLayouts) {
+  const cascade::Planner planner(&DemoProxies());
+  const StatusOr<cascade::CascadePlan> plan =
+      planner.Plan("running", {"dog"}, 0.9);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan.value().use_cascade) << plan.value().ToString();
+  const cascade::PlanFilters filters(&DemoProxies(), plan.value());
+
+  // The pruned single-node run is the reference: a sharded gather under
+  // the same plan must match it byte for byte — including the logical
+  // metrics, since the thresholds (and so the surviving sets) are a pure
+  // function of the proxy index, never of the layout.
+  const RankedOutput ref = SingleNodeReference(kK, &filters);
+  for (const int shards : {1, 2, 4}) {
+    ClusterOptions options;
+    options.num_shards = shards;
+    const ClusterRun run =
+        RunCluster(options, kK, &filters, plan.value().WireBytes());
+    const std::string label = "cascade shards=" + std::to_string(shards);
+    ASSERT_TRUE(run.status.ok()) << label << ": " << run.status.message();
+    ExpectMatchesReference(run.output, ref, label);
+  }
+}
+
+TEST(ClusterCascade, RecallOneThroughBackendMatchesPlainStatement) {
+  // WITH RECALL 1 must never reach the planner: the whole observable
+  // surface — results, access accounting, every metric family including
+  // vaq_cluster_* — matches the clause-free statement byte for byte.
+  // (Only vaq_log_* is excluded: its rate-limit counters are per-call-
+  // site statics that span runs within this process.)
+  const std::vector<std::string> exclude = {"vaq_log_"};
+  const BackendRun plain = RunThroughBackend(kBackendSql, 3, exclude);
+  const BackendRun recall_one = RunThroughBackend(
+      std::string(kBackendSql) + " WITH RECALL 1", 3, exclude);
+  EXPECT_FALSE(plain.described.empty());
+  EXPECT_EQ(plain.described, recall_one.described);
+  EXPECT_EQ(plain.metrics, recall_one.metrics);
+  EXPECT_TRUE(plain.cascade_plan.empty());
+  EXPECT_TRUE(recall_one.cascade_plan.empty());
+}
+
+TEST(ClusterCascade, ApproximateStatementIsShardCountInvariant) {
+  // The coordinator plans once and ships thresholds with the scatter, so
+  // an approximate statement's results, plan text and logical metrics
+  // cannot depend on the shard count.
+  const std::vector<std::string> exclude = {"vaq_cluster_",
+                                            "vaq_query_latency_ms",
+                                            "vaq_log_"};
+  const std::string sql = std::string(kBackendSql) + " WITH RECALL 0.9";
+  const BackendRun one = RunThroughBackend(sql, 1, exclude);
+  EXPECT_NE(one.cascade_plan.find("cascade"), std::string::npos)
+      << one.cascade_plan;
+  for (const int shards : {3, 8}) {
+    const BackendRun run = RunThroughBackend(sql, shards, exclude);
+    EXPECT_EQ(run.described, one.described) << shards;
+    EXPECT_EQ(run.cascade_plan, one.cascade_plan) << shards;
+    EXPECT_EQ(run.metrics, one.metrics) << shards;
+  }
 }
 
 // --- Standing-query cluster ---------------------------------------------

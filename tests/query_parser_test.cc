@@ -228,6 +228,71 @@ TEST(AstTest, ToStringSummarizes) {
   EXPECT_NE(s.find("limit=3"), std::string::npos);
 }
 
+TEST(ParserTest, WithRecallClause) {
+  auto stmt = Parse(
+      "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+      "FROM (PROCESS v PRODUCE clipID, obj USING ObjectTracker, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car') "
+      "ORDER BY RANK(act, obj) LIMIT 5 WITH RECALL 0.95");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->ranked);
+  EXPECT_DOUBLE_EQ(stmt->recall_target, 0.95);
+
+  // Online statements take the clause too (standing-query cascades).
+  auto online =
+      Parse("SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.9");
+  ASSERT_TRUE(online.ok()) << online.status();
+  EXPECT_FALSE(online->ranked);
+  EXPECT_DOUBLE_EQ(online->recall_target, 0.9);
+
+  // Trailing zeros are honored, whole "1" is the exact target, and the
+  // clause defaults to 1.0 when absent.
+  auto zeros =
+      Parse("SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.90");
+  ASSERT_TRUE(zeros.ok()) << zeros.status();
+  EXPECT_DOUBLE_EQ(zeros->recall_target, 0.9);
+  auto one = Parse("SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 1");
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_DOUBLE_EQ(one->recall_target, 1.0);
+  auto plain = Parse("SELECT MERGE(c) FROM v WHERE act='x'");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_DOUBLE_EQ(plain->recall_target, 1.0);
+}
+
+TEST(AstTest, ToStringRendersRecallOnlyWhenApproximate) {
+  auto approx =
+      Parse("SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.9");
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  EXPECT_NE(approx->ToString().find("recall=0.9"), std::string::npos);
+  auto exact = Parse("SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 1");
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_EQ(exact->ToString().find("recall"), std::string::npos);
+}
+
+// Malformed WITH RECALL clauses must come back as clean, positioned
+// kInvalidArgument — the same hygiene contract as every other clause.
+TEST(ParserTest, MalformedWithRecallReturnsPositionedInvalidArgument) {
+  const char* const kMalformed[] = {
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 'x'",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 2",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 1.5",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.0",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.9 extra",
+      "SELECT MERGE(c) FROM v WHERE act='x' WITH RECALL 0.9 WITH RECALL 1",
+  };
+  for (const char* sql : kMalformed) {
+    const auto status = Parse(sql).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << sql;
+    EXPECT_NE(status.message().find("offset"), std::string::npos)
+        << sql << " -> " << status.message();
+  }
+}
+
 }  // namespace
 }  // namespace query
 }  // namespace vaq

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <utility>
 
+#include "cascade/store.h"
 #include "detect/models.h"
 #include "offline/ingest.h"
 #include "offline/scoring.h"
@@ -173,6 +175,79 @@ std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
     }
   }
   return out;
+}
+
+StatusOr<CascadeDemo> MakeCascadeDemo(int num_videos, uint64_t seed) {
+  CascadeDemo demo;
+  for (int i = 0; i < num_videos; ++i) {
+    const std::string name = "vid" + std::to_string(i);
+    synth::Scenario scenario = DemoScenario(i);
+    const uint64_t video_seed = seed + static_cast<uint64_t>(i);
+    detect::ModelBundle models =
+        detect::ModelBundle::MaskRcnnI3d(scenario.truth(), video_seed);
+    offline::PaperScoring scoring;
+    offline::Ingestor ingestor(&scenario.vocab(), &scoring,
+                               offline::IngestOptions{});
+    VAQ_ASSIGN_OR_RETURN(storage::VideoIndex index,
+                         ingestor.Ingest(scenario.truth(), models));
+    demo.repository.Add(name, std::move(index));
+    VAQ_ASSIGN_OR_RETURN(
+        cascade::ProxyVideoIndex proxy,
+        cascade::LoadOrBuildProxyIndex(/*store=*/nullptr, name, scenario,
+                                       detect::ModelProfile::ProxyCnn(),
+                                       video_seed));
+    demo.proxies.emplace(name, std::move(proxy));
+    demo.videos.push_back(name);
+  }
+  return demo;
+}
+
+StatusOr<CascadeFrontierPoint> RunCascadeFrontierPoint(
+    const CascadeDemo& demo, double recall_target, int64_t k) {
+  CascadeFrontierPoint point;
+  point.recall_target = recall_target;
+  const cascade::Planner planner(&demo.proxies);
+  VAQ_ASSIGN_OR_RETURN(const cascade::CascadePlan plan,
+                       planner.Plan("running", {"dog"}, recall_target));
+  point.use_cascade = plan.use_cascade;
+  point.predicted_recall = plan.predicted_recall;
+  point.full_cost_ms = plan.full_cost_ms;
+  point.cascade_cost_ms = plan.cascade_cost_ms;
+  point.cost_reduction = plan.CostReduction();
+  point.clips_total = plan.clips_total;
+  point.clips_surviving = plan.clips_surviving;
+  point.plan_text = plan.ToString();
+
+  const offline::PaperScoring scoring;
+  offline::RvaqOptions options;
+  options.k = k;
+  VAQ_ASSIGN_OR_RETURN(
+      const offline::RepositoryTopKResult exact,
+      demo.repository.TopK("running", {"dog"}, scoring, options));
+  offline::RepositoryTopKResult planned = exact;
+  if (plan.use_cascade) {
+    const cascade::PlanFilters filters(&demo.proxies, plan);
+    options.prefilter = &filters;
+    VAQ_ASSIGN_OR_RETURN(
+        planned, demo.repository.TopK("running", {"dog"}, scoring, options));
+  }
+  point.videos_pruned = planned.videos_pruned;
+  point.candidates_pruned = planned.candidates_pruned;
+  if (!exact.top.empty()) {
+    // Achieved recall: exact results matched by video + clip extent.
+    std::set<std::string> returned;
+    for (const offline::RepositoryRankedSequence& entry : planned.top) {
+      returned.insert(entry.video + "|" + entry.sequence.clips.ToString());
+    }
+    int64_t matched = 0;
+    for (const offline::RepositoryRankedSequence& entry : exact.top) {
+      matched += returned.count(entry.video + "|" +
+                                entry.sequence.clips.ToString());
+    }
+    point.achieved_recall = static_cast<double>(matched) /
+                            static_cast<double>(exact.top.size());
+  }
+  return point;
 }
 
 StatusOr<std::unique_ptr<serve::Server>> MakeStandingDemoServer(

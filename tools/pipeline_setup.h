@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "cascade/planner.h"
 #include "common/status.h"
 #include "fault/fault_plan.h"
+#include "offline/repository.h"
 #include "online/svaqd.h"
 #include "serve/server.h"
 #include "synth/scenario.h"
@@ -67,6 +69,47 @@ Status RegisterDemoSources(serve::Server* server, int num_streams,
 // top-K statements against the repository when `with_repository`.
 std::vector<std::string> DemoWorkload(int num_streams, int num_queries,
                                       bool with_repository);
+
+// --- Cascade demo -------------------------------------------------------
+// The seeded multi-video corpus behind `vaqctl cascade`, bench_cascade
+// and the cascade consistency tests: DemoScenario(i) ingested with the
+// expensive models under "vid<i>" (per-video model seeds derived from
+// `seed`), plus the matching ingest-time proxy tier (src/cascade/). Pure
+// function of its arguments, so the tools, the bench and the tests all
+// see one corpus.
+
+struct CascadeDemo {
+  offline::Repository repository;   // Expensive-model indexes.
+  cascade::ProxySet proxies;        // Ingest-time proxy tier.
+  std::vector<std::string> videos;  // Registered names, index order.
+};
+
+StatusOr<CascadeDemo> MakeCascadeDemo(int num_videos, uint64_t seed);
+
+// One point of the demo cost-vs-recall frontier: plan the demo query
+// ("running" + "dog") at `recall_target`, execute both the exact and
+// the planned top-k over the corpus, and measure the recall actually
+// achieved — the fraction of the exact top-k's results the planned run
+// returned (matched by video and clip extent).
+struct CascadeFrontierPoint {
+  double recall_target = 1.0;
+  bool use_cascade = false;
+  double predicted_recall = 1.0;
+  double achieved_recall = 1.0;
+  // Modeled inference bills (cascade::CascadePlan); on an exact plan
+  // cascade_cost_ms == full_cost_ms and the reduction is 1.0.
+  double full_cost_ms = 0.0;
+  double cascade_cost_ms = 0.0;
+  double cost_reduction = 1.0;
+  int64_t clips_total = 0;
+  int64_t clips_surviving = 0;
+  int64_t videos_pruned = 0;
+  int64_t candidates_pruned = 0;
+  std::string plan_text;  // CascadePlan::ToString of the chosen plan.
+};
+
+StatusOr<CascadeFrontierPoint> RunCascadeFrontierPoint(
+    const CascadeDemo& demo, double recall_target, int64_t k);
 
 // --- Durable standing-query demo ---------------------------------------
 // The restartable clip-lockstep session behind `vaqctl serve

@@ -83,6 +83,16 @@
 //       gather/network statistics. --kill-node I stages a node outage at
 //       --kill-at virtual ms to demo replica failover.
 //
+//   vaqctl cascade [--recall R] [--seed S] [--videos V] [--k K]
+//       Plan a model cascade over the seeded demo corpus (src/cascade/):
+//       V demo videos are ingested with the expensive models and scored
+//       once by the cheap proxy tier, then the cost-based planner picks
+//       per-concept proxy thresholds for recall target R and the demo
+//       top-K query runs both exact and planned. Prints the chosen plan,
+//       the modeled cost reduction and the recall actually achieved
+//       against the exact results. --recall 1.0 demonstrates the exact
+//       fallback (no cascade, identical results by construction).
+//
 //   vaqctl chaos [--trials N] [--seed S] [--canary on]
 //                [--replay FILE] [--out FILE] [--shrink off]
 //       Run N seeded whole-stack chaos trials (src/chaos/): each draws a
@@ -1008,6 +1018,57 @@ int CmdChaos(const Args& args) {
   return 1;
 }
 
+// vaqctl cascade: plan and execute a proxy-prefiltered top-k over the
+// seeded demo corpus, reporting modeled cost and achieved recall.
+int CmdCascade(const Args& args) {
+  const double recall = std::atof(args.Get("recall", "0.9").c_str());
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "7").c_str()));
+  const int videos = std::atoi(args.Get("videos", "4").c_str());
+  const int64_t k =
+      static_cast<int64_t>(std::atoll(args.Get("k", "5").c_str()));
+  if (!(recall > 0.0) || recall > 1.0 || videos <= 0 || k <= 0) {
+    std::fprintf(
+        stderr,
+        "cascade requires --recall in (0, 1] and positive --videos/--k\n");
+    return 2;
+  }
+
+  obs::MetricRegistry::Global().Reset();
+  const StatusOr<tools::CascadeDemo> demo =
+      tools::MakeCascadeDemo(videos, seed);
+  if (!demo.ok()) {
+    std::fprintf(stderr, "%s\n", demo.status().ToString().c_str());
+    return 1;
+  }
+  const StatusOr<tools::CascadeFrontierPoint> point =
+      tools::RunCascadeFrontierPoint(demo.value(), recall, k);
+  if (!point.ok()) {
+    std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
+    return 1;
+  }
+
+  const tools::CascadeFrontierPoint& p = point.value();
+  std::printf("corpus: %d demo video(s), %lld clip(s), seed %llu\n", videos,
+              static_cast<long long>(p.clips_total),
+              static_cast<unsigned long long>(seed));
+  std::printf("plan: %s\n", p.plan_text.c_str());
+  std::printf("modeled cost: %.6g ms exact -> %.6g ms planned "
+              "(%.3gx reduction)\n",
+              p.full_cost_ms, p.cascade_cost_ms, p.cost_reduction);
+  std::printf("clips surviving: %lld/%lld  videos pruned: %lld  "
+              "candidates pruned: %lld\n",
+              static_cast<long long>(p.clips_surviving),
+              static_cast<long long>(p.clips_total),
+              static_cast<long long>(p.videos_pruned),
+              static_cast<long long>(p.candidates_pruned));
+  std::printf("recall: target %.6g, predicted %.6g, achieved %.6g "
+              "(top-%lld)\n",
+              p.recall_target, p.predicted_recall, p.achieved_recall,
+              static_cast<long long>(k));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -1028,6 +1089,9 @@ int Usage() {
       "  recover  recover a durable session from its checkpoint dir\n"
       "  cluster  sharded scatter-gather top-k vs the single-node\n"
       "           reference (--nodes N --replicas R [--kill-node I])\n"
+      "  cascade  cost-based proxy cascade over the demo corpus\n"
+      "           (--recall R --seed S): prints the planned cascade,\n"
+      "           modeled cost reduction and achieved recall\n"
       "  chaos    seeded whole-stack chaos sweep with invariant oracles\n"
       "           (--trials N --seed S [--canary on] [--replay FILE]\n"
       "           [--out FILE]); failures shrink to a minimal replay\n"
@@ -1053,6 +1117,7 @@ int main(int argc, char** argv) {
   if (command == "trace") return vaq::CmdTrace(args);
   if (command == "recover") return vaq::CmdRecover(args);
   if (command == "cluster") return vaq::CmdCluster(args);
+  if (command == "cascade") return vaq::CmdCascade(args);
   if (command == "chaos") return vaq::CmdChaos(args);
   std::fprintf(stderr, "vaqctl: unknown subcommand '%s'\n", command.c_str());
   return vaq::Usage();
