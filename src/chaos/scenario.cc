@@ -140,6 +140,15 @@ TrialScenario MakeTrialScenario(uint64_t seed, int64_t trial) {
   if (rng.Bernoulli(0.4)) {
     s.recall = rng.Bernoulli(0.5) ? 0.95 : 0.9;
   }
+  // Front-door draws, appended after the cascade draw for the same
+  // reason: half the serve trials run tenant-tagged, half the cluster
+  // trials churn the shard layout before querying.
+  if (s.phase == Phase::kServe && rng.Bernoulli(0.5)) {
+    s.tenants = static_cast<int>(rng.UniformInt(int64_t{2}, int64_t{3}));
+  }
+  if (s.phase == Phase::kCluster && rng.Bernoulli(0.5)) {
+    s.rebalance = static_cast<int>(rng.UniformInt(int64_t{1}, int64_t{2}));
+  }
   return s;
 }
 

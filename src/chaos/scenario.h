@@ -63,6 +63,13 @@ struct TrialScenario {
   // Serve.
   int threads = 2;          // Chaos-side worker count (reference runs 0).
   bool with_repository = false;  // Mix ranked statements into the batch.
+  // When > 0, submissions are tenant-tagged round-robin over "t0".."tN-1"
+  // through the multi-tenant front door (Submit(sql, tenant)), with
+  // quotas sized to fit the workload — sheds are scheduling-dependent at
+  // threads > 0, so chaos trials exercise the tagged path and its
+  // vaq_tenant_* accounting, not the shed path (tests/traffic_test.cc
+  // covers shedding at threads = 0). 0 keeps the legacy untagged path.
+  int tenants = 0;
 
   // Cascade (all phases). Below 1.0, part of the workload carries a
   // WITH RECALL clause — standing queries plan proxy cascades over their
@@ -80,6 +87,11 @@ struct TrialScenario {
   cluster::PartitionScheme scheme = cluster::PartitionScheme::kHash;
   int batch_size = 2;
   int64_t k = 3;
+  // Elastic layout churn before the chaos queries run: 0 = static,
+  // 1 = split the first splittable shard, 2 = split then merge an
+  // adjacent pair back. The merged-vs-reference oracle then checks
+  // result bytes are layout-invariant under faults.
+  int rebalance = 0;
 
   // Environment fault rates, shared byte-identically by the reference
   // and chaos runs (standing/serve); for cluster trials the rates drive

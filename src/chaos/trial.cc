@@ -460,7 +460,22 @@ Status RunCluster(const TrialScenario& s, const Schedule& schedule,
   co.batch_size = s.batch_size;
   co.fault_plan = &plan;
   co.max_steps = options.cluster_max_steps;
-  const cluster::Coordinator coordinator(&repo, co);
+  cluster::Coordinator coordinator(&repo, co);
+  if (s.rebalance > 0) {
+    // Elastic churn before the chaos queries: split the first shard that
+    // holds at least two videos; rebalance == 2 merges the pair back.
+    // Either way every oracle below must still hold — result bytes are
+    // layout-invariant, faults or not.
+    for (int shard = 0; shard < coordinator.num_shards(); ++shard) {
+      if (coordinator.SplitShard(shard).ok()) {
+        ++r->coverage["cluster.splits"];
+        if (s.rebalance == 2 && coordinator.MergeShards(shard).ok()) {
+          ++r->coverage["cluster.merges"];
+        }
+        break;
+      }
+    }
+  }
 
   // Two identical chaos runs: the event loop itself must be a pure
   // function of the plan (self-determinism), independently of whether
@@ -554,6 +569,12 @@ StatusOr<ServeOut> RunServeOnce(const TrialScenario& s, IndexCache* cache,
   so.share_detection_cache = true;
   so.fault_plan = plan;
   so.trace_queries = true;  // Profiles join the determinism surface.
+  // Tenant quotas sized to fit, like the queue: sheds are scheduling-
+  // dependent at threads > 0, and the oracle here is that the *tagged*
+  // path (vaq_tenant_* accounting included) is thread-count-invariant.
+  for (int t = 0; t < s.tenants; ++t) {
+    so.tenant_quotas["t" + std::to_string(t)] = s.num_queries;
+  }
   serve::Server server(so);
   for (int i = 0; i < s.num_streams; ++i) {
     server.RegisterStream(SourceName(i), cache->Scenario(i, s.minutes),
@@ -562,8 +583,13 @@ StatusOr<ServeOut> RunServeOnce(const TrialScenario& s, IndexCache* cache,
   if (repository != nullptr) {
     server.RegisterRepository(kChaosRepositoryName, *repository);
   }
+  int submitted = 0;
   for (const std::string& sql : ChaosWorkload(s)) {
-    const StatusOr<int64_t> id = server.Submit(sql);
+    const StatusOr<int64_t> id =
+        s.tenants > 0
+            ? server.Submit(sql, "t" + std::to_string(submitted % s.tenants))
+            : server.Submit(sql);
+    ++submitted;
     if (!id.ok()) {
       r->violations.push_back("serve: submit rejected (capacity fits the "
                               "workload): " +
@@ -602,6 +628,7 @@ Status RunServe(const TrialScenario& s, const TrialOptions& options,
                          r);
   }
 
+  if (s.tenants > 0) r->coverage["serve.tenants"] += s.tenants;
   VAQ_ASSIGN_OR_RETURN(const ServeOut ref,
                        RunServeOnce(s, cache, plan, repository, 0, r));
   VAQ_ASSIGN_OR_RETURN(const ServeOut chaos,

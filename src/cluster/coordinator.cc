@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <queue>
 #include <utility>
@@ -59,10 +60,17 @@ Coordinator::Coordinator(const offline::Repository* repository,
   VAQ_CHECK_GT(options_.batch_size, 0);
   shard_videos_ = PartitionNames(repository_->VideoNames(),
                                  options_.num_shards, options_.scheme);
-  for (int s = 0; s < options_.num_shards; ++s) {
+  shard_load_ms_.assign(shard_videos_.size(), 0.0);
+  RebuildNodes();
+}
+
+void Coordinator::RebuildNodes() {
+  nodes_.clear();
+  const int shards = num_shards();
+  for (int s = 0; s < shards; ++s) {
     nodes_.push_back(std::make_unique<Node>(s, repository_, shard_videos_[s]));
   }
-  for (int s = 0; s < options_.num_shards; ++s) {
+  for (int s = 0; s < shards; ++s) {
     for (int r = 0; r < options_.num_replicas; ++r) {
       nodes_.push_back(std::make_unique<Node>(ReplicaHost(s, r), repository_,
                                               shard_videos_[s]));
@@ -70,12 +78,124 @@ Coordinator::Coordinator(const offline::Repository* repository,
   }
 }
 
+Status Coordinator::SplitShard(int shard) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  std::vector<std::string>& videos =
+      shard_videos_[static_cast<size_t>(shard)];
+  if (videos.size() < 2) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " holds fewer than two videos; nothing to split");
+  }
+  // Midpoint cut of the sorted run: the left half stays in place, the
+  // right half becomes the new adjacent shard. The window load has no
+  // per-video attribution, so it is split evenly.
+  const auto mid =
+      videos.begin() + static_cast<std::ptrdiff_t>(videos.size() / 2);
+  std::vector<std::string> right(mid, videos.end());
+  videos.erase(mid, videos.end());
+  shard_videos_.insert(
+      shard_videos_.begin() + static_cast<std::ptrdiff_t>(shard) + 1,
+      std::move(right));
+  const double half = shard_load_ms_[static_cast<size_t>(shard)] / 2.0;
+  shard_load_ms_[static_cast<size_t>(shard)] = half;
+  shard_load_ms_.insert(
+      shard_load_ms_.begin() + static_cast<std::ptrdiff_t>(shard) + 1, half);
+  RebuildNodes();
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_cluster_rebalance_total", {{"op", "split"}})
+      ->Increment();
+  return Status::OK();
+}
+
+Status Coordinator::MergeShards(int left) {
+  if (left < 0 || left + 1 >= num_shards()) {
+    return Status::InvalidArgument(
+        "no adjacent shard pair at " + std::to_string(left));
+  }
+  std::vector<std::string>& lhs = shard_videos_[static_cast<size_t>(left)];
+  std::vector<std::string>& rhs =
+      shard_videos_[static_cast<size_t>(left) + 1];
+  // Every partition's video list is sorted (cluster::PartitionNames), so
+  // the merged run is too — a later split cuts it cleanly.
+  std::vector<std::string> merged;
+  merged.reserve(lhs.size() + rhs.size());
+  std::merge(lhs.begin(), lhs.end(), rhs.begin(), rhs.end(),
+             std::back_inserter(merged));
+  lhs = std::move(merged);
+  shard_videos_.erase(shard_videos_.begin() +
+                      static_cast<std::ptrdiff_t>(left) + 1);
+  shard_load_ms_[static_cast<size_t>(left)] +=
+      shard_load_ms_[static_cast<size_t>(left) + 1];
+  shard_load_ms_.erase(shard_load_ms_.begin() +
+                       static_cast<std::ptrdiff_t>(left) + 1);
+  RebuildNodes();
+  obs::MetricRegistry::Global()
+      .GetCounter("vaq_cluster_rebalance_total", {{"op", "merge"}})
+      ->Increment();
+  return Status::OK();
+}
+
+int Coordinator::Rebalance(const RebalanceOptions& rebalance) {
+  int actions = 0;
+  // Split first so this round's merge can never immediately undo it (a
+  // fresh split halves the window load, and the doc comment on
+  // RebalanceOptions asks for merge_threshold_ms well below half the
+  // split threshold).
+  if (num_shards() < rebalance.max_shards) {
+    int hottest = -1;
+    double hottest_ms = 0.0;
+    for (int s = 0; s < num_shards(); ++s) {
+      if (shard_videos_[static_cast<size_t>(s)].size() >= 2 &&
+          shard_load_ms_[static_cast<size_t>(s)] > hottest_ms) {
+        hottest = s;
+        hottest_ms = shard_load_ms_[static_cast<size_t>(s)];
+      }
+    }
+    if (hottest >= 0 && hottest_ms >= rebalance.split_threshold_ms &&
+        SplitShard(hottest).ok()) {
+      ++actions;
+    }
+  }
+  if (num_shards() > rebalance.min_shards) {
+    int coldest = -1;
+    double coldest_ms = kInf;
+    for (int l = 0; l + 1 < num_shards(); ++l) {
+      const double lhs = shard_load_ms_[static_cast<size_t>(l)];
+      const double rhs = shard_load_ms_[static_cast<size_t>(l) + 1];
+      if (std::max(lhs, rhs) <= rebalance.merge_threshold_ms &&
+          lhs + rhs < coldest_ms) {
+        coldest = l;
+        coldest_ms = lhs + rhs;
+      }
+    }
+    if (coldest >= 0 && MergeShards(coldest).ok()) ++actions;
+  }
+  // Close the load window: the next window starts from zero under the
+  // (possibly new) layout.
+  std::fill(shard_load_ms_.begin(), shard_load_ms_.end(), 0.0);
+  for (int s = 0; s < num_shards(); ++s) {
+    obs::MetricRegistry::Global()
+        .GetGauge("vaq_cluster_shard_load_ms",
+                  {{"shard", std::to_string(s)}})
+        ->Set(0.0);
+  }
+  return actions;
+}
+
+double Coordinator::ShardLoadMs(int shard) const {
+  if (shard < 0 || shard >= num_shards()) return 0.0;
+  return shard_load_ms_[static_cast<size_t>(shard)];
+}
+
 const std::vector<std::string>& Coordinator::ShardVideos(int shard) const {
   return shard_videos_[static_cast<size_t>(shard)];
 }
 
 int Coordinator::ReplicaHost(int shard, int replica) const {
-  return options_.num_shards + shard * options_.num_replicas + replica;
+  return num_shards() + shard * options_.num_replicas + replica;
 }
 
 Node* Coordinator::HostNode(int host) const {
@@ -111,7 +231,9 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
   }
   for (const std::unique_ptr<Node>& node : nodes_) node->ResetRun();
 
-  const int num_shards = options_.num_shards;
+  // The *live* layout, not ClusterOptions::num_shards — elastic
+  // split/merge may have changed it since construction.
+  const int num_shards = static_cast<int>(shard_videos_.size());
   Net net(options_.net, options_.fault_plan);
   fault::SimClock clock;
   ClusterTopKResult result;
@@ -281,6 +403,13 @@ StatusOr<ClusterTopKResult> Coordinator::TopK(
       result.single_node_ms += run->modeled_ms;
       result.max_shard_ms = std::max(result.max_shard_ms, run->modeled_ms);
       state.folded = true;
+      // Load window for elastic rebalancing (replica re-runs count: a
+      // failing-over shard really did cost that much scan time).
+      shard_load_ms_[static_cast<size_t>(shard)] += run->modeled_ms;
+      registry
+          .GetGauge("vaq_cluster_shard_load_ms",
+                    {{"shard", std::to_string(shard)}})
+          ->Set(shard_load_ms_[static_cast<size_t>(shard)]);
       shard_ctx.AddMs(run->modeled_ms);
       shard_ctx.AddStat("videos_queried", run->videos_queried);
       shard_ctx.AddStat("videos_skipped", run->videos_skipped);
@@ -457,6 +586,27 @@ StatusOr<query::QueryResult> Coordinator::ExecuteRanked(
   }
   result.sequences = std::move(merged);
   return result;
+}
+
+const std::vector<std::string>& LayoutInvariantMetricPrefixes() {
+  // Engine-level families: each counts work the per-video scan does
+  // exactly once per clean query, wherever the video lives. Plus
+  // vaq_cluster_queries_total and vaq_cascade_plans_total, which count
+  // per-query outcomes. See the header comment for what is excluded.
+  static const std::vector<std::string> prefixes = {
+      "vaq_cascade_candidates_pruned_total",
+      "vaq_cascade_plans_total",
+      "vaq_cascade_videos_pruned_total",
+      "vaq_clip_eval_simulated_ms",
+      "vaq_clips_degraded_total",
+      "vaq_clips_dropped_total",
+      "vaq_clips_processed_total",
+      "vaq_cluster_queries_total",
+      "vaq_model_calls_total",
+      "vaq_rvaq_iterations_total",
+      "vaq_storage_accesses_total",
+  };
+  return prefixes;
 }
 
 }  // namespace cluster

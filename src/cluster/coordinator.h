@@ -66,7 +66,7 @@ namespace cluster {
 inline constexpr int kCoordinatorHost = -1;
 
 struct ClusterOptions {
-  int num_shards = 2;
+  int num_shards = 2;  // Initial layout; elastic split/merge may change it.
   int num_replicas = 0;  // Follower replicas per shard.
   PartitionScheme scheme = PartitionScheme::kHash;
   int batch_size = 4;    // Candidates per gather batch.
@@ -99,6 +99,22 @@ struct ClusterOptions {
   const cascade::ProxySet* proxy = nullptr;
 };
 
+// Elastic rebalancing policy (Coordinator::Rebalance). Loads are the
+// per-shard modeled scan milliseconds accumulated since the previous
+// Rebalance call (the "load window"); each call acts on the window and
+// then closes it. Keep merge_threshold_ms well below half the split
+// threshold or a freshly split pair can oscillate.
+struct RebalanceOptions {
+  // Split the hottest shard when its window load reaches this (and it
+  // holds at least two videos).
+  double split_threshold_ms = 50.0;
+  // Merge the coldest adjacent pair when both sides are at or below
+  // this.
+  double merge_threshold_ms = 5.0;
+  int min_shards = 1;
+  int max_shards = 64;
+};
+
 struct ClusterTopKResult {
   // Byte-identical to the single-node Repository::TopK outcome (the
   // wall_ms field aside, which is real time there and virtual here).
@@ -120,8 +136,41 @@ class Coordinator : public query::RankedBackend {
   Coordinator(const offline::Repository* repository, ClusterOptions options);
 
   const ClusterOptions& options() const { return options_; }
-  int num_shards() const { return options_.num_shards; }
+  // The *live* shard count: ClusterOptions::num_shards initially,
+  // tracking elastic splits/merges afterwards.
+  int num_shards() const { return static_cast<int>(shard_videos_.size()); }
   const std::vector<std::string>& ShardVideos(int shard) const;
+
+  // --- Elastic rebalancing ----------------------------------------------
+  // The shard layout only affects transport (vaq_cluster_* batch/net
+  // accounting, host ids, answer_ms): merged results are re-assembled in
+  // (video, per-video rank) order and every per-video scan runs exactly
+  // once per clean query, so results and engine-level metrics are
+  // byte-identical before, during and after any rebalance
+  // (LayoutInvariantMetricPrefixes below; the elastic determinism test
+  // pins this). Call between queries only — none of these methods are
+  // synchronized against a running TopK.
+
+  // Splits `shard`'s sorted video run at its midpoint into two adjacent
+  // shards (range-style, whatever the original scheme). The shard must
+  // hold at least two videos (kFailedPrecondition otherwise). Replica
+  // hosts are re-derived from the new layout.
+  Status SplitShard(int shard);
+
+  // Merges shard `left` with shard `left + 1` into one sorted run.
+  Status MergeShards(int left);
+
+  // Load-reactive layout step: splits the hottest shard at or above
+  // split_threshold_ms, then merges the coldest adjacent pair wholly at
+  // or below merge_threshold_ms, honoring the min/max shard bounds —
+  // at most one split and one merge per call. Returns the number of
+  // layout actions taken and closes the load window (accumulators reset
+  // to zero).
+  int Rebalance(const RebalanceOptions& rebalance = {});
+
+  // Modeled scan ms shard `shard` accumulated in the current load
+  // window (also exported as vaq_cluster_shard_load_ms{shard=...}).
+  double ShardLoadMs(int shard) const;
 
   // Global top-K for a conjunctive query, scatter–gathered. `ctx`
   // (optional) attributes the scatter–gather to a per-query trace: the
@@ -146,15 +195,21 @@ class Coordinator : public query::RankedBackend {
 
  private:
   // Primary host of shard s is s; replica r of shard s is
-  // num_shards + s * num_replicas + r.
+  // num_shards + s * num_replicas + r (under the live shard count).
   int ReplicaHost(int shard, int replica) const;
   Node* HostNode(int host) const;
   bool HostDown(int host, double at_ms) const;
+  // Recreates every node from the current shard_videos_ layout (host
+  // ids are layout-relative, so a rebalance re-derives all of them).
+  void RebuildNodes();
 
   const offline::Repository* repository_;
   ClusterOptions options_;
   offline::PaperScoring scoring_;
   std::vector<std::vector<std::string>> shard_videos_;
+  // Per-shard modeled scan ms of the current load window (Rebalance
+  // resets it). Mutable: folded during the logically-const TopK.
+  mutable std::vector<double> shard_load_ms_;
   // Primaries [0, S), then replicas in ReplicaHost order. Mutable: nodes
   // cache the per-query shard run; TopK is logically const.
   mutable std::vector<std::unique_ptr<Node>> nodes_;
@@ -162,6 +217,16 @@ class Coordinator : public query::RankedBackend {
   // (vaq_query_latency_ms{path="cluster"}).
   std::unique_ptr<obs::LatencyRecorder> latency_;
 };
+
+// Metric-family prefixes whose values are shard-layout-invariant for a
+// clean (fault-free) run: engine-level work happens exactly once per
+// video per query no matter which shard owns the video, and per-query
+// outcome counts don't depend on the layout at all. The elastic
+// determinism test diffs snapshots filtered to these across static vs
+// split/merge layouts. Transport families (vaq_cluster_batches/net/
+// shard_load/answer_ms) and latency gauges built on answer_ms are
+// deliberately absent — they measure the layout itself.
+const std::vector<std::string>& LayoutInvariantMetricPrefixes();
 
 }  // namespace cluster
 }  // namespace vaq

@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,
   kUnavailable,        // Transient outage; retrying later may succeed.
   kDeadlineExceeded,   // The operation ran past its time budget.
+  kResourceExhausted,  // A quota or capacity limit was hit; shed load.
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -82,6 +83,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -23,6 +23,11 @@ class SimClock {
     if (ms > 0.0) now_ms_ += ms;
   }
 
+  // Jumps to an absolute virtual time; a target in the past is ignored
+  // (time is monotone). Event loops over sorted timelines (the traffic
+  // front door, the cluster gather) advance with this.
+  void AdvanceTo(double at_ms) { Advance(at_ms - now_ms_); }
+
  private:
   double now_ms_ = 0.0;
 };

@@ -222,12 +222,21 @@ double PercentileNearestRank(const std::vector<double>& sorted,
 }
 
 LatencyRecorder::LatencyRecorder(const std::string& name,
-                                 const std::string& path) {
+                                 const std::string& path)
+    : LatencyRecorder(name, Labels{{"path", path}}) {}
+
+LatencyRecorder::LatencyRecorder(const std::string& name,
+                                 const Labels& labels) {
   MetricRegistry& registry = MetricRegistry::Global();
-  p50_ = registry.GetGauge(name, {{"path", path}, {"quantile", "0.5"}});
-  p99_ = registry.GetGauge(name, {{"path", path}, {"quantile", "0.99"}});
-  p999_ = registry.GetGauge(name, {{"path", path}, {"quantile", "0.999"}});
-  count_ = registry.GetCounter(name + "_count", {{"path", path}});
+  const auto with_quantile = [&labels](const char* q) {
+    Labels out = labels;
+    out.emplace_back("quantile", q);
+    return out;
+  };
+  p50_ = registry.GetGauge(name, with_quantile("0.5"));
+  p99_ = registry.GetGauge(name, with_quantile("0.99"));
+  p999_ = registry.GetGauge(name, with_quantile("0.999"));
+  count_ = registry.GetCounter(name + "_count", labels);
 }
 
 void LatencyRecorder::Record(double ms) {

@@ -132,6 +132,11 @@ class LatencyRecorder {
  public:
   LatencyRecorder(const std::string& name, const std::string& path);
 
+  // Arbitrary-label variant: publishes <name>{<labels>,quantile=...}
+  // gauges plus <name>_count{<labels>}. The multi-tenant front door uses
+  // it for per-tenant percentiles ({tenant="..."}).
+  LatencyRecorder(const std::string& name, const Labels& labels);
+
   void Record(double ms);
 
   int64_t count() const;

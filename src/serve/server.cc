@@ -160,6 +160,8 @@ Status DecodeBundleStats(ckpt::PayloadReader* in,
 std::string ServeStats::ToString() const {
   std::string out = "{accepted=" + std::to_string(accepted) +
                     ", rejected_overflow=" + std::to_string(rejected_overflow) +
+                    ", rejected_tenant_quota=" +
+                    std::to_string(rejected_tenant_quota) +
                     ", rejected_parse=" + std::to_string(rejected_parse) +
                     ", rejected_unknown_source=" +
                     std::to_string(rejected_unknown_source) +
@@ -258,6 +260,11 @@ Status DrainedError() {
 }  // namespace
 
 StatusOr<int64_t> Server::Submit(const std::string& sql) {
+  return Submit(sql, std::string());
+}
+
+StatusOr<int64_t> Server::Submit(const std::string& sql,
+                                 const std::string& tenant) {
   {
     // Checked before parsing so that *every* post-Drain submission fails
     // the same way, not just well-formed ones.
@@ -295,12 +302,43 @@ StatusOr<int64_t> Server::Submit(const std::string& sql) {
   // statement was being parsed closes the door deterministically — the
   // query would otherwise sit in a queue no Drain will ever merge.
   if (drained_) return DrainedError();
+  if (!tenant.empty()) {
+    // The tenant quota is checked before the global bound so an abusive
+    // tenant is shed at *its* limit, never by eating into the shared
+    // capacity other tenants are admitted against.
+    const auto quota = options_.tenant_quotas.find(tenant);
+    if (quota != options_.tenant_quotas.end() &&
+        tenant_pending_[tenant] >= quota->second) {
+      obs::MetricRegistry::Global()
+          .GetCounter("vaq_tenant_submitted_total",
+                      {{"outcome", "shed"}, {"tenant", tenant}})
+          ->Increment();
+      ++stats_.rejected_tenant_quota;
+      return Status::ResourceExhausted(
+          "tenant '" + tenant + "' over quota (" +
+          std::to_string(quota->second) + " pending)");
+    }
+  }
   if (pending_ >= options_.queue_capacity) {
     submitted_rejected_overflow_->Increment();
     ++stats_.rejected_overflow;
     return Status::Unavailable("submission queue full (" +
                                std::to_string(options_.queue_capacity) +
                                " pending)");
+  }
+  pending.tenant = tenant;
+  if (!tenant.empty()) {
+    ++tenant_pending_[tenant];
+    std::unique_ptr<obs::LatencyRecorder>& recorder = tenant_latency_[tenant];
+    if (recorder == nullptr) {
+      recorder = std::make_unique<obs::LatencyRecorder>(
+          "vaq_tenant_latency_ms", obs::Labels{{"tenant", tenant}});
+    }
+    pending.tenant_latency = recorder.get();
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_tenant_submitted_total",
+                    {{"outcome", "accepted"}, {"tenant", tenant}})
+        ->Increment();
   }
   pending.id = next_id_++;
   const int64_t id = pending.id;
@@ -355,6 +393,7 @@ void Server::WorkerLoop(WorkerState* state) {
       lock.lock();
       shard->busy = false;
       --pending_;
+      if (!done.tenant.empty()) --tenant_pending_[done.tenant];
       queue_depth_->Set(static_cast<double>(pending_));
       finished_.push_back(std::move(done));
       // The freed shard may have more queued work for an idle peer, and
@@ -374,6 +413,7 @@ ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
   out.sql = pending.sql;
   out.shard = pending.shard;
   out.kind = pending.ranked ? "ranked" : "online";
+  out.tenant = pending.tenant;
   out.trace = pending.trace;
   // Cross-thread span parenting: the submitter minted the root; this
   // worker's "execute" span (and everything the engines hang below it)
@@ -443,6 +483,16 @@ ServedQuery Server::RunQuery(const PendingQuery& pending, WorkerState* state) {
     query_ms_online_->Observe(out.simulated_ms);
   }
   latency_->Record(out.simulated_ms);
+  if (pending.tenant_latency != nullptr) {
+    pending.tenant_latency->Record(out.simulated_ms);
+  }
+  if (!pending.tenant.empty()) {
+    obs::MetricRegistry::Global()
+        .GetCounter("vaq_tenant_queries_total",
+                    {{"outcome", out.status.ok() ? "ok" : "error"},
+                     {"tenant", pending.tenant}})
+        ->Increment();
+  }
   obs::MetricRegistry::Global()
       .GetCounter("vaq_serve_queries_total",
                   {{"kind", out.kind},
@@ -485,6 +535,7 @@ std::vector<ServedQuery> Server::Drain() {
       lock.lock();
       shard->busy = false;
       --pending_;
+      if (!done.tenant.empty()) --tenant_pending_[done.tenant];
       queue_depth_->Set(static_cast<double>(pending_));
       finished_.push_back(std::move(done));
     }
@@ -1259,6 +1310,9 @@ double ModeledMakespanMs(const std::vector<ServedQuery>& queries,
 std::string DescribeServedQuery(const ServedQuery& q) {
   std::string out = "#" + std::to_string(q.id) + " [" + q.kind + "] " +
                     q.shard;
+  // Tenant tag (tenant-tagged submissions only, so untagged output is
+  // byte-identical to pre-tenant builds).
+  if (!q.tenant.empty()) out += " tenant=" + q.tenant;
   if (!q.status.ok()) {
     return out + " ERROR " + q.status.ToString();
   }
@@ -1307,6 +1361,13 @@ const std::vector<std::string>& LogicalMetricPrefixes() {
           // Pure function of the per-query sample multiset, which the
           // deterministic shard schedule fixes regardless of threads.
           "vaq_query_latency_ms",
+          // Per-tenant completion counts and service-latency gauges are
+          // logical for the same reasons as the two families above.
+          // vaq_tenant_submitted_total is deliberately absent, like
+          // vaq_serve_submitted_total: quota sheds depend on how fast
+          // workers drain relative to submitters.
+          "vaq_tenant_queries_total",
+          "vaq_tenant_latency_ms",
       };
   return *prefixes;
 }

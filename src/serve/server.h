@@ -12,6 +12,16 @@
 //    source. Every outcome is counted
 //    (vaq_serve_submitted_total{outcome=...}).
 //
+//  * **Multi-tenant quotas.** The tenant-tagged `Submit(sql, tenant)`
+//    overload admits against a per-tenant pending quota
+//    (ServeOptions::tenant_quotas) instead of only the global bound: a
+//    tenant at its quota is shed with kResourceExhausted while every
+//    other tenant's admissions proceed untouched — the isolation
+//    contract the traffic front door (src/traffic/) builds on. Per-
+//    tenant outcomes land in vaq_tenant_* metric families and each
+//    tenant gets exact p50/p99/p999 service-latency gauges
+//    (vaq_tenant_latency_ms{tenant=...}).
+//
 //  * **Per-stream sharding.** Each registered source owns a shard: a FIFO
 //    of its admitted queries. A worker claims an idle shard, runs its
 //    head query to completion, releases the shard and picks again, so
@@ -97,6 +107,13 @@ struct ServeOptions {
   // Maximum admitted-but-unfinished queries; Submit returns kUnavailable
   // beyond it.
   int queue_capacity = 64;
+  // Per-tenant pending quotas for the tenant-tagged Submit overload: a
+  // tenant listed here is shed with kResourceExhausted once it has this
+  // many admitted-but-unfinished queries, before the global bound is
+  // consulted for it. Tenants absent from the map (and untagged
+  // submissions) see only queue_capacity. Empty = single-tenant legacy
+  // behavior, bit-for-bit.
+  std::map<std::string, int> tenant_quotas;
   // Share one ModelBundle per (source, stack) across queries.
   bool share_detection_cache = true;
   // Applied to every stream whose SvaqdOptions carry no plan of their
@@ -133,6 +150,7 @@ struct ServedQuery {
   std::string sql;      // Original statement text.
   std::string shard;    // "stream/<name>" or "repo/<name>".
   std::string kind;     // "online" or "ranked".
+  std::string tenant;   // Tenant tag; empty for untagged submissions.
   Status status;        // Run-time failure, e.g. a name the vocab lacks.
   query::QueryResult result;  // Valid iff status.ok().
   // Modeled cost: simulated inference ms (online) or modeled disk ms
@@ -148,6 +166,7 @@ struct ServedQuery {
 struct ServeStats {
   int64_t accepted = 0;
   int64_t rejected_overflow = 0;
+  int64_t rejected_tenant_quota = 0;  // Shed with kResourceExhausted.
   int64_t rejected_parse = 0;
   int64_t rejected_unknown_source = 0;
   int64_t completed = 0;  // Ran to a result (possibly a non-OK status).
@@ -183,6 +202,15 @@ class Server {
   // server has already been drained (Drain is terminal). Thread-safe;
   // workers consume concurrently.
   StatusOr<int64_t> Submit(const std::string& sql);
+
+  // Tenant-tagged admission: like Submit(sql), plus the per-tenant
+  // quota check (kResourceExhausted when `tenant` is listed in
+  // ServeOptions::tenant_quotas and already has that many pending
+  // queries) and per-tenant accounting — vaq_tenant_submitted_total /
+  // vaq_tenant_queries_total counters and exact p50/p99/p999 service
+  // gauges (vaq_tenant_latency_ms{tenant=...}). An empty tenant is the
+  // untagged path.
+  StatusOr<int64_t> Submit(const std::string& sql, const std::string& tenant);
 
   // Blocks until every admitted query has finished, merges worker-local
   // statistics, and returns all results sorted by id. Terminal: from the
@@ -265,6 +293,11 @@ class Server {
     bool ranked = false;
     std::string source;  // Registered name (sans shard prefix).
     std::string shard;
+    std::string tenant;  // Empty for untagged submissions.
+    // The tenant's percentile recorder (stable pointer into
+    // tenant_latency_), resolved at admission so RunQuery records
+    // without taking mu_.
+    obs::LatencyRecorder* tenant_latency = nullptr;
     // Minted under mu_ at admission (trace_queries); the claiming worker
     // parents its spans under the root the submitter created.
     std::shared_ptr<obs::QueryTrace> trace;
@@ -361,6 +394,12 @@ class Server {
   ServeStats stats_;
   int64_t next_id_ = 0;
   int64_t pending_ = 0;  // Admitted, not yet finished.
+  // Per-tenant admitted-but-unfinished counts (quota enforcement) and
+  // exact-sample latency recorders (vaq_tenant_latency_ms{tenant=...}).
+  // unique_ptr keeps recorder pointers stable across map growth.
+  std::map<std::string, int64_t> tenant_pending_;
+  std::map<std::string, std::unique_ptr<obs::LatencyRecorder>>
+      tenant_latency_;
   bool stopping_ = false;
   bool drained_ = false;  // Drain began; submissions are closed.
 

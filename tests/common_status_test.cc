@@ -26,9 +26,16 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kOutOfRange, StatusCode::kAlreadyExists,
         StatusCode::kFailedPrecondition, StatusCode::kIoError,
         StatusCode::kCorruption, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhaustedIsTheSheddingCode) {
+  const Status s = Status::ResourceExhausted("tenant t3 over quota");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: tenant t3 over quota");
 }
 
 TEST(StatusOrTest, HoldsValue) {

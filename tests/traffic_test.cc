@@ -1,0 +1,265 @@
+// The million-user front door: open-loop workload generation, DRR
+// weighted-fair admission, per-tenant quota shedding, and the serve-path
+// tenant isolation contract. Everything here is a pure function of the
+// seeds — the determinism assertions are byte-level.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "tools/pipeline_setup.h"
+#include "traffic/front_door.h"
+#include "traffic/workload.h"
+
+namespace vaq {
+namespace traffic {
+namespace {
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.num_tenants = 4;
+  spec.duration_ms = 20'000.0;
+  spec.seed = 77;
+  spec.base_qps = 5.0;
+  return spec;
+}
+
+// --- Workload generation ------------------------------------------------
+
+TEST(TrafficWorkload, PureFunctionOfTheSpec) {
+  const std::vector<Arrival> a = GenerateArrivals(SmallSpec());
+  const std::vector<Arrival> b = GenerateArrivals(SmallSpec());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_ms, b[i].at_ms) << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].preset, b[i].preset) << i;
+  }
+}
+
+TEST(TrafficWorkload, TimelineIsSortedAndInWindow) {
+  const WorkloadSpec spec = SmallSpec();
+  const std::vector<Arrival> arrivals = GenerateArrivals(spec);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].at_ms, 0.0);
+    EXPECT_LT(arrivals[i].at_ms, spec.duration_ms);
+    EXPECT_GE(arrivals[i].preset, 0);
+    EXPECT_LT(arrivals[i].preset, spec.num_presets);
+    if (i > 0) {
+      EXPECT_LE(arrivals[i - 1].at_ms, arrivals[i].at_ms) << i;
+    }
+  }
+}
+
+TEST(TrafficWorkload, TenantsDrawIndependentStreams) {
+  // Turning one tenant abusive must not move a single arrival of any
+  // other tenant — this independence is what makes the isolation
+  // experiments an exact paired comparison.
+  WorkloadSpec abusive = SmallSpec();
+  abusive.abusive_tenant = 1;
+  const std::vector<Arrival> clean = GenerateArrivals(SmallSpec());
+  const std::vector<Arrival> abused = GenerateArrivals(abusive);
+  EXPECT_GT(abused.size(), clean.size());
+  for (int tenant = 0; tenant < 4; ++tenant) {
+    if (tenant == 1) continue;
+    std::vector<double> before;
+    std::vector<double> after;
+    for (const Arrival& a : clean) {
+      if (a.tenant == tenant) before.push_back(a.at_ms);
+    }
+    for (const Arrival& a : abused) {
+      if (a.tenant == tenant) after.push_back(a.at_ms);
+    }
+    EXPECT_EQ(before, after) << "tenant " << tenant;
+  }
+}
+
+TEST(TrafficWorkload, HotspotAndAbusiveTenantsOfferMore) {
+  WorkloadSpec spec = SmallSpec();
+  spec.hotspot_every = 3;  // Tenants 0 and 3 run hot.
+  spec.abusive_tenant = 1;
+  const std::vector<TenantSpec> tenants = MakeTenants(spec);
+  ASSERT_EQ(tenants.size(), 4u);
+  EXPECT_TRUE(tenants[0].hotspot);
+  EXPECT_FALSE(tenants[1].hotspot);
+  EXPECT_TRUE(tenants[1].abusive);
+  EXPECT_TRUE(tenants[3].hotspot);
+  std::vector<int64_t> count(4, 0);
+  for (const Arrival& a : GenerateArrivals(spec)) {
+    ++count[static_cast<size_t>(a.tenant)];
+  }
+  EXPECT_GT(count[0], count[2]);           // Hotspot ~2x a plain tenant.
+  EXPECT_GT(count[1], 4 * count[2]);       // Abusive ~10x.
+}
+
+TEST(TrafficWorkload, ArrivalCapTruncatesLoudly) {
+  WorkloadSpec spec = SmallSpec();
+  spec.max_arrivals = 10;
+  bool truncated = false;
+  const std::vector<Arrival> arrivals = GenerateArrivals(spec, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(arrivals.size(), 10u);
+}
+
+// --- Front door ---------------------------------------------------------
+
+// A hand-built saturated burst: every tenant offers `each` queries at
+// t=0 against one worker, so DRR alone decides the service order.
+std::vector<Arrival> BurstAt0(int tenants, int each) {
+  std::vector<Arrival> arrivals;
+  for (int q = 0; q < each; ++q) {
+    for (int t = 0; t < tenants; ++t) {
+      arrivals.push_back(Arrival{0.0, t, 0});
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.tenant < b.tenant;
+                   });
+  return arrivals;
+}
+
+TEST(TrafficFrontDoor, DrrSharesServiceByWeight) {
+  // Two tenants, identical backlogs, one worker: the weight-2 tenant's
+  // queries leave measurably earlier than the weight-1 tenant's.
+  std::vector<TenantSpec> tenants(2);
+  tenants[0].name = "heavy";
+  tenants[0].weight = 2;
+  tenants[0].queue_quota = 1000;
+  tenants[1].name = "light";
+  tenants[1].weight = 1;
+  tenants[1].queue_quota = 1000;
+  FrontDoorOptions options;
+  options.num_workers = 1;
+  options.record_metrics = false;
+  const std::vector<double> cost = {10.0};
+  const TrafficReport report =
+      RunFrontDoor(tenants, BurstAt0(2, 60), cost, options);
+  EXPECT_EQ(report.completed, 120);
+  EXPECT_EQ(report.shed, 0);
+  // Both drain fully; the weighted share shows up in waiting time.
+  EXPECT_LT(report.tenants[0].p50_ms, report.tenants[1].p50_ms);
+  EXPECT_LT(report.tenants[0].p99_ms, report.tenants[1].p99_ms);
+}
+
+TEST(TrafficFrontDoor, QuotaShedsTheFloodNotTheNeighbours) {
+  std::vector<TenantSpec> tenants(2);
+  tenants[0].name = "flood";
+  tenants[0].queue_quota = 4;
+  tenants[1].name = "steady";
+  tenants[1].queue_quota = 4;
+  FrontDoorOptions options;
+  options.num_workers = 1;
+  options.record_metrics = false;
+  const std::vector<double> cost = {10.0};
+  // The flood offers 50 queries at t=0; the steady tenant offers one
+  // every 100ms (far slower than service, so its queue never builds).
+  std::vector<Arrival> arrivals;
+  for (int q = 0; q < 50; ++q) arrivals.push_back(Arrival{0.0, 0, 0});
+  for (int q = 0; q < 10; ++q) {
+    arrivals.push_back(Arrival{100.0 * (q + 1), 1, 0});
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.at_ms < b.at_ms;
+            });
+  const TrafficReport report = RunFrontDoor(tenants, arrivals, cost, options);
+  EXPECT_GT(report.tenants[0].shed, 0);
+  EXPECT_EQ(report.tenants[0].admitted,
+            report.tenants[0].offered - report.tenants[0].shed);
+  EXPECT_EQ(report.tenants[1].shed, 0);
+  EXPECT_EQ(report.tenants[1].completed, 10);
+}
+
+TEST(TrafficFrontDoor, ReplayIsByteIdentical) {
+  const WorkloadSpec spec = SmallSpec();
+  const std::vector<TenantSpec> tenants = MakeTenants(spec);
+  const std::vector<Arrival> arrivals = GenerateArrivals(spec);
+  std::vector<double> cost(static_cast<size_t>(spec.num_presets), 8.0);
+  FrontDoorOptions options;
+  options.record_metrics = false;
+  const TrafficReport a = RunFrontDoor(tenants, arrivals, cost, options);
+  const TrafficReport b = RunFrontDoor(tenants, arrivals, cost, options);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_GT(a.completed, 0);
+}
+
+// --- Serve path: tenant quotas and accounting ---------------------------
+
+TEST(TrafficServe, TenantQuotaShedsWithResourceExhausted) {
+  serve::ServeOptions so;
+  so.threads = 0;  // Inline: pending counts are deterministic.
+  so.tenant_quotas["t0"] = 2;
+  serve::Server quota_server(so);
+  ASSERT_TRUE(
+      tools::RegisterDemoSources(&quota_server, /*num_streams=*/0,
+                                 /*with_repository=*/true, /*seed=*/7)
+          .ok());
+  const std::vector<std::string> presets = tools::TrafficPresets(4);
+  int64_t shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    const StatusOr<int64_t> id =
+        quota_server.Submit(presets[static_cast<size_t>(i)], "t0");
+    if (!id.ok()) {
+      EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  // threads=0 leaves every admitted query pending until Drain: exactly
+  // quota admissions succeed.
+  EXPECT_EQ(shed, 2);
+  // An unlisted tenant sees only the global bound.
+  EXPECT_TRUE(quota_server.Submit(presets[0], "t1").ok());
+  const std::vector<serve::ServedQuery> drained = quota_server.Drain();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(quota_server.stats().rejected_tenant_quota, 2);
+}
+
+TEST(TrafficServe, TenantResultsAreThreadCountInvariant) {
+  // The acceptance bar from the front-door design: per-tenant results
+  // and the logical vaq_* families (vaq_tenant_* included) are
+  // byte-identical at any worker count.
+  const auto run = [](int threads) {
+    obs::MetricRegistry::Global().Reset();
+    serve::ServeOptions so;
+    so.threads = threads;
+    so.queue_capacity = 16;
+    so.share_detection_cache = true;
+    for (int t = 0; t < 3; ++t) {
+      so.tenant_quotas["t" + std::to_string(t)] = 16;  // Sized to fit.
+    }
+    serve::Server server(so);
+    EXPECT_TRUE(tools::RegisterDemoSources(&server, 0, true, 7).ok());
+    const std::vector<std::string> presets = tools::TrafficPresets(6);
+    for (size_t i = 0; i < presets.size(); ++i) {
+      EXPECT_TRUE(
+          server.Submit(presets[i], "t" + std::to_string(i % 3)).ok());
+    }
+    std::string described;
+    for (const serve::ServedQuery& q : server.Drain()) {
+      described += serve::DescribeServedQuery(q);
+      described += "\n";
+    }
+    const std::string metrics = obs::ExportPrometheus(
+        obs::FilterSnapshot(obs::MetricRegistry::Global().TakeSnapshot(),
+                            serve::LogicalMetricPrefixes()));
+    return std::make_pair(described, metrics);
+  };
+  const auto ref = run(0);
+  EXPECT_NE(ref.first.find("tenant=t0"), std::string::npos);
+  for (const int threads : {1, 2, 4}) {
+    const auto got = run(threads);
+    EXPECT_EQ(got.first, ref.first) << "threads=" << threads;
+    EXPECT_EQ(got.second, ref.second) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace traffic
+}  // namespace vaq

@@ -1,0 +1,37 @@
+# Tier-1 regression check for vaqctl's command-line surface: an unknown
+# subcommand must exit 2 with the usage text on stderr, and the usage
+# must list every public subcommand — `traffic` included, so the front
+# door demo cannot silently fall out of the CLI.
+#
+# Invoked as:
+#   cmake -DVAQCTL=<path-to-vaqctl> -P vaqctl_usage_check.cmake
+
+if(NOT DEFINED VAQCTL)
+  message(FATAL_ERROR "pass -DVAQCTL=<path to vaqctl>")
+endif()
+
+execute_process(
+  COMMAND ${VAQCTL} no-such-subcommand
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+    "vaqctl with an unknown subcommand exited ${rc}, expected 2")
+endif()
+string(FIND "${err}" "unknown subcommand" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR
+    "vaqctl stderr does not name the unknown subcommand: ${err}")
+endif()
+
+foreach(subcommand ingest ls rm topk sql metrics serve trace recover
+    cluster cascade traffic chaos)
+  string(FIND "${err}" "${subcommand}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "vaqctl usage output is missing subcommand '${subcommand}'")
+  endif()
+endforeach()
+
+message(STATUS "vaqctl usage: exit 2 on unknown subcommand, all subcommands listed")

@@ -1,5 +1,6 @@
 #include "tools/pipeline_setup.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <set>
@@ -304,6 +305,131 @@ Status DriveStandingDemo(serve::Server* server, const StandingDemoSpec& spec,
         "cam" + std::to_string(i % streams)));
   }
   return Status::OK();
+}
+
+std::vector<std::string> TrafficPresets(int num_presets) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(num_presets));
+  for (int p = 0; p < num_presets; ++p) {
+    out.push_back(
+        "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+        "FROM (PROCESS " +
+        std::string(kDemoRepositoryName) +
+        " PRODUCE clipID, obj USING ObjectTracker, "
+        "act USING ActionRecognizer) "
+        "WHERE act='running' AND obj.include('dog') "
+        "ORDER BY RANK(act, obj) LIMIT " +
+        std::to_string(2 + p % 5));
+  }
+  return out;
+}
+
+StatusOr<TrafficDemoResult> RunTrafficDemo(const TrafficDemoSpec& spec) {
+  TrafficDemoResult out;
+
+  traffic::WorkloadSpec workload;
+  workload.num_tenants = spec.num_tenants;
+  workload.duration_ms = spec.duration_min * 60'000.0;
+  workload.seed = spec.seed;
+  workload.base_qps = spec.base_qps;
+  workload.abusive_tenant = spec.abusive_tenant;
+  workload.num_presets = spec.num_presets;
+  workload.queue_quota = spec.queue_quota;
+  workload.slo_ms = spec.slo_ms;
+  const std::vector<traffic::TenantSpec> tenants =
+      traffic::MakeTenants(workload);
+  const std::vector<traffic::Arrival> arrivals =
+      traffic::GenerateArrivals(workload, &out.truncated);
+
+  // The query-mix presets and their modeled service costs, probed once on
+  // the threads = 0 reference schedule. The front door replays millions
+  // of arrivals against this table instead of executing each one — same
+  // modeled costs, tractable simulation.
+  const std::vector<std::string> presets = TrafficPresets(spec.num_presets);
+  out.preset_cost_ms.assign(presets.size(), 0.0);
+  {
+    serve::ServeOptions options;
+    options.threads = 0;
+    options.queue_capacity = static_cast<int>(presets.size()) + 1;
+    serve::Server probe(options);
+    VAQ_RETURN_IF_ERROR(RegisterDemoSources(&probe, /*num_streams=*/0,
+                                            /*with_repository=*/true,
+                                            spec.seed));
+    std::vector<int64_t> ids;
+    ids.reserve(presets.size());
+    for (const std::string& sql : presets) {
+      VAQ_ASSIGN_OR_RETURN(const int64_t id, probe.Submit(sql));
+      ids.push_back(id);
+    }
+    for (const serve::ServedQuery& q : probe.Drain()) {
+      for (size_t p = 0; p < ids.size(); ++p) {
+        if (ids[p] != q.id) continue;
+        VAQ_RETURN_IF_ERROR(q.status);
+        out.preset_cost_ms[p] = q.simulated_ms;
+      }
+    }
+  }
+
+  // The tenant-tagged serve path: every tenant executes its preset pool
+  // (rotated by tenant index, so neighbors run distinct orders) under
+  // ServeOptions::tenant_quotas. The abusive tenant offers its quota plus
+  // a full extra pool and is shed with kResourceExhausted for the
+  // overflow; at threads = 0 nothing drains between submissions, so the
+  // shed count is exact and deterministic.
+  {
+    const int per_tenant = static_cast<int>(presets.size());
+    serve::ServeOptions options;
+    options.threads = 0;
+    options.queue_capacity =
+        spec.num_tenants * std::max(per_tenant, spec.queue_quota) +
+        spec.queue_quota + 8;
+    for (const traffic::TenantSpec& tenant : tenants) {
+      options.tenant_quotas[tenant.name] = tenant.queue_quota;
+    }
+    serve::Server server(options);
+    VAQ_RETURN_IF_ERROR(RegisterDemoSources(&server, /*num_streams=*/0,
+                                            /*with_repository=*/true,
+                                            spec.seed));
+    for (int i = 0; i < spec.num_tenants; ++i) {
+      const traffic::TenantSpec& tenant = tenants[static_cast<size_t>(i)];
+      const int submissions =
+          tenant.abusive ? tenant.queue_quota + per_tenant : per_tenant;
+      for (int s = 0; s < submissions; ++s) {
+        const StatusOr<int64_t> id =
+            server.Submit(presets[static_cast<size_t>((s + i) % per_tenant)],
+                          tenant.name);
+        if (id.ok()) continue;
+        if (id.status().code() == StatusCode::kResourceExhausted) {
+          ++out.tenant_quota_sheds;
+          continue;
+        }
+        return id.status();
+      }
+    }
+    std::vector<serve::ServedQuery> drained = server.Drain();
+    std::sort(drained.begin(), drained.end(),
+              [](const serve::ServedQuery& a, const serve::ServedQuery& b) {
+                return a.id < b.id;
+              });
+    out.tenant_results.assign(static_cast<size_t>(spec.num_tenants), "");
+    for (const serve::ServedQuery& q : drained) {
+      for (size_t i = 0; i < tenants.size(); ++i) {
+        if (tenants[i].name != q.tenant) continue;
+        // Drop the "#<id>" prefix: admission ids shift when *another*
+        // tenant changes its submission count, and the witness must
+        // compare equal across exactly that change.
+        const std::string desc = serve::DescribeServedQuery(q);
+        out.tenant_results[i] += desc.substr(desc.find(' ') + 1) + "\n";
+      }
+    }
+  }
+
+  traffic::FrontDoorOptions door;
+  door.num_workers = spec.num_workers;
+  door.record_metrics = spec.record_metrics;
+  out.report = traffic::RunFrontDoor(tenants, arrivals, out.preset_cost_ms,
+                                     door);
+  return out;
 }
 
 }  // namespace tools

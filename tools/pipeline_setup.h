@@ -30,6 +30,8 @@
 #include "serve/server.h"
 #include "synth/scenario.h"
 #include "synth/spec_file.h"
+#include "traffic/front_door.h"
+#include "traffic/workload.h"
 
 namespace vaq {
 namespace tools {
@@ -156,6 +158,58 @@ int64_t StandingDemoAdvancesDone(const serve::Server& server,
 // fresh server, call again with the same target.
 Status DriveStandingDemo(serve::Server* server, const StandingDemoSpec& spec,
                          int64_t max_total_advances);
+
+// --- Traffic demo -------------------------------------------------------
+// The million-user front door behind `vaqctl traffic` and bench_traffic:
+// an open-loop multi-tenant workload (src/traffic/workload.h) whose query
+// mix is TrafficPresets — the DemoWorkload ranked statement against the
+// demo repository at varied LIMIT, the interactive (tens-of-ms modeled
+// disk time) side of the demo; the standing online statements model a
+// whole stream scan and are not per-session work. Service costs are
+// probed once per preset on a threads = 0 serve::Server and the
+// weighted-fair front door (src/traffic/front_door.h) replays the
+// arrival timeline against that table. A second, tenant-tagged server
+// executes each tenant's presets under its quota — the result-byte
+// witness the isolation experiments diff.
+
+// The interactive ranked query mix: DemoWorkload's ranked statement with
+// LIMIT 2 + p % 5 for preset p.
+std::vector<std::string> TrafficPresets(int num_presets);
+
+struct TrafficDemoSpec {
+  int num_tenants = 4;
+  double duration_min = 1.0;  // Virtual minutes of offered load.
+  uint64_t seed = 21;
+  int num_presets = 8;        // TrafficPresets pool size.
+  int num_workers = 8;        // Front-door service slots.
+  double base_qps = 2.0;      // Per-tenant offered rate, queries/s.
+  // Per-tenant admission quota: admitted-but-unfinished queries (queued
+  // plus in service), the ServeOptions::tenant_quotas semantics. Keeping
+  // it below num_workers caps how many slots one tenant can hold.
+  int queue_quota = 4;
+  double slo_ms = 250.0;      // Deadline class for every tenant.
+  // Tenant index offering 10x its rate (-1 for none): shed at its quota,
+  // everyone else's percentiles and result bytes must not move.
+  int abusive_tenant = -1;
+  bool record_metrics = true;  // Publish vaq_traffic_* families.
+};
+
+struct TrafficDemoResult {
+  traffic::TrafficReport report;
+  // Probed per-preset modeled service cost (threads = 0 reference).
+  std::vector<double> preset_cost_ms;
+  // Per-tenant described results from the tenant-tagged serve path
+  // (sorted by admission id). Byte-identical across runs for a seed; a
+  // non-abusive tenant's entry must not change when another tenant
+  // turns abusive.
+  std::vector<std::string> tenant_results;
+  // kResourceExhausted sheds the tenant-tagged server issued (the
+  // abusive tenant's submissions beyond its quota).
+  int64_t tenant_quota_sheds = 0;
+  bool truncated = false;  // WorkloadSpec::max_arrivals was hit.
+};
+
+StatusOr<TrafficDemoResult> RunTrafficDemo(const TrafficDemoSpec& spec);
 
 }  // namespace tools
 }  // namespace vaq

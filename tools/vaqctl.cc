@@ -93,6 +93,21 @@
 //       against the exact results. --recall 1.0 demonstrates the exact
 //       fallback (no cascade, identical results by construction).
 //
+//   vaqctl traffic [--tenants N] [--duration-min M] [--seed S]
+//                  [--workers W] [--qps Q] [--quota C] [--slo-ms D]
+//                  [--abusive I]
+//       Open-loop multi-tenant front door (src/traffic/): a seeded
+//       arrival process (diurnal curve, bursts, hotspot tenants) over
+//       the demo query mix, admitted through per-tenant quotas and
+//       drained by a deficit-round-robin weighted-fair scheduler on
+//       virtual time. Prints per-tenant admit/shed/SLO accounting and
+//       exact sojourn percentiles — byte-identical per seed. With
+//       --abusive I the run repeats with tenant I offering 10x its rate:
+//       the abuser is shed at its quota (kResourceExhausted on the serve
+//       path) and the command verifies every other tenant's p99 stayed
+//       within 10% of the no-abuse baseline with identical result bytes,
+//       exiting 1 on a violation.
+//
 //   vaqctl chaos [--trials N] [--seed S] [--canary on]
 //                [--replay FILE] [--out FILE] [--shrink off]
 //       Run N seeded whole-stack chaos trials (src/chaos/): each draws a
@@ -1069,6 +1084,93 @@ int CmdCascade(const Args& args) {
   return 0;
 }
 
+// vaqctl traffic: open-loop multi-tenant front door over the demo preset
+// mix — weighted-fair DRR admission, per-tenant quota shed and SLO
+// accounting, service costs probed from the serve demo. With --abusive I
+// the demo runs twice (tenant I at 10x its rate, and without) and checks
+// isolation: every other tenant's p99 within 10% of the no-abuse
+// baseline and its serve-path result bytes identical; violations exit 1.
+int CmdTraffic(const Args& args) {
+  tools::TrafficDemoSpec spec;
+  spec.num_tenants = std::atoi(args.Get("tenants", "4").c_str());
+  spec.duration_min = std::atof(args.Get("duration-min", "1").c_str());
+  spec.seed =
+      static_cast<uint64_t>(std::atoll(args.Get("seed", "21").c_str()));
+  spec.num_workers = std::atoi(args.Get("workers", "8").c_str());
+  spec.base_qps = std::atof(args.Get("qps", "2").c_str());
+  spec.queue_quota = std::atoi(args.Get("quota", "4").c_str());
+  spec.slo_ms = std::atof(args.Get("slo-ms", "250").c_str());
+  const int abusive = std::atoi(args.Get("abusive", "-1").c_str());
+  if (spec.num_tenants <= 0 || spec.duration_min <= 0.0 ||
+      spec.num_workers <= 0 || spec.base_qps <= 0.0 ||
+      spec.queue_quota <= 0 || abusive >= spec.num_tenants) {
+    std::fprintf(stderr,
+                 "traffic requires positive --tenants/--duration-min/"
+                 "--workers/--qps/--quota and --abusive < --tenants\n");
+    return 2;
+  }
+
+  obs::MetricRegistry::Global().Reset();
+  // Placeholder; replaced below when --abusive is active.
+  StatusOr<tools::TrafficDemoResult> baseline_or =
+      Status::FailedPrecondition("no baseline run");
+  if (abusive >= 0) {
+    tools::TrafficDemoSpec base_spec = spec;
+    base_spec.abusive_tenant = -1;
+    base_spec.record_metrics = false;  // The abusive run owns the registry.
+    baseline_or = tools::RunTrafficDemo(base_spec);
+    if (!baseline_or.ok()) {
+      std::fprintf(stderr, "%s\n", baseline_or.status().ToString().c_str());
+      return 1;
+    }
+  }
+  spec.abusive_tenant = abusive;
+  const StatusOr<tools::TrafficDemoResult> result_or =
+      tools::RunTrafficDemo(spec);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "%s\n", result_or.status().ToString().c_str());
+    return 1;
+  }
+  const tools::TrafficDemoResult& r = result_or.value();
+
+  std::printf("preset costs:");
+  for (size_t p = 0; p < r.preset_cost_ms.size(); ++p) {
+    std::printf(" p%zu=%.3fms", p, r.preset_cost_ms[p]);
+  }
+  std::printf("\n%s", r.report.ToString().c_str());
+  std::printf("serve path: %d tenant(s), quota sheds=%lld%s\n",
+              spec.num_tenants, static_cast<long long>(r.tenant_quota_sheds),
+              r.truncated ? " (workload truncated at max_arrivals)" : "");
+
+  if (abusive < 0) return 0;
+  const tools::TrafficDemoResult& base = baseline_or.value();
+  bool ok = true;
+  for (int i = 0; i < spec.num_tenants; ++i) {
+    if (i == abusive) continue;
+    const double base_p99 = base.report.tenants[static_cast<size_t>(i)].p99_ms;
+    const double cur_p99 = r.report.tenants[static_cast<size_t>(i)].p99_ms;
+    const double tolerance = 0.10 * base_p99 + 1e-9;
+    if (std::fabs(cur_p99 - base_p99) > tolerance) {
+      std::printf("isolation VIOLATION: tenant t%d p99 %.3fms -> %.3fms "
+                  "(>10%% of baseline)\n",
+                  i, base_p99, cur_p99);
+      ok = false;
+    }
+    if (r.tenant_results[static_cast<size_t>(i)] !=
+        base.tenant_results[static_cast<size_t>(i)]) {
+      std::printf("isolation VIOLATION: tenant t%d result bytes changed "
+                  "under abuse\n", i);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+  std::printf("isolation: OK (tenant t%d at 10x shed %lld serve-path "
+              "submission(s); every other tenant's p99 within 10%% and "
+              "result bytes identical)\n",
+              abusive, static_cast<long long>(r.tenant_quota_sheds));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -1092,6 +1194,9 @@ int Usage() {
       "  cascade  cost-based proxy cascade over the demo corpus\n"
       "           (--recall R --seed S): prints the planned cascade,\n"
       "           modeled cost reduction and achieved recall\n"
+      "  traffic  open-loop multi-tenant front door over the demo mix\n"
+      "           (--tenants N --duration-min M --seed S [--abusive I]):\n"
+      "           weighted-fair admission, quota shed, SLO accounting\n"
       "  chaos    seeded whole-stack chaos sweep with invariant oracles\n"
       "           (--trials N --seed S [--canary on] [--replay FILE]\n"
       "           [--out FILE]); failures shrink to a minimal replay\n"
@@ -1118,6 +1223,7 @@ int main(int argc, char** argv) {
   if (command == "recover") return vaq::CmdRecover(args);
   if (command == "cluster") return vaq::CmdCluster(args);
   if (command == "cascade") return vaq::CmdCascade(args);
+  if (command == "traffic") return vaq::CmdTraffic(args);
   if (command == "chaos") return vaq::CmdChaos(args);
   std::fprintf(stderr, "vaqctl: unknown subcommand '%s'\n", command.c_str());
   return vaq::Usage();
